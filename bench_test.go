@@ -1,0 +1,535 @@
+// Benchmarks regenerating the evaluation experiments of DESIGN.md /
+// EXPERIMENTS.md, one bench family per experiment. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers are machine-dependent; the claims under test are
+// the *relative* shapes (who wins, lock footprints, restart rarity).
+package blinktree
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"blinktree/internal/base"
+	"blinktree/internal/baseline/coarse"
+	"blinktree/internal/baseline/lehmanyao"
+	"blinktree/internal/baseline/lockcoupling"
+	"blinktree/internal/blink"
+	"blinktree/internal/compress"
+	"blinktree/internal/harness"
+	"blinktree/internal/locks"
+	"blinktree/internal/node"
+	"blinktree/internal/reclaim"
+	"blinktree/internal/storage"
+	"blinktree/internal/workload"
+)
+
+// buildTree constructs a preloaded tree of the given kind.
+func buildTree(b *testing.B, kind harness.Kind, k, preload int, keySpace uint64) base.Tree {
+	b.Helper()
+	inst, err := harness.Build(kind, k, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stride := keySpace / uint64(preload)
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < preload; i++ {
+		key := base.Key(uint64(i) * stride)
+		if err := inst.Tree.Insert(key, base.Value(key)); err != nil && !errors.Is(err, base.ErrDuplicate) {
+			b.Fatal(err)
+		}
+	}
+	return inst.Tree
+}
+
+// benchMix drives RunParallel with a deterministic per-goroutine
+// workload generator.
+func benchMix(b *testing.B, tr base.Tree, keySpace uint64, mix workload.Mix) {
+	b.Helper()
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		gen, err := workload.NewGenerator(seed.Add(1)*104729, workload.Uniform{N: keySpace}, mix)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for pb.Next() {
+			if _, err := workload.Apply(tr, gen.Next()); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkE1Throughput: E1 — mixed-workload throughput for every
+// implementation (the "higher degree of concurrency" claim, §1).
+func BenchmarkE1Throughput(b *testing.B) {
+	const keySpace = 1 << 18
+	for _, kind := range harness.AllKinds {
+		for _, mixCase := range []struct {
+			name string
+			mix  workload.Mix
+		}{
+			{"readmostly", workload.ReadMostly},
+			{"balanced", workload.Balanced},
+			{"writeonly", workload.WriteOnly},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", kind, mixCase.name), func(b *testing.B) {
+				tr := buildTree(b, kind, 16, 50000, keySpace)
+				defer tr.Close()
+				benchMix(b, tr, keySpace, mixCase.mix)
+			})
+		}
+	}
+}
+
+// BenchmarkE2LockFootprint: E2 — insert cost under contention with
+// footprint assertions (Sagiv exactly 1 lock; LY ≤ 3; coupling ≥ 2).
+func BenchmarkE2LockFootprint(b *testing.B) {
+	const keySpace = 1 << 20
+	b.Run("sagiv", func(b *testing.B) {
+		st := node.NewMemStore()
+		tr, err := blink.New(blink.Config{Store: st, MinPairs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchMix(b, tr, keySpace, workload.InsertHeavy)
+		b.StopTimer()
+		fp := tr.Stats().InsertLocks
+		if fp.Ops > 0 && fp.MaxHeld != 1 {
+			b.Fatalf("sagiv insert MaxHeld = %d, want 1", fp.MaxHeld)
+		}
+		b.ReportMetric(float64(fp.MaxHeld), "max-locks")
+	})
+	b.Run("lehmanyao", func(b *testing.B) {
+		tr, err := lehmanyao.New(lehmanyao.Config{MinPairs: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchMix(b, tr, keySpace, workload.InsertHeavy)
+		b.StopTimer()
+		fp := tr.Stats().InsertLocks
+		if fp.MaxHeld > 3 {
+			b.Fatalf("lehman-yao insert MaxHeld = %d, want ≤ 3", fp.MaxHeld)
+		}
+		b.ReportMetric(float64(fp.MaxHeld), "max-locks")
+	})
+	b.Run("lockcoupling", func(b *testing.B) {
+		tr, err := lockcoupling.New(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchMix(b, tr, keySpace, workload.InsertHeavy)
+		b.StopTimer()
+		fp := tr.Stats().InsertLocks
+		b.ReportMetric(float64(fp.MaxHeld), "max-locks")
+	})
+}
+
+// BenchmarkE3Compression: E3 — cost of compacting a 90%-deleted tree,
+// with occupancy restoration asserted.
+func BenchmarkE3Compression(b *testing.B) {
+	for _, mode := range []string{"scanner", "queue"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := node.NewMemStore()
+				lt := locks.NewTable()
+				tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var comp *compress.Compressor
+				if mode == "queue" {
+					comp = compress.NewCompressor(st, lt, 8, nil)
+					comp.Attach(tr)
+				}
+				const n = 50000
+				for j := 0; j < n; j++ {
+					if err := tr.Insert(base.Key(j), 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for j := 0; j < n; j++ {
+					if j%10 != 0 {
+						if err := tr.Delete(base.Key(j)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StartTimer()
+				if mode == "queue" {
+					if err := comp.DrainOnce(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				sc := compress.NewScanner(st, lt, 8, nil)
+				if err := sc.Compact(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				occ, err := tr.OccupancyStats()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if occ.Underfull != 0 {
+					b.Fatalf("%d underfull after compaction", occ.Underfull)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkE4RestartRate: E4 — search cost while compression churns,
+// reporting restarts per million ops.
+func BenchmarkE4RestartRate(b *testing.B) {
+	st := node.NewMemStore()
+	lt := locks.NewTable()
+	rec := reclaim.New(st.Free)
+	tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 4, Reclaimer: rec, Restart: blink.RestartBacktrack})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := compress.NewCompressor(st, lt, 4, rec)
+	comp.Attach(tr)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	comp.Start(2)
+	defer comp.Stop()
+	// Background churn keeps the compressor busy.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := base.Key(i % n)
+			_ = tr.Delete(k)
+			_ = tr.Insert(k, base.Value(k))
+		}
+	}()
+	tr.ResetStats()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := base.Key((i * 2654435761) % n)
+			if _, err := tr.Search(k); err != nil && !errors.Is(err, base.ErrNotFound) {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	stats := tr.Stats()
+	if stats.Searches > 0 {
+		b.ReportMetric(float64(stats.Restarts)/float64(stats.Searches)*1e6, "restarts/Mop")
+	}
+}
+
+// BenchmarkE5Compressors: E5 — delete-heavy mutators against 0..8
+// background compressor workers.
+func BenchmarkE5Compressors(b *testing.B) {
+	for _, nComp := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", nComp), func(b *testing.B) {
+			st := node.NewMemStore()
+			lt := locks.NewTable()
+			tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var comp *compress.Compressor
+			if nComp > 0 {
+				comp = compress.NewCompressor(st, lt, 8, nil)
+				comp.Attach(tr)
+				comp.Start(nComp)
+				defer comp.Stop()
+			}
+			const keySpace = 1 << 17
+			for i := 0; i < 50000; i++ {
+				if err := tr.Insert(base.Key(i*2), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchMix(b, tr, keySpace, workload.DeleteHeavy)
+		})
+	}
+}
+
+// BenchmarkE6DeadlockStress: E6 — the adversarial write-only mix with
+// compressors; completing at all is the assertion (Theorem 2).
+func BenchmarkE6DeadlockStress(b *testing.B) {
+	st := node.NewMemStore()
+	lt := locks.NewTable()
+	tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := compress.NewCompressor(st, lt, 2, nil)
+	comp.Attach(tr)
+	comp.Start(4)
+	defer comp.Stop()
+	benchMix(b, tr, 5000, workload.WriteOnly)
+	b.StopTimer()
+	stats := tr.Stats()
+	if stats.InsertLocks.MaxHeld > 1 || stats.DeleteLocks.MaxHeld > 1 {
+		b.Fatalf("update lock footprint exceeded 1: %+v", stats)
+	}
+	if fp := comp.Stats().Footprint.Snapshot(); fp.MaxHeld > 3 {
+		b.Fatalf("compressor footprint %d > 3", fp.MaxHeld)
+	}
+}
+
+// BenchmarkE7LinkChase: E7 — search speed vs insert pressure, with
+// link hops per op reported.
+func BenchmarkE7LinkChase(b *testing.B) {
+	for _, mixCase := range []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"readonly", workload.ReadOnly},
+		{"readmostly", workload.ReadMostly},
+		{"insertheavy", workload.InsertHeavy},
+	} {
+		b.Run(mixCase.name, func(b *testing.B) {
+			st := node.NewMemStore()
+			tr, err := blink.New(blink.Config{Store: st, MinPairs: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const keySpace = 1 << 17
+			for i := 0; i < 20000; i++ {
+				key := base.Key(uint64(i) * (keySpace / 20000))
+				if err := tr.Insert(key, 0); err != nil && !errors.Is(err, base.ErrDuplicate) {
+					b.Fatal(err)
+				}
+			}
+			tr.ResetStats()
+			benchMix(b, tr, keySpace, mixCase.mix)
+			b.StopTimer()
+			stats := tr.Stats()
+			total := stats.Searches + stats.Inserts + stats.Deletes
+			if total > 0 {
+				b.ReportMetric(float64(stats.LinkHops)/float64(total), "linkhops/op")
+			}
+		})
+	}
+}
+
+// BenchmarkE8Reclamation: E8 — churn with periodic epoch collection,
+// reporting pages freed per second.
+func BenchmarkE8Reclamation(b *testing.B) {
+	st := node.NewMemStore()
+	lt := locks.NewTable()
+	rec := reclaim.New(st.Free)
+	tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 4, Reclaimer: rec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := compress.NewCompressor(st, lt, 4, rec)
+	comp.Attach(tr)
+	comp.Start(2)
+	defer comp.Stop()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := base.Key(i % n)
+		_ = tr.Delete(k)
+		_ = tr.Insert(k, 0)
+		if i%1024 == 0 {
+			if _, err := rec.Collect(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if _, err := rec.Collect(); err != nil {
+		b.Fatal(err)
+	}
+	rs := rec.Stats()
+	b.ReportMetric(float64(rs.Freed), "pages-freed")
+}
+
+// BenchmarkAblationRestartPolicy compares the two §5.2 restart
+// strategies under compression churn (DESIGN.md §6 ablation).
+func BenchmarkAblationRestartPolicy(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		p    blink.RestartPolicy
+	}{{"backtrack", blink.RestartBacktrack}, {"fromroot", blink.RestartFromRoot}} {
+		b.Run(pol.name, func(b *testing.B) {
+			st := node.NewMemStore()
+			lt := locks.NewTable()
+			tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 4, Restart: pol.p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			comp := compress.NewCompressor(st, lt, 4, nil)
+			comp.Attach(tr)
+			comp.Start(2)
+			defer comp.Stop()
+			const n = 50000
+			for i := 0; i < n; i++ {
+				if err := tr.Insert(base.Key(i), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					k := base.Key(i % n)
+					_ = tr.Delete(k)
+					_ = tr.Insert(k, 0)
+				}
+			}()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := tr.Search(base.Key((i * 40503) % n)); err != nil && !errors.Is(err, base.ErrNotFound) {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationStore compares the in-memory node store against the
+// paged (codec) store — the copy-on-write vs serialize design choice.
+func BenchmarkAblationStore(b *testing.B) {
+	build := func(b *testing.B, paged bool) base.Tree {
+		var st node.Store = node.NewMemStore()
+		if paged {
+			var err error
+			st, err = node.NewPagedStore(storage.NewMemStore(4096))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		tr, err := blink.New(blink.Config{Store: st, MinPairs: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tr
+	}
+	for _, c := range []struct {
+		name  string
+		paged bool
+	}{{"memstore", false}, {"pagedstore", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			tr := build(b, c.paged)
+			for i := 0; i < 20000; i++ {
+				if err := tr.Insert(base.Key(i*7), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchMix(b, tr, 1<<18, workload.Balanced)
+		})
+	}
+}
+
+// BenchmarkAblationMinPairs sweeps the branching parameter k — fan-out
+// vs height vs lock-contention granularity.
+func BenchmarkAblationMinPairs(b *testing.B) {
+	for _, k := range []int{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			st := node.NewMemStore()
+			tr, err := blink.New(blink.Config{Store: st, MinPairs: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const keySpace = 1 << 18
+			for i := 0; i < 50000; i++ {
+				key := base.Key(uint64(i) * (keySpace / 50000))
+				if err := tr.Insert(key, 0); err != nil && !errors.Is(err, base.ErrDuplicate) {
+					b.Fatal(err)
+				}
+			}
+			benchMix(b, tr, keySpace, workload.Balanced)
+		})
+	}
+}
+
+// BenchmarkBulkLoadVsInsert compares bottom-up construction against
+// repeated insertion for sorted initial loads.
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	const n = 100000
+	b.Run("bulkload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := blink.New(blink.Config{MinPairs: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			j := 0
+			if err := tr.BulkLoad(func() (base.Key, base.Value, bool) {
+				if j >= n {
+					return 0, 0, false
+				}
+				k := base.Key(j)
+				j++
+				return k, base.Value(k), true
+			}, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n), "keys")
+	})
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr, err := blink.New(blink.Config{MinPairs: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < n; j++ {
+				if err := tr.Insert(base.Key(j), base.Value(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(n), "keys")
+	})
+}
+
+// BenchmarkCoarseFloor pins the coarse baseline cost for reference.
+func BenchmarkCoarseFloor(b *testing.B) {
+	tr, err := coarse.New(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		if err := tr.Insert(base.Key(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchMix(b, tr, 1<<17, workload.Balanced)
+}

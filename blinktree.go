@@ -1,0 +1,330 @@
+// Package blinktree is a concurrent B-link tree with compression,
+// implementing Yehoshua Sagiv's "Concurrent Operations on B*-Trees with
+// Overtaking" (PODS 1985 / JCSS 33, 1986).
+//
+// The tree supports any number of concurrent searches, insertions and
+// deletions. Searches take no locks; insertions and deletions lock at
+// most one node at any instant (the paper's improvement over
+// Lehman–Yao); and optional compression processes — running
+// concurrently with everything else — merge or redistribute underfull
+// nodes so that deletions do not degrade space utilization or height.
+//
+// Quick start:
+//
+//	t, err := blinktree.Open(blinktree.Options{})
+//	if err != nil { ... }
+//	defer t.Close()
+//	_ = t.Insert(42, 420)
+//	v, err := t.Search(42)
+//	_ = t.Range(0, 100, func(k blinktree.Key, v blinktree.Value) bool {
+//		fmt.Println(k, v)
+//		return true
+//	})
+//
+// By default compression runs in the background: deletions that leave a
+// leaf underfull enqueue it, and worker goroutines compress it
+// concurrently (§5.4 of the paper). Use CompressionManual and Compact
+// for explicit control, or CompressionOff for the bare Lehman–Yao-style
+// deletion regime.
+package blinktree
+
+import (
+	"fmt"
+
+	"blinktree/internal/base"
+	"blinktree/internal/blink"
+	"blinktree/internal/compress"
+	"blinktree/internal/locks"
+	"blinktree/internal/node"
+	"blinktree/internal/reclaim"
+	"blinktree/internal/storage"
+)
+
+// Key is a 64-bit search key; the full range is usable.
+type Key = base.Key
+
+// Value is the 64-bit payload stored with each key (the paper's
+// "pointer to the record").
+type Value = base.Value
+
+// Sentinel errors returned by tree operations.
+var (
+	ErrNotFound  = base.ErrNotFound
+	ErrDuplicate = base.ErrDuplicate
+	ErrClosed    = base.ErrClosed
+	ErrCorrupt   = base.ErrCorrupt
+)
+
+// CompressionMode selects how underfull nodes are repaired.
+type CompressionMode int
+
+// Compression modes.
+const (
+	// CompressionBackground runs worker goroutines that drain the
+	// underfull queue concurrently with other operations (§5.4). The
+	// default.
+	CompressionBackground CompressionMode = iota
+	// CompressionManual enqueues underfull nodes but compresses only
+	// when Compact or DrainCompression is called.
+	CompressionManual
+	// CompressionOff never rebalances after deletions, exactly the
+	// Lehman–Yao regime the paper improves on ([8], §4).
+	CompressionOff
+)
+
+// Options configures Open. The zero value is a usable in-memory tree
+// with background compression.
+type Options struct {
+	// MinPairs is the paper's k: nodes hold between k and 2k pairs.
+	// Default 16.
+	MinPairs int
+	// Compression selects the repair mode. Default background.
+	Compression CompressionMode
+	// CompressorWorkers is the number of background compression
+	// goroutines (§5.4 mode 2). Default 1. Ignored unless background.
+	CompressorWorkers int
+	// Path, when non-empty, stores nodes in a file at this path through
+	// the page codec instead of in memory. PageSize (default 4096) and
+	// CachePages (default 1024, LRU buffer pool; 0 disables caching)
+	// control the paged store.
+	Path       string
+	PageSize   int
+	CachePages int
+	// RestartFromRoot disables the backtracking optimization for
+	// wrong-node restarts (§5.2); restarts then always begin at the
+	// root.
+	RestartFromRoot bool
+}
+
+// Tree is a concurrent B-link tree. All methods are safe for concurrent
+// use by any number of goroutines.
+type Tree struct {
+	inner   *blink.Tree
+	store   node.Store
+	lt      locks.Locker
+	rec     *reclaim.Reclaimer
+	comp    *compress.Compressor
+	scanner *compress.Scanner
+	mode    CompressionMode
+	workers int
+	pool    *storage.BufferPool
+}
+
+// Open creates a Tree per opts.
+func Open(opts Options) (*Tree, error) {
+	if opts.MinPairs == 0 {
+		opts.MinPairs = blink.DefaultMinPairs
+	}
+	var st node.Store
+	var pool *storage.BufferPool
+	if opts.Path != "" {
+		ps := opts.PageSize
+		if ps == 0 {
+			ps = storage.DefaultPageSize
+		}
+		if max := node.MaxPairs(ps); 2*opts.MinPairs > max {
+			return nil, fmt.Errorf("blinktree: 2k=%d pairs exceed page capacity %d for page size %d",
+				2*opts.MinPairs, max, ps)
+		}
+		fs, err := storage.NewFileStore(opts.Path, ps)
+		if err != nil {
+			return nil, err
+		}
+		var under storage.Store = fs
+		cache := opts.CachePages
+		if cache == 0 {
+			cache = 1024
+		}
+		if cache > 0 {
+			pool = storage.NewBufferPool(fs, cache)
+			under = pool
+		}
+		paged, err := node.NewPagedStore(under)
+		if err != nil {
+			return nil, err
+		}
+		st = paged
+	} else {
+		st = node.NewMemStore()
+	}
+
+	lt := locks.NewTable()
+	rec := reclaim.New(st.Free)
+	pol := blink.RestartBacktrack
+	if opts.RestartFromRoot {
+		pol = blink.RestartFromRoot
+	}
+	inner, err := blink.New(blink.Config{
+		Store:     st,
+		Locks:     lt,
+		MinPairs:  opts.MinPairs,
+		Restart:   pol,
+		Reclaimer: rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		inner:   inner,
+		store:   st,
+		lt:      lt,
+		rec:     rec,
+		mode:    opts.Compression,
+		workers: opts.CompressorWorkers,
+		pool:    pool,
+	}
+	t.scanner = compress.NewScanner(st, lt, opts.MinPairs, rec)
+	if opts.Compression != CompressionOff {
+		t.comp = compress.NewCompressor(st, lt, opts.MinPairs, rec)
+		t.comp.Attach(inner)
+		if opts.Compression == CompressionBackground {
+			if t.workers <= 0 {
+				t.workers = 1
+			}
+			t.comp.Start(t.workers)
+		}
+	}
+	return t, nil
+}
+
+// Insert stores v under k; ErrDuplicate if k is present.
+func (t *Tree) Insert(k Key, v Value) error { return t.inner.Insert(k, v) }
+
+// Search returns the value stored under k, or ErrNotFound.
+func (t *Tree) Search(k Key) (Value, error) { return t.inner.Search(k) }
+
+// Delete removes k, or returns ErrNotFound.
+func (t *Tree) Delete(k Key) error { return t.inner.Delete(k) }
+
+// Range calls fn for each pair with lo ≤ key ≤ hi in ascending order,
+// stopping early if fn returns false.
+func (t *Tree) Range(lo, hi Key, fn func(Key, Value) bool) error {
+	return t.inner.Range(lo, hi, fn)
+}
+
+// Min returns the smallest stored pair, or ErrNotFound when empty.
+func (t *Tree) Min() (Key, Value, error) { return t.inner.Min() }
+
+// Max returns the largest stored pair, or ErrNotFound when empty.
+func (t *Tree) Max() (Key, Value, error) { return t.inner.Max() }
+
+// Len returns the number of stored pairs (exact when quiesced).
+func (t *Tree) Len() int { return t.inner.Len() }
+
+// Height returns the number of levels (1 for a root-leaf tree).
+func (t *Tree) Height() int { return t.inner.Height() }
+
+// Compact fully compresses the tree: it drains the underfull queue,
+// then runs scan passes (§5.1) until every non-root node holds at least
+// MinPairs pairs and the height is minimal, then frees retired pages.
+// It may run concurrently with other operations, though it converges
+// fastest quiesced.
+func (t *Tree) Compact() error {
+	if t.comp != nil {
+		if err := t.comp.DrainOnce(); err != nil {
+			return err
+		}
+	}
+	if err := t.scanner.Compact(); err != nil {
+		return err
+	}
+	_, err := t.rec.Collect()
+	return err
+}
+
+// DrainCompression processes the pending underfull queue once without
+// running full scan passes. No-op when compression is off.
+func (t *Tree) DrainCompression() error {
+	if t.comp == nil {
+		return nil
+	}
+	if err := t.comp.DrainOnce(); err != nil {
+		return err
+	}
+	_, err := t.rec.Collect()
+	return err
+}
+
+// CollectGarbage frees pages retired by compression that no live
+// operation can still reference (§5.3). Called automatically by
+// Compact; long-running background deployments should call it
+// periodically.
+func (t *Tree) CollectGarbage() (int, error) { return t.rec.Collect() }
+
+// Check validates every structural invariant. Run it quiesced.
+func (t *Tree) Check() error { return t.inner.Check() }
+
+// Close stops background compression and closes the store. The tree
+// must not be used afterwards.
+func (t *Tree) Close() error {
+	if t.comp != nil && t.mode == CompressionBackground {
+		t.comp.Stop()
+	}
+	if err := t.inner.Close(); err != nil {
+		return err
+	}
+	return t.store.Close()
+}
+
+// Cursor iterates pairs in ascending key order. See blink.Cursor for
+// the concurrent-mutation semantics (strictly ascending, each key at
+// most once, no locks held).
+type Cursor = blink.Cursor
+
+// NewCursor returns a cursor positioned before the smallest key ≥ start.
+func (t *Tree) NewCursor(start Key) *Cursor { return t.inner.NewCursor(start) }
+
+// BulkLoad builds an empty tree bottom-up from a strictly ascending
+// pair stream, packing nodes to the fill fraction (0 = fully packed).
+// It is much faster than repeated Insert and requires exclusive access;
+// the tree is fully concurrent afterwards.
+func (t *Tree) BulkLoad(pairs func() (Key, Value, bool), fill float64) error {
+	return t.inner.BulkLoad(pairs, fill)
+}
+
+// Stats aggregates the counters of the tree and its compressors.
+type Stats struct {
+	Tree       blink.StatsSnapshot
+	Occupancy  blink.Occupancy
+	Reclaim    reclaim.ReclaimStats
+	QueueDepth int
+	Merges     uint64
+	Redist     uint64
+	Collapses  uint64
+	// CompressorMaxLocks is the high-water of simultaneous locks held
+	// by compression (≤ 3 per the paper).
+	CompressorMaxLocks uint64
+}
+
+// Stats returns a snapshot of operation and compression counters.
+// Occupancy is gathered with a full walk; avoid calling it in hot
+// loops.
+func (t *Tree) Stats() (Stats, error) {
+	occ, err := t.inner.OccupancyStats()
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{
+		Tree:      t.inner.Stats(),
+		Occupancy: occ,
+		Reclaim:   t.rec.Stats(),
+	}
+	sc := t.scanner.Stats()
+	s.Merges += sc.Merges.Load()
+	s.Redist += sc.Redistributions.Load()
+	s.Collapses += sc.RootCollapses.Load()
+	if fp := sc.Footprint.Snapshot(); fp.MaxHeld > s.CompressorMaxLocks {
+		s.CompressorMaxLocks = fp.MaxHeld
+	}
+	if t.comp != nil {
+		cs := t.comp.Stats()
+		s.Merges += cs.Merges.Load()
+		s.Redist += cs.Redistributions.Load()
+		s.Collapses += cs.RootCollapses.Load()
+		s.QueueDepth = t.comp.Queue().Len()
+		if fp := cs.Footprint.Snapshot(); fp.MaxHeld > s.CompressorMaxLocks {
+			s.CompressorMaxLocks = fp.MaxHeld
+		}
+	}
+	return s, nil
+}

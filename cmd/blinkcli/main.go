@@ -1,0 +1,178 @@
+// Command blinkcli is an interactive shell over a blinktree.Tree —
+// handy for poking at the data structure and watching compression work.
+//
+// Usage:
+//
+//	blinkcli [-k 16] [-path tree.db]
+//
+// Commands:
+//
+//	insert <key> <value>     store a pair
+//	get <key>                look a key up
+//	delete <key>             remove a key
+//	scan <lo> <hi>           list pairs in [lo,hi]
+//	len | height | stats     introspection
+//	compact                  full compression pass
+//	check                    validate invariants
+//	help | quit
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"blinktree"
+)
+
+func main() {
+	k := flag.Int("k", 16, "minimum pairs per node (the paper's k)")
+	path := flag.String("path", "", "optional file-backed page store")
+	flag.Parse()
+
+	tr, err := blinktree.Open(blinktree.Options{MinPairs: *k, Path: *path})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	fmt.Println("blinkcli — Sagiv B*-tree with overtaking. Type 'help'.")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		if done := exec(tr, strings.Fields(sc.Text())); done {
+			return
+		}
+	}
+}
+
+func parseKey(s string) (blinktree.Key, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	return blinktree.Key(v), err
+}
+
+// exec runs one command line; it returns true on quit.
+func exec(tr *blinktree.Tree, args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	fail := func(err error) { fmt.Println("error:", err) }
+	switch args[0] {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Println("insert <k> <v> | get <k> | delete <k> | scan <lo> <hi> | len | height | stats | compact | check | quit")
+	case "insert":
+		if len(args) != 3 {
+			fmt.Println("usage: insert <key> <value>")
+			return false
+		}
+		k, err1 := parseKey(args[1])
+		v, err2 := strconv.ParseUint(args[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			fmt.Println("bad number")
+			return false
+		}
+		if err := tr.Insert(k, blinktree.Value(v)); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("ok")
+		}
+	case "get":
+		if len(args) != 2 {
+			fmt.Println("usage: get <key>")
+			return false
+		}
+		k, err := parseKey(args[1])
+		if err != nil {
+			fmt.Println("bad number")
+			return false
+		}
+		v, err := tr.Search(k)
+		switch {
+		case errors.Is(err, blinktree.ErrNotFound):
+			fmt.Println("(not found)")
+		case err != nil:
+			fail(err)
+		default:
+			fmt.Println(v)
+		}
+	case "delete":
+		if len(args) != 2 {
+			fmt.Println("usage: delete <key>")
+			return false
+		}
+		k, err := parseKey(args[1])
+		if err != nil {
+			fmt.Println("bad number")
+			return false
+		}
+		if err := tr.Delete(k); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("ok")
+		}
+	case "scan":
+		if len(args) != 3 {
+			fmt.Println("usage: scan <lo> <hi>")
+			return false
+		}
+		lo, err1 := parseKey(args[1])
+		hi, err2 := parseKey(args[2])
+		if err1 != nil || err2 != nil {
+			fmt.Println("bad number")
+			return false
+		}
+		n := 0
+		err := tr.Range(lo, hi, func(k blinktree.Key, v blinktree.Value) bool {
+			fmt.Printf("  %d -> %d\n", k, v)
+			n++
+			return n < 1000
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("(%d pairs)\n", n)
+	case "len":
+		fmt.Println(tr.Len())
+	case "height":
+		fmt.Println(tr.Height())
+	case "stats":
+		st, err := tr.Stats()
+		if err != nil {
+			fail(err)
+			return false
+		}
+		fmt.Printf("pairs=%d nodes=%d height=%d underfull=%d meanFill=%.2f\n",
+			st.Occupancy.Pairs, st.Occupancy.Nodes, st.Occupancy.Height,
+			st.Occupancy.Underfull, st.Occupancy.MeanFill)
+		fmt.Printf("splits=%d linkHops=%d restarts=%d merges=%d redist=%d collapses=%d\n",
+			st.Tree.Splits, st.Tree.LinkHops, st.Tree.Restarts, st.Merges, st.Redist, st.Collapses)
+		fmt.Printf("insert maxLocks=%d, compressor maxLocks=%d, queue=%d, pages retired/freed=%d/%d\n",
+			st.Tree.InsertLocks.MaxHeld, st.CompressorMaxLocks, st.QueueDepth,
+			st.Reclaim.Retired, st.Reclaim.Freed)
+	case "compact":
+		if err := tr.Compact(); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("ok")
+		}
+	case "check":
+		if err := tr.Check(); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("ok: all invariants hold")
+		}
+	default:
+		fmt.Printf("unknown command %q (try 'help')\n", args[0])
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+// Command blinkstress hammers a Sagiv tree with a concurrent mix of
+// searches, insertions, deletions and background compression for a
+// fixed duration, then validates every structural invariant — an
+// executable form of Theorems 1 and 2. A non-zero exit means a bug.
+//
+// Usage:
+//
+//	blinkstress [-duration 10s] [-workers 8] [-compressors 2]
+//	            [-k 4] [-keys 100000] [-mix balanced]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree"
+	"blinktree/internal/workload"
+)
+
+func main() {
+	dur := flag.Duration("duration", 10*time.Second, "stress duration")
+	workers := flag.Int("workers", 8, "mutator goroutines")
+	compressors := flag.Int("compressors", 2, "background compression workers")
+	k := flag.Int("k", 4, "minimum pairs per node")
+	keys := flag.Uint64("keys", 100000, "key space size")
+	mixName := flag.String("mix", "balanced", "read-only|read-mostly|balanced|insert-heavy|delete-heavy|write-only")
+	flag.Parse()
+
+	mixes := map[string]workload.Mix{
+		"read-only":    workload.ReadOnly,
+		"read-mostly":  workload.ReadMostly,
+		"balanced":     workload.Balanced,
+		"insert-heavy": workload.InsertHeavy,
+		"delete-heavy": workload.DeleteHeavy,
+		"write-only":   workload.WriteOnly,
+	}
+	mix, ok := mixes[*mixName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown mix %q\n", *mixName)
+		os.Exit(2)
+	}
+
+	tr, err := blinktree.Open(blinktree.Options{
+		MinPairs:          *k,
+		CompressorWorkers: *compressors,
+	})
+	if err != nil {
+		fatal("open", err)
+	}
+	defer tr.Close()
+
+	// Preload half the key space so deletes find targets immediately.
+	for i := uint64(0); i < *keys; i += 2 {
+		if err := tr.Insert(blinktree.Key(i), blinktree.Value(i)); err != nil {
+			fatal("preload", err)
+		}
+	}
+
+	fmt.Printf("blinkstress: %d workers, %d compressors, mix=%s, k=%d, keys=%d, %v\n",
+		*workers, *compressors, *mixName, *k, *keys, *dur)
+
+	var ops, failures atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen, err := workload.NewGenerator(int64(w)*977, workload.Uniform{N: *keys}, mix)
+			if err != nil {
+				failures.Add(1)
+				fmt.Fprintln(os.Stderr, "generator:", err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				op := gen.Next()
+				if err := apply(tr, op); err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "worker %d: %v on %+v\n", w, err, op)
+					return
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	// Periodic garbage collection, as a long-running deployment would.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if _, err := tr.CollectGarbage(); err != nil {
+					failures.Add(1)
+					fmt.Fprintln(os.Stderr, "collect:", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Watchdog: ops must keep flowing; a stall means deadlock/livelock.
+	deadline := time.After(*dur)
+	lastOps := uint64(0)
+	stalled := false
+	tick := time.NewTicker(2 * time.Second)
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-tick.C:
+			cur := ops.Load()
+			if cur == lastOps && failures.Load() == 0 {
+				stalled = true
+				break loop
+			}
+			lastOps = cur
+		}
+	}
+	tick.Stop()
+	close(stop)
+	wg.Wait()
+
+	if stalled {
+		fatal("watchdog", fmt.Errorf("no progress for 2s — possible deadlock"))
+	}
+	if failures.Load() > 0 {
+		fatal("workload", fmt.Errorf("%d operation failures", failures.Load()))
+	}
+
+	// Settle and validate.
+	if err := tr.Compact(); err != nil {
+		fatal("compact", err)
+	}
+	if err := tr.Check(); err != nil {
+		fatal("check", err)
+	}
+	st, err := tr.Stats()
+	if err != nil {
+		fatal("stats", err)
+	}
+	if st.Tree.InsertLocks.MaxHeld > 1 || st.Tree.DeleteLocks.MaxHeld > 1 {
+		fatal("locks", fmt.Errorf("update footprint exceeded 1: %+v", st.Tree))
+	}
+	if st.CompressorMaxLocks > 3 {
+		fatal("locks", fmt.Errorf("compressor footprint %d > 3", st.CompressorMaxLocks))
+	}
+
+	rate := float64(ops.Load()) / dur.Seconds()
+	fmt.Printf("PASS: %d ops (%.0f ops/s), %d restarts, %d link hops, %d merges, %d redistributions\n",
+		ops.Load(), rate, st.Tree.Restarts, st.Tree.LinkHops, st.Merges, st.Redist)
+	fmt.Printf("      occupancy: %d nodes, height %d, %d underfull, mean fill %.2f; pages freed %d\n",
+		st.Occupancy.Nodes, st.Occupancy.Height, st.Occupancy.Underfull,
+		st.Occupancy.MeanFill, st.Reclaim.Freed)
+}
+
+func apply(tr *blinktree.Tree, op workload.Op) error {
+	switch op.Kind {
+	case workload.OpSearch:
+		_, err := tr.Search(blinktree.Key(op.Key))
+		if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
+			return err
+		}
+	case workload.OpInsert:
+		err := tr.Insert(blinktree.Key(op.Key), blinktree.Value(op.Key))
+		if err != nil && !errors.Is(err, blinktree.ErrDuplicate) {
+			return err
+		}
+	case workload.OpDelete:
+		err := tr.Delete(blinktree.Key(op.Key))
+		if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
+			return err
+		}
+	default:
+		return tr.Range(blinktree.Key(op.Key), blinktree.Key(op.Hi), func(blinktree.Key, blinktree.Value) bool { return true })
+	}
+	return nil
+}
+
+func fatal(what string, err error) {
+	fmt.Fprintf(os.Stderr, "FAIL (%s): %v\n", what, err)
+	os.Exit(1)
+}

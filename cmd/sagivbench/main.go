@@ -1,0 +1,65 @@
+// Command sagivbench regenerates the evaluation tables E1–E8 described
+// in DESIGN.md and recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	sagivbench [-experiment all|E1|E2|...|E8] [-scale 1.0]
+//
+// -scale shrinks run sizes proportionally (e.g. 0.05 for a quick look).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"blinktree/internal/harness"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
+	scale := flag.Float64("scale", 1.0, "size multiplier for run lengths")
+	flag.Parse()
+
+	s := harness.Scale(*scale)
+	experiments := []struct {
+		id string
+		fn func(io.Writer, harness.Scale) error
+	}{
+		{"E1", harness.E1Throughput},
+		{"E1B", harness.E1DiskThroughput},
+		{"E2", harness.E2LockFootprint},
+		{"E3", harness.E3Compression},
+		{"E4", harness.E4RestartRate},
+		{"E5", harness.E5Compressors},
+		{"E6", harness.E6Deadlock},
+		{"E7", harness.E7LinkChase},
+		{"E8", harness.E8Reclamation},
+	}
+
+	fmt.Printf("sagivbench: Sagiv B*-tree with overtaking — evaluation harness\n")
+	fmt.Printf("host: GOMAXPROCS=%d, scale=%.3f\n\n", runtime.GOMAXPROCS(0), *scale)
+
+	want := strings.ToUpper(*exp)
+	ran := 0
+	for _, e := range experiments {
+		if want != "ALL" && want != e.id {
+			continue
+		}
+		start := time.Now()
+		if err := e.fn(os.Stdout, s); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8 or all)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,110 @@
+package blinktree_test
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"blinktree"
+)
+
+// The basic lifecycle: open, insert, search, delete.
+func Example() {
+	t, err := blinktree.Open(blinktree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer t.Close()
+
+	_ = t.Insert(42, 420)
+	v, _ := t.Search(42)
+	fmt.Println(v)
+
+	if _, err := t.Search(7); errors.Is(err, blinktree.ErrNotFound) {
+		fmt.Println("7 not found")
+	}
+	// Output:
+	// 420
+	// 7 not found
+}
+
+// Range scans pairs in ascending key order through the leaf links.
+func ExampleTree_Range() {
+	t, _ := blinktree.Open(blinktree.Options{})
+	defer t.Close()
+	for _, k := range []blinktree.Key{5, 1, 9, 3, 7} {
+		_ = t.Insert(k, blinktree.Value(k*100))
+	}
+	_ = t.Range(3, 7, func(k blinktree.Key, v blinktree.Value) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 3 300
+	// 5 500
+	// 7 700
+}
+
+// Cursors iterate incrementally and can reposition with Seek.
+func ExampleTree_NewCursor() {
+	t, _ := blinktree.Open(blinktree.Options{})
+	defer t.Close()
+	for i := 0; i < 10; i++ {
+		_ = t.Insert(blinktree.Key(i*10), blinktree.Value(i))
+	}
+	c := t.NewCursor(35)
+	for i := 0; i < 3; i++ {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		fmt.Println(k)
+	}
+	// Output:
+	// 40
+	// 50
+	// 60
+}
+
+// BulkLoad builds a packed tree from sorted input far faster than
+// repeated Insert.
+func ExampleTree_BulkLoad() {
+	t, _ := blinktree.Open(blinktree.Options{MinPairs: 4})
+	defer t.Close()
+	i := 0
+	_ = t.BulkLoad(func() (blinktree.Key, blinktree.Value, bool) {
+		if i >= 1000 {
+			return 0, 0, false
+		}
+		k := blinktree.Key(i * 2)
+		i++
+		return k, blinktree.Value(k), true
+	}, 0) // 0 = fully packed
+	fmt.Println(t.Len())
+	v, _ := t.Search(500)
+	fmt.Println(v)
+	// Output:
+	// 1000
+	// 500
+}
+
+// Compact repairs occupancy after heavy deletion — the paper's §5.
+func ExampleTree_Compact() {
+	t, _ := blinktree.Open(blinktree.Options{MinPairs: 4, Compression: blinktree.CompressionManual})
+	defer t.Close()
+	for i := 0; i < 1000; i++ {
+		_ = t.Insert(blinktree.Key(i), 0)
+	}
+	for i := 0; i < 1000; i++ {
+		if i%10 != 0 {
+			_ = t.Delete(blinktree.Key(i))
+		}
+	}
+	_ = t.Compact()
+	st, _ := t.Stats()
+	fmt.Println("underfull nodes:", st.Occupancy.Underfull)
+	fmt.Println("invariants:", t.Check() == nil)
+	// Output:
+	// underfull nodes: 0
+	// invariants: true
+}

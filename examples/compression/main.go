@@ -1,0 +1,74 @@
+// Compression: the paper's motivating scenario for §5. Build a large
+// index, delete most of it (a log-retention purge), and watch the tree
+// stay bloated under the Lehman–Yao regime versus shrink under Sagiv
+// compression.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blinktree"
+)
+
+const n = 200000
+
+func main() {
+	fmt.Println("scenario: retention purge deletes 95% of an index's keys")
+	fmt.Println()
+
+	// Regime 1: no compression (Lehman–Yao deletions, [8]).
+	plain, err := blinktree.Open(blinktree.Options{
+		MinPairs:    8,
+		Compression: blinktree.CompressionOff,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer plain.Close()
+	run(plain, "no compression (Lehman-Yao regime)")
+
+	// Regime 2: background compression + final compaction (Sagiv §5).
+	comp, err := blinktree.Open(blinktree.Options{
+		MinPairs:          8,
+		CompressorWorkers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer comp.Close()
+	run(comp, "background compression (Sagiv)")
+	if err := comp.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	report(comp, "after full compaction (Compact)")
+}
+
+func run(tr *blinktree.Tree, label string) {
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(blinktree.Key(i), blinktree.Value(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i%20 != 0 { // keep every 20th key
+			if err := tr.Delete(blinktree.Key(i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	report(tr, label)
+}
+
+func report(tr *blinktree.Tree, label string) {
+	st, err := tr.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	occ := st.Occupancy
+	fmt.Printf("%-40s pairs=%-6d nodes=%-5d height=%d underfull=%-5d meanFill=%.2f freed=%d\n",
+		label+":", occ.Pairs, occ.Nodes, occ.Height, occ.Underfull, occ.MeanFill, st.Reclaim.Freed)
+	if err := tr.Check(); err != nil {
+		log.Fatalf("invariants: %v", err)
+	}
+}

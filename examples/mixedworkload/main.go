@@ -1,0 +1,107 @@
+// Mixed workload: many goroutines search, insert and delete
+// concurrently while compression runs in the background — the paper's
+// headline scenario (any number of each process type at once), with
+// the lock-footprint counters printed at the end as evidence.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree"
+)
+
+const (
+	workers  = 8
+	keySpace = 1 << 16
+	duration = 2 * time.Second
+)
+
+func main() {
+	tr, err := blinktree.Open(blinktree.Options{
+		MinPairs:          8,
+		CompressorWorkers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Preload half the key space.
+	for i := 0; i < keySpace; i += 2 {
+		if err := tr.Insert(blinktree.Key(i), blinktree.Value(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := blinktree.Key(rng.Intn(keySpace))
+				var err error
+				switch rng.Intn(10) {
+				case 0, 1, 2: // 30% inserts
+					err = tr.Insert(k, blinktree.Value(k))
+					if errors.Is(err, blinktree.ErrDuplicate) {
+						err = nil
+					}
+				case 3, 4: // 20% deletes
+					err = tr.Delete(k)
+					if errors.Is(err, blinktree.ErrNotFound) {
+						err = nil
+					}
+				default: // 50% searches
+					_, err = tr.Search(k)
+					if errors.Is(err, blinktree.ErrNotFound) {
+						err = nil
+					}
+				}
+				if err != nil {
+					log.Fatalf("worker %d: %v", w, err)
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+
+	st, err := tr.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d operations in %v (%.0f ops/s) across %d goroutines\n",
+		ops.Load(), duration, float64(ops.Load())/duration.Seconds(), workers)
+	fmt.Printf("splits: %d, link hops: %d, wrong-node restarts: %d\n",
+		st.Tree.Splits, st.Tree.LinkHops, st.Tree.Restarts)
+	fmt.Printf("compression while running: %d merges, %d redistributions (queue now %d)\n",
+		st.Merges, st.Redist, st.QueueDepth)
+	fmt.Printf("lock footprint — inserts: max %d held (paper: exactly 1); compressors: max %d (paper: ≤ 3)\n",
+		st.Tree.InsertLocks.MaxHeld, st.CompressorMaxLocks)
+
+	if err := tr.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("post-run invariant check: OK")
+}

@@ -1,0 +1,67 @@
+// Quickstart: open a tree, insert, search, scan, delete — the 60-second
+// tour of the public API.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"blinktree"
+)
+
+func main() {
+	// An in-memory tree with background compression (the default).
+	tr, err := blinktree.Open(blinktree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Store some pairs. Values are opaque 64-bit payloads — in the
+	// paper's terms, pointers to records.
+	for _, user := range []struct {
+		id     blinktree.Key
+		record blinktree.Value
+	}{
+		{1001, 0xA1}, {1002, 0xB2}, {1003, 0xC3}, {1004, 0xD4},
+	} {
+		if err := tr.Insert(user.id, user.record); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Point lookup.
+	v, err := tr.Search(1002)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user 1002 -> record %#x\n", v)
+
+	// A lookup that misses.
+	if _, err := tr.Search(9999); errors.Is(err, blinktree.ErrNotFound) {
+		fmt.Println("user 9999 not found (as expected)")
+	}
+
+	// Ordered scan over a key range via the leaf links.
+	fmt.Println("users 1001..1003:")
+	err = tr.Range(1001, 1003, func(k blinktree.Key, v blinktree.Value) bool {
+		fmt.Printf("  %d -> %#x\n", k, v)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Delete and verify.
+	if err := tr.Delete(1001); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after delete: %d users, height %d\n", tr.Len(), tr.Height())
+
+	// The tree can always self-verify.
+	if err := tr.Check(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("invariants OK")
+}

@@ -1,0 +1,153 @@
+// Package base defines the shared vocabulary of the blinktree module:
+// keys, values, open bounds (±∞), page identifiers, the Tree interface
+// implemented by the Sagiv tree and every baseline, and common errors.
+//
+// Everything else in the module depends on this package and this package
+// depends on nothing, so it must stay small and allocation-free.
+package base
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Key is a search key. The full uint64 range is usable; the open bounds
+// −∞ and +∞ are represented out of band by Bound.
+type Key uint64
+
+// Value is the "pointer to the record" of the paper: an opaque 64-bit
+// payload stored next to each key in a leaf.
+type Value uint64
+
+// PageID names a node page. Zero is the nil pointer (no page), matching
+// the paper's use of nil links on the rightmost node of each level.
+type PageID uint32
+
+// NilPage is the null page pointer.
+const NilPage PageID = 0
+
+// Bound is a key extended with −∞ and +∞, used for the high value of the
+// rightmost node at each level (+∞) and the low value of the leftmost
+// node (−∞). The zero value is −∞ so that freshly zeroed nodes have a
+// conservative low bound.
+type Bound struct {
+	// Kind discriminates the bound.
+	Kind BoundKind
+	// K is the finite key; meaningful only when Kind == Finite.
+	K Key
+}
+
+// BoundKind enumerates the three kinds of bound.
+type BoundKind uint8
+
+// The three bound kinds. NegInf is the zero value.
+const (
+	NegInf BoundKind = iota
+	Finite
+	PosInf
+)
+
+// FiniteBound returns the bound equal to k.
+func FiniteBound(k Key) Bound { return Bound{Kind: Finite, K: k} }
+
+// NegInfBound returns −∞.
+func NegInfBound() Bound { return Bound{Kind: NegInf} }
+
+// PosInfBound returns +∞.
+func PosInfBound() Bound { return Bound{Kind: PosInf} }
+
+// Less reports whether b < k. −∞ is less than every key; +∞ is less than
+// none.
+func (b Bound) Less(k Key) bool {
+	switch b.Kind {
+	case NegInf:
+		return true
+	case PosInf:
+		return false
+	default:
+		return b.K < k
+	}
+}
+
+// GreaterEqual reports whether b ≥ k.
+func (b Bound) GreaterEqual(k Key) bool { return !b.Less(k) }
+
+// LessBound reports whether b < o in the extended order.
+func (b Bound) LessBound(o Bound) bool {
+	if b.Kind != o.Kind {
+		return b.Kind < o.Kind // NegInf < Finite < PosInf by construction
+	}
+	if b.Kind == Finite {
+		return b.K < o.K
+	}
+	return false
+}
+
+// Equal reports whether two bounds are the same point.
+func (b Bound) Equal(o Bound) bool {
+	if b.Kind != o.Kind {
+		return false
+	}
+	return b.Kind != Finite || b.K == o.K
+}
+
+// IsFinite reports whether the bound is a real key.
+func (b Bound) IsFinite() bool { return b.Kind == Finite }
+
+// String renders the bound for diagnostics.
+func (b Bound) String() string {
+	switch b.Kind {
+	case NegInf:
+		return "-inf"
+	case PosInf:
+		return "+inf"
+	default:
+		return fmt.Sprintf("%d", b.K)
+	}
+}
+
+// Item is a key/value pair stored in a leaf.
+type Item struct {
+	Key   Key
+	Value Value
+}
+
+// Common errors shared by every tree implementation.
+var (
+	// ErrNotFound is returned by Search and Delete when the key is absent.
+	ErrNotFound = errors.New("blinktree: key not found")
+	// ErrDuplicate is returned by Insert when the key is already present.
+	ErrDuplicate = errors.New("blinktree: key already present")
+	// ErrClosed is returned by operations on a closed tree or store.
+	ErrClosed = errors.New("blinktree: closed")
+	// ErrCorrupt is returned when an invariant check or a page decode fails.
+	ErrCorrupt = errors.New("blinktree: corrupt structure")
+)
+
+// Tree is the logical-operation interface of the paper (§4): searches,
+// insertions and deletions over (key, record-pointer) pairs, plus a
+// sequential scan over the leaf chain. All implementations are safe for
+// concurrent use unless documented otherwise.
+type Tree interface {
+	// Search returns the value stored under k, or ErrNotFound.
+	Search(k Key) (Value, error)
+	// Insert stores v under k. It returns ErrDuplicate if k is present.
+	Insert(k Key, v Value) error
+	// Delete removes k. It returns ErrNotFound if k is absent.
+	Delete(k Key) error
+	// Range calls fn for each pair with lo ≤ key ≤ hi in ascending order,
+	// stopping early if fn returns false.
+	Range(lo, hi Key, fn func(Key, Value) bool) error
+	// Len returns the number of stored pairs (approximate under
+	// concurrent mutation).
+	Len() int
+	// Close releases resources. The tree must not be used afterwards.
+	Close() error
+}
+
+// Checker is implemented by trees that can validate their structural
+// invariants. Check must be called quiesced (no concurrent mutators)
+// unless the implementation documents otherwise.
+type Checker interface {
+	Check() error
+}

@@ -1,0 +1,106 @@
+package base
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundLess(t *testing.T) {
+	tests := []struct {
+		name string
+		b    Bound
+		k    Key
+		want bool
+	}{
+		{"neginf less than zero", NegInfBound(), 0, true},
+		{"neginf less than max", NegInfBound(), math.MaxUint64, true},
+		{"posinf not less than max", PosInfBound(), math.MaxUint64, false},
+		{"posinf not less than zero", PosInfBound(), 0, false},
+		{"finite less", FiniteBound(5), 6, true},
+		{"finite equal", FiniteBound(5), 5, false},
+		{"finite greater", FiniteBound(5), 4, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.b.Less(tt.k); got != tt.want {
+				t.Fatalf("(%v).Less(%d) = %v, want %v", tt.b, tt.k, got, tt.want)
+			}
+			if ge := tt.b.GreaterEqual(tt.k); ge == tt.want {
+				t.Fatalf("GreaterEqual must be the negation of Less")
+			}
+		})
+	}
+}
+
+func TestBoundLessBound(t *testing.T) {
+	ni, pi := NegInfBound(), PosInfBound()
+	f3, f7 := FiniteBound(3), FiniteBound(7)
+
+	ordered := []Bound{ni, f3, f7, pi}
+	for i := range ordered {
+		for j := range ordered {
+			want := i < j && !(ordered[i].Equal(ordered[j]))
+			if got := ordered[i].LessBound(ordered[j]); got != want {
+				t.Errorf("LessBound(%v, %v) = %v, want %v", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+	if ni.LessBound(ni) || pi.LessBound(pi) || f3.LessBound(f3) {
+		t.Fatal("LessBound must be irreflexive")
+	}
+}
+
+func TestBoundEqualAndString(t *testing.T) {
+	if !NegInfBound().Equal(NegInfBound()) || !PosInfBound().Equal(PosInfBound()) {
+		t.Fatal("infinities must equal themselves")
+	}
+	if NegInfBound().Equal(PosInfBound()) {
+		t.Fatal("-inf must not equal +inf")
+	}
+	if !FiniteBound(9).Equal(FiniteBound(9)) || FiniteBound(9).Equal(FiniteBound(8)) {
+		t.Fatal("finite equality must compare keys")
+	}
+	if NegInfBound().String() != "-inf" || PosInfBound().String() != "+inf" || FiniteBound(42).String() != "42" {
+		t.Fatal("unexpected String rendering")
+	}
+	if NegInfBound().IsFinite() || PosInfBound().IsFinite() || !FiniteBound(1).IsFinite() {
+		t.Fatal("IsFinite misclassifies")
+	}
+}
+
+func TestZeroBoundIsNegInf(t *testing.T) {
+	var b Bound
+	if b.Kind != NegInf {
+		t.Fatalf("zero Bound kind = %v, want NegInf", b.Kind)
+	}
+}
+
+// Property: for finite bounds, Less agrees with the key order, and
+// LessBound is a strict total order consistent with Less.
+func TestBoundOrderProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ba, bb := FiniteBound(Key(a)), FiniteBound(Key(b))
+		if ba.Less(Key(b)) != (a < b) {
+			return false
+		}
+		if ba.LessBound(bb) != (a < b) {
+			return false
+		}
+		// trichotomy
+		n := 0
+		if ba.LessBound(bb) {
+			n++
+		}
+		if bb.LessBound(ba) {
+			n++
+		}
+		if ba.Equal(bb) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

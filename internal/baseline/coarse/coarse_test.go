@@ -1,0 +1,102 @@
+package coarse
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"blinktree/internal/base"
+)
+
+func TestBasics(t *testing.T) {
+	tr, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if err := tr.Insert(3, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(3, 31); !errors.Is(err, base.ErrDuplicate) {
+		t.Fatal("dup accepted")
+	}
+	if v, err := tr.Search(3); err != nil || v != 30 {
+		t.Fatalf("search = (%d,%v)", v, err)
+	}
+	if err := tr.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(3); !errors.Is(err, base.ErrNotFound) {
+		t.Fatal("double delete")
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("len=%d h=%d", tr.Len(), tr.Height())
+	}
+}
+
+func TestConcurrentSerializesCorrectly(t *testing.T) {
+	tr, _ := New(3)
+	var wg sync.WaitGroup
+	const workers = 6
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				k := base.Key(rng.Intn(500)*workers + w)
+				switch rng.Intn(3) {
+				case 0:
+					if err := tr.Insert(k, base.Value(k)); err != nil && !errors.Is(err, base.ErrDuplicate) {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				case 1:
+					if err := tr.Delete(k); err != nil && !errors.Is(err, base.ErrNotFound) {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				default:
+					if v, err := tr.Search(k); err == nil && v != base.Value(k) {
+						t.Errorf("foreign value")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeAndClose(t *testing.T) {
+	tr, _ := New(2)
+	for i := 0; i < 90; i += 3 {
+		_ = tr.Insert(base.Key(i), base.Value(i))
+	}
+	count := 0
+	if err := tr.Range(10, 40, func(k base.Key, v base.Value) bool {
+		if k < 10 || k > 40 || v != base.Value(k) {
+			t.Fatalf("bad pair (%d,%d)", k, v)
+		}
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	_ = tr.Close()
+	if err := tr.Range(0, 10, nil); !errors.Is(err, base.ErrClosed) {
+		t.Fatal("closed tree served Range")
+	}
+	if err := tr.Delete(1); !errors.Is(err, base.ErrClosed) {
+		t.Fatal("closed tree served Delete")
+	}
+}

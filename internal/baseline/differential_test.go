@@ -1,0 +1,120 @@
+package baseline_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"blinktree/internal/base"
+)
+
+// outcome normalizes an operation result for cross-implementation
+// comparison.
+type outcome struct {
+	kind  string
+	value base.Value
+}
+
+func doOp(tr base.Tree, kind uint8, k base.Key) (outcome, error) {
+	switch kind % 3 {
+	case 0:
+		err := tr.Insert(k, base.Value(k)*3+1)
+		switch {
+		case err == nil:
+			return outcome{kind: "inserted"}, nil
+		case errors.Is(err, base.ErrDuplicate):
+			return outcome{kind: "duplicate"}, nil
+		default:
+			return outcome{}, err
+		}
+	case 1:
+		err := tr.Delete(k)
+		switch {
+		case err == nil:
+			return outcome{kind: "deleted"}, nil
+		case errors.Is(err, base.ErrNotFound):
+			return outcome{kind: "absent"}, nil
+		default:
+			return outcome{}, err
+		}
+	default:
+		v, err := tr.Search(k)
+		switch {
+		case err == nil:
+			return outcome{kind: "found", value: v}, nil
+		case errors.Is(err, base.ErrNotFound):
+			return outcome{kind: "missing"}, nil
+		default:
+			return outcome{}, err
+		}
+	}
+}
+
+// TestDifferentialAllTrees applies identical random op sequences to all
+// four implementations and demands bit-identical outcomes — Theorem 1's
+// data equivalence checked across independent codebases.
+func TestDifferentialAllTrees(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+	}
+	f := func(ops []op) bool {
+		impls := trees2()
+		names := []string{"sagiv", "lehmanyao", "lockcoupling", "coarse"}
+		for i, o := range ops {
+			k := base.Key(o.Key % 700)
+			ref, err := doOp(impls[names[0]], o.Kind, k)
+			if err != nil {
+				return false
+			}
+			for _, name := range names[1:] {
+				got, err := doOp(impls[name], o.Kind, k)
+				if err != nil || got != ref {
+					fmt.Printf("divergence at op %d (%v on %d): %s=%v vs %s=%v\n",
+						i, o.Kind%3, k, names[0], ref, name, got)
+					return false
+				}
+			}
+		}
+		// Final state identical: lengths and full scans agree.
+		refLen := impls[names[0]].Len()
+		var refScan []base.Key
+		_ = impls[names[0]].Range(0, 1000, func(k base.Key, v base.Value) bool {
+			refScan = append(refScan, k)
+			return true
+		})
+		for _, name := range names[1:] {
+			if impls[name].Len() != refLen {
+				return false
+			}
+			var scan []base.Key
+			_ = impls[name].Range(0, 1000, func(k base.Key, v base.Value) bool {
+				scan = append(scan, k)
+				return true
+			})
+			if len(scan) != len(refScan) {
+				return false
+			}
+			for i := range scan {
+				if scan[i] != refScan[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// trees2 builds the four implementations without a *testing.T (usable
+// inside quick.Check).
+func trees2() map[string]base.Tree {
+	out := map[string]base.Tree{}
+	for _, name := range []string{"sagiv", "lehmanyao", "lockcoupling", "coarse"} {
+		out[name] = mustTree(name)
+	}
+	return out
+}

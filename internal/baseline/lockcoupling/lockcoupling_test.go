@@ -1,0 +1,187 @@
+package lockcoupling
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"blinktree/internal/base"
+)
+
+func TestBasics(t *testing.T) {
+	tr, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if err := tr.Insert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(1, 11); !errors.Is(err, base.ErrDuplicate) {
+		t.Fatal("dup accepted")
+	}
+	if v, err := tr.Search(1); err != nil || v != 10 {
+		t.Fatalf("search = (%d,%v)", v, err)
+	}
+	if err := tr.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(1); !errors.Is(err, base.ErrNotFound) {
+		t.Fatal("double delete")
+	}
+	_ = tr.Close()
+	if err := tr.Insert(2, 2); !errors.Is(err, base.ErrClosed) {
+		t.Fatal("closed accepted insert")
+	}
+}
+
+// TestScanVersusDeleteNoDeadlock is the regression test for the sibling
+// lock-ordering rule: leaf-chain scans (rightward shared locks) must
+// never deadlock against deletes that merge with siblings. Before the
+// left-sibling locks were reordered, this interleaving could cycle.
+func TestScanVersusDeleteNoDeadlock(t *testing.T) {
+	tr, _ := New(2)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		// Continuous full scans.
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 60; i++ {
+					last := -1
+					_ = tr.Range(0, n, func(k base.Key, v base.Value) bool {
+						if int(k) <= last {
+							t.Errorf("scan order violated")
+							return false
+						}
+						last = int(k)
+						return true
+					})
+				}
+			}()
+		}
+		// Deleters chew through the key space, forcing merges at the
+		// rightmost-child path (the left-sibling case).
+		for d := 0; d < 3; d++ {
+			wg.Add(1)
+			go func(d int) {
+				defer wg.Done()
+				for i := d; i < n; i += 3 {
+					if i%10 == 0 {
+						continue // leave some keys
+					}
+					if err := tr.Delete(base.Key(i)); err != nil && !errors.Is(err, base.ErrNotFound) {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}(d)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("deadlock: scan vs delete never finished")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedAgainstModel(t *testing.T) {
+	tr, _ := New(3)
+	const workers = 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 3000; i++ {
+				k := base.Key(rng.Intn(600)*workers + w) // per-worker keys
+				switch rng.Intn(3) {
+				case 0:
+					_ = tr.Insert(k, base.Value(k)+1)
+				case 1:
+					_ = tr.Delete(k)
+				default:
+					if v, err := tr.Search(k); err == nil && v != base.Value(k)+1 {
+						t.Errorf("foreign value")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAndFootprint(t *testing.T) {
+	tr, _ := New(2)
+	for i := 0; i < 500; i++ {
+		_ = tr.Insert(base.Key(i), 0)
+	}
+	for i := 0; i < 500; i += 2 {
+		_ = tr.Delete(base.Key(i))
+	}
+	_, _ = tr.Search(1)
+	st := tr.Stats()
+	if st.Inserts != 500 || st.Deletes != 250 || st.Searches != 1 {
+		t.Fatalf("op counts: %+v", st)
+	}
+	if st.Splits == 0 {
+		t.Fatal("no splits")
+	}
+	if st.InsertLocks.MaxHeld < 2 {
+		t.Fatalf("insert footprint %d, want ≥ 2 (coupling)", st.InsertLocks.MaxHeld)
+	}
+	if st.SearchLocks.MaxHeld < 2 {
+		t.Fatalf("search footprint %d, want ≥ 2 on multilevel tree", st.SearchLocks.MaxHeld)
+	}
+	if st.Merges == 0 && st.Borrows == 0 {
+		t.Fatal("no rebalancing recorded")
+	}
+}
+
+func TestRangeEarlyStopAndBounds(t *testing.T) {
+	tr, _ := New(2)
+	for i := 0; i < 100; i++ {
+		_ = tr.Insert(base.Key(i*2), base.Value(i))
+	}
+	count := 0
+	_ = tr.Range(10, 20, func(k base.Key, _ base.Value) bool {
+		if k < 10 || k > 20 {
+			t.Fatalf("out of range key %d", k)
+		}
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Fatalf("count = %d", count)
+	}
+	count = 0
+	_ = tr.Range(0, 1000, func(base.Key, base.Value) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatal("early stop failed")
+	}
+	if err := tr.Range(50, 10, func(base.Key, base.Value) bool { t.Fatal("inverted range"); return false }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package blink
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"blinktree/internal/base"
+)
+
+func TestCursorFullScan(t *testing.T) {
+	tr := newTestTree(t, 2)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i*3), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := tr.NewCursor(0)
+	count := 0
+	lastKey := -1
+	for {
+		k, v, ok := c.Next()
+		if !ok {
+			break
+		}
+		if int(k) <= lastKey {
+			t.Fatalf("cursor not ascending: %d after %d", k, lastKey)
+		}
+		if v != base.Value(k/3) {
+			t.Fatalf("cursor value mismatch at %d", k)
+		}
+		lastKey = int(k)
+		count++
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("cursor saw %d pairs, want %d", count, n)
+	}
+	// Exhausted cursor stays exhausted.
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("exhausted cursor yielded a pair")
+	}
+}
+
+func TestCursorSeekAndPartial(t *testing.T) {
+	tr := newTestTree(t, 2)
+	for i := 0; i < 100; i++ {
+		_ = tr.Insert(base.Key(i*10), base.Value(i))
+	}
+	c := tr.NewCursor(255) // between 250 and 260
+	k, _, ok := c.Next()
+	if !ok || k != 260 {
+		t.Fatalf("first pair from 255 = (%d,%v), want 260", k, ok)
+	}
+	c.Seek(55)
+	if k, _, ok = c.Next(); !ok || k != 60 {
+		t.Fatalf("after Seek(55): (%d,%v), want 60", k, ok)
+	}
+	// Seek beyond the end.
+	c.Seek(100000)
+	if _, _, ok = c.Next(); ok {
+		t.Fatal("cursor past end yielded a pair")
+	}
+}
+
+func TestCursorEmptyTree(t *testing.T) {
+	tr := newTestTree(t, 2)
+	c := tr.NewCursor(0)
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("empty tree cursor yielded a pair")
+	}
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+}
+
+func TestCursorMaxKey(t *testing.T) {
+	tr := newTestTree(t, 2)
+	maxKey := base.Key(^uint64(0))
+	_ = tr.Insert(maxKey, 1)
+	_ = tr.Insert(maxKey-1, 2)
+	c := tr.NewCursor(maxKey - 1)
+	seen := 0
+	for {
+		_, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		seen++
+	}
+	if seen != 2 {
+		t.Fatalf("saw %d keys around MaxUint64, want 2", seen)
+	}
+}
+
+// TestCursorUnderConcurrentMutation: cursors must stay strictly
+// ascending with correct values while the tree churns.
+func TestCursorUnderConcurrentMutation(t *testing.T) {
+	tr := newTestTree(t, 3)
+	const n = 2000
+	for i := 0; i < n; i += 2 {
+		_ = tr.Insert(base.Key(i), base.Value(i))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := base.Key(rng.Intn(n/2)*2 + 1)
+			if rng.Intn(2) == 0 {
+				_ = tr.Insert(k, base.Value(k))
+			} else {
+				_ = tr.Delete(k)
+			}
+		}
+	}()
+	for round := 0; round < 20; round++ {
+		c := tr.NewCursor(0)
+		lastKey := -1
+		evens := 0
+		for {
+			k, v, ok := c.Next()
+			if !ok {
+				break
+			}
+			if int(k) <= lastKey {
+				t.Fatalf("descending cursor: %d after %d", k, lastKey)
+			}
+			if v != base.Value(k) {
+				t.Fatalf("wrong value %d under %d", v, k)
+			}
+			lastKey = int(k)
+			if k%2 == 0 {
+				evens++
+			}
+		}
+		if err := c.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if evens != n/2 {
+			t.Fatalf("cursor missed stable keys: %d/%d", evens, n/2)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	mustCheck(t, tr)
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	tr := newTestTree(t, 4)
+	const n = 10000
+	i := 0
+	err := tr.BulkLoad(func() (base.Key, base.Value, bool) {
+		if i >= n {
+			return 0, 0, false
+		}
+		k := base.Key(i * 2)
+		i++
+		return k, base.Value(k + 1), true
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, tr)
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for j := 0; j < n; j++ {
+		k := base.Key(j * 2)
+		if v, err := tr.Search(k); err != nil || v != base.Value(k+1) {
+			t.Fatalf("Search(%d) = (%d,%v)", k, v, err)
+		}
+	}
+	// Fully packed: node count near the minimum.
+	occ, err := tr.OccupancyStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.Underfull != 0 {
+		t.Fatalf("bulk load produced %d underfull nodes", occ.Underfull)
+	}
+	if occ.MeanFill < 0.9 {
+		t.Fatalf("bulk load fill %.2f, want ≥ 0.9 at fill=1.0", occ.MeanFill)
+	}
+	// The tree is live: inserts and deletes work afterwards.
+	if err := tr.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, tr)
+}
+
+func TestBulkLoadSizesProperty(t *testing.T) {
+	// Every input size, including awkward tails, must satisfy all
+	// invariants at several fills.
+	f := func(rawN uint16, fillSel uint8) bool {
+		n := int(rawN % 3000)
+		fill := []float64{0.6, 0.75, 1.0}[int(fillSel)%3]
+		tr, err := New(Config{MinPairs: 3})
+		if err != nil {
+			return false
+		}
+		i := 0
+		err = tr.BulkLoad(func() (base.Key, base.Value, bool) {
+			if i >= n {
+				return 0, 0, false
+			}
+			k := base.Key(i * 5)
+			i++
+			return k, base.Value(k), true
+		}, fill)
+		if err != nil {
+			return false
+		}
+		if tr.Len() != n {
+			return false
+		}
+		if err := tr.Check(); err != nil {
+			return false
+		}
+		occ, err := tr.OccupancyStats()
+		if err != nil {
+			return false
+		}
+		return occ.Underfull == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	tr := newTestTree(t, 2)
+	_ = tr.Insert(1, 1)
+	if err := tr.BulkLoad(func() (base.Key, base.Value, bool) { return 0, 0, false }, 0); err == nil {
+		t.Fatal("BulkLoad on non-empty tree accepted")
+	}
+	tr2 := newTestTree(t, 2)
+	if err := tr2.BulkLoad(func() (base.Key, base.Value, bool) { return 0, 0, false }, 0.3); err == nil {
+		t.Fatal("fill 0.3 accepted")
+	}
+	// Non-ascending input rejected.
+	tr3 := newTestTree(t, 2)
+	vals := []base.Key{5, 4}
+	i := 0
+	err := tr3.BulkLoad(func() (base.Key, base.Value, bool) {
+		if i >= len(vals) {
+			return 0, 0, false
+		}
+		k := vals[i]
+		i++
+		return k, 0, true
+	}, 0)
+	if err == nil || !errors.Is(err, base.ErrCorrupt) {
+		t.Fatalf("descending input = %v", err)
+	}
+	// Empty input leaves a valid empty tree.
+	tr4 := newTestTree(t, 2)
+	if err := tr4.BulkLoad(func() (base.Key, base.Value, bool) { return 0, 0, false }, 0); err != nil {
+		t.Fatal(err)
+	}
+	mustCheck(t, tr4)
+}
+
+func TestBulkLoadThenConcurrentUse(t *testing.T) {
+	tr := newTestTree(t, 4)
+	const n = 20000
+	i := 0
+	if err := tr.BulkLoad(func() (base.Key, base.Value, bool) {
+		if i >= n {
+			return 0, 0, false
+		}
+		k := base.Key(i * 4)
+		i++
+		return k, base.Value(k), true
+	}, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := base.Key(rng.Intn(n)*4 + 1 + w%3)
+				switch rng.Intn(2) {
+				case 0:
+					if err := tr.Insert(k, 0); err != nil && !errors.Is(err, base.ErrDuplicate) {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				default:
+					if err := tr.Delete(k); err != nil && !errors.Is(err, base.ErrNotFound) {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	mustCheck(t, tr)
+	for j := 0; j < n; j++ {
+		k := base.Key(j * 4)
+		if v, err := tr.Search(k); err != nil || v != base.Value(k) {
+			t.Fatalf("bulk key %d lost: (%d,%v)", k, v, err)
+		}
+	}
+}

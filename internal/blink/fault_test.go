@@ -1,0 +1,143 @@
+package blink
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"blinktree/internal/base"
+	"blinktree/internal/node"
+)
+
+// faultStore wraps a node.Store and starts failing after a countdown —
+// the failure-injection substrate. It verifies the tree surfaces store
+// errors cleanly: no panics, no leaked locks, no corrupted length.
+type faultStore struct {
+	node.Store
+	countdown atomic.Int64 // ops until failure; negative = failing
+}
+
+var errInjected = errors.New("injected store failure")
+
+func (f *faultStore) tick() error {
+	if f.countdown.Add(-1) < 0 {
+		return errInjected
+	}
+	return nil
+}
+
+func (f *faultStore) Get(id base.PageID) (*node.Node, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.Store.Get(id)
+}
+
+func (f *faultStore) Put(n *node.Node) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.Store.Put(n)
+}
+
+func (f *faultStore) Allocate() (base.PageID, error) {
+	if err := f.tick(); err != nil {
+		return base.NilPage, err
+	}
+	return f.Store.Allocate()
+}
+
+func (f *faultStore) ReadPrime() (node.Prime, error) {
+	if err := f.tick(); err != nil {
+		return node.Prime{}, err
+	}
+	return f.Store.ReadPrime()
+}
+
+func (f *faultStore) WritePrime(p node.Prime) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.Store.WritePrime(p)
+}
+
+// TestFaultInjectionSurfacesErrors fails the store at every possible
+// op-count offset during a workload and checks errors come back as
+// errors (never panics) and the lock table is never left locked (the
+// next operation would hang; instead it must run or fail cleanly).
+func TestFaultInjectionSurfacesErrors(t *testing.T) {
+	// Determine the op budget of the workload on a healthy store.
+	healthy := &faultStore{Store: node.NewMemStore()}
+	healthy.countdown.Store(1 << 30)
+	tr, err := New(Config{Store: healthy, MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWorkload := func(tr *Tree) error {
+		for i := 0; i < 60; i++ {
+			if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 60; i += 2 {
+			if err := tr.Delete(base.Key(i)); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 60; i++ {
+			if _, err := tr.Search(base.Key(i)); err != nil && !errors.Is(err, base.ErrNotFound) {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := runWorkload(tr); err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+	budget := (1 << 30) - healthy.countdown.Load()
+
+	for offset := int64(1); offset < budget; offset += 7 {
+		fs := &faultStore{Store: node.NewMemStore()}
+		fs.countdown.Store(1 << 30)
+		tr, err := New(Config{Store: fs, MinPairs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs.countdown.Store(offset)
+		err = runWorkload(tr)
+		if err == nil {
+			t.Fatalf("offset %d: workload succeeded through a failing store", offset)
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("offset %d: error lost its cause: %v", offset, err)
+		}
+		// The lock table must be clean: a fresh operation on the now-
+		// healthy store must not hang on a leaked lock.
+		fs.countdown.Store(1 << 30)
+		if err := tr.Insert(1_000_000, 1); err != nil {
+			t.Fatalf("offset %d: post-fault insert failed: %v", offset, err)
+		}
+		if _, err := tr.Search(1_000_000); err != nil {
+			t.Fatalf("offset %d: post-fault search failed: %v", offset, err)
+		}
+	}
+}
+
+// TestFaultDuringCompactionSurfaces ensures the scanner and queue
+// compressor also propagate store failures instead of looping.
+func TestFaultDuringDescendRetryBounded(t *testing.T) {
+	// A store whose prime block always reports a root that errors on
+	// Get would make descend fail; the tree must return the error, not
+	// retry forever (restarts only follow errRestart).
+	fs := &faultStore{Store: node.NewMemStore()}
+	fs.countdown.Store(1 << 30)
+	tr, err := New(Config{Store: fs, MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Insert(5, 5)
+	fs.countdown.Store(1) // ReadPrime succeeds, root Get fails
+	if err := tr.Insert(6, 6); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package blink
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"blinktree/internal/base"
+)
+
+// TestPropertySequentialOpsMatchModel drives random op sequences
+// against a map model and checks result equivalence plus invariants —
+// the data-equivalence notion of Theorem 1 specialized to one process.
+func TestPropertySequentialOpsMatchModel(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16 // small space to force collisions
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		tr, err := New(Config{MinPairs: 2})
+		if err != nil {
+			return false
+		}
+		model := map[base.Key]base.Value{}
+		for _, o := range ops {
+			k := base.Key(o.Key % 512)
+			v := base.Value(o.Val)
+			switch o.Kind % 3 {
+			case 0:
+				err := tr.Insert(k, v)
+				if _, present := model[k]; present {
+					if !errors.Is(err, base.ErrDuplicate) {
+						return false
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[k] = v
+				}
+			case 1:
+				err := tr.Delete(k)
+				if _, present := model[k]; present {
+					if err != nil {
+						return false
+					}
+					delete(model, k)
+				} else if !errors.Is(err, base.ErrNotFound) {
+					return false
+				}
+			default:
+				got, err := tr.Search(k)
+				want, present := model[k]
+				if present {
+					if err != nil || got != want {
+						return false
+					}
+				} else if !errors.Is(err, base.ErrNotFound) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		return tr.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRangeMatchesModel: after random inserts, every range scan
+// agrees with the sorted model contents.
+func TestPropertyRangeMatchesModel(t *testing.T) {
+	f := func(keys []uint16, lo, hi uint16) bool {
+		tr, err := New(Config{MinPairs: 2})
+		if err != nil {
+			return false
+		}
+		model := map[base.Key]base.Value{}
+		for _, raw := range keys {
+			k := base.Key(raw % 300)
+			if _, dup := model[k]; dup {
+				continue
+			}
+			if tr.Insert(k, base.Value(k)*3) != nil {
+				return false
+			}
+			model[k] = base.Value(k) * 3
+		}
+		l, h := base.Key(lo%350), base.Key(hi%350)
+		if l > h {
+			l, h = h, l
+		}
+		want := 0
+		for k := range model {
+			if k >= l && k <= h {
+				want++
+			}
+		}
+		got := 0
+		lastKey := -1
+		err = tr.Range(l, h, func(k base.Key, v base.Value) bool {
+			if int(k) <= lastKey || k < l || k > h || v != base.Value(k)*3 {
+				got = -1 << 30
+				return false
+			}
+			lastKey = int(k)
+			got++
+			return true
+		})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInsertDeleteInverse: inserting a batch then deleting it
+// restores emptiness (of logical data) regardless of order.
+func TestPropertyInsertDeleteInverse(t *testing.T) {
+	f := func(keys []uint16, seed uint8) bool {
+		tr, err := New(Config{MinPairs: 2})
+		if err != nil {
+			return false
+		}
+		uniq := map[base.Key]bool{}
+		var list []base.Key
+		for _, raw := range keys {
+			k := base.Key(raw)
+			if !uniq[k] {
+				uniq[k] = true
+				list = append(list, k)
+			}
+		}
+		for _, k := range list {
+			if tr.Insert(k, 1) != nil {
+				return false
+			}
+		}
+		// Delete in a rotated order to vary the pattern.
+		off := 0
+		if len(list) > 0 {
+			off = int(seed) % len(list)
+		}
+		for i := range list {
+			if tr.Delete(list[(i+off)%len(list)]) != nil {
+				return false
+			}
+		}
+		if tr.Len() != 0 {
+			return false
+		}
+		count := 0
+		_ = tr.Range(0, base.Key(^uint64(0)), func(base.Key, base.Value) bool {
+			count++
+			return true
+		})
+		return count == 0 && tr.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLockFootprintAlwaysOne: whatever the op mix, an update
+// never holds more than one lock (the paper's abstract claim).
+func TestPropertyLockFootprintAlwaysOne(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tr, err := New(Config{MinPairs: 2})
+		if err != nil {
+			return false
+		}
+		for _, raw := range keys {
+			_ = tr.Insert(base.Key(raw%200), 0)
+			if raw%4 == 0 {
+				_ = tr.Delete(base.Key(raw % 100))
+			}
+		}
+		st := tr.Stats()
+		return st.InsertLocks.MaxHeld <= 1 && st.DeleteLocks.MaxHeld <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

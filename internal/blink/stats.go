@@ -1,0 +1,84 @@
+package blink
+
+import (
+	"sync/atomic"
+
+	"blinktree/internal/locks"
+)
+
+// Stats holds the tree's operation counters. All fields are updated
+// atomically; Snapshot returns a consistent-enough copy for reporting.
+type Stats struct {
+	searches atomic.Uint64
+	inserts  atomic.Uint64
+	deletes  atomic.Uint64
+	scans    atomic.Uint64
+
+	splits     atomic.Uint64 // node splits, including root splits
+	rootSplits atomic.Uint64 // new roots created
+
+	linkHops    atomic.Uint64 // right-link follows (the B-link overhead)
+	outlinkHops atomic.Uint64 // deleted-node forwards (§5.2 case 1)
+	restarts    atomic.Uint64 // wrong-node restarts (§5.2 case 2)
+	backtracks  atomic.Uint64 // restart attempts resumed from the stack
+	levelWaits  atomic.Uint64 // §3.3 waits for a level to appear
+
+	underfullEvents atomic.Uint64 // underfull hook firings
+
+	insertFP locks.FootprintStats
+	deleteFP locks.FootprintStats
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Searches, Inserts, Deletes, Scans uint64
+
+	Splits, RootSplits uint64
+
+	LinkHops, OutlinkHops, Restarts, Backtracks, LevelWaits uint64
+
+	UnderfullEvents uint64
+
+	// InsertLocks and DeleteLocks summarize the lock footprint of
+	// updates. Searches take no locks by construction.
+	InsertLocks locks.Footprint
+	DeleteLocks locks.Footprint
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Tree) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Searches:        t.stats.searches.Load(),
+		Inserts:         t.stats.inserts.Load(),
+		Deletes:         t.stats.deletes.Load(),
+		Scans:           t.stats.scans.Load(),
+		Splits:          t.stats.splits.Load(),
+		RootSplits:      t.stats.rootSplits.Load(),
+		LinkHops:        t.stats.linkHops.Load(),
+		OutlinkHops:     t.stats.outlinkHops.Load(),
+		Restarts:        t.stats.restarts.Load(),
+		Backtracks:      t.stats.backtracks.Load(),
+		LevelWaits:      t.stats.levelWaits.Load(),
+		UnderfullEvents: t.stats.underfullEvents.Load(),
+		InsertLocks:     t.stats.insertFP.Snapshot(),
+		DeleteLocks:     t.stats.deleteFP.Snapshot(),
+	}
+}
+
+// ResetStats zeroes every counter.
+func (t *Tree) ResetStats() {
+	t.stats.searches.Store(0)
+	t.stats.inserts.Store(0)
+	t.stats.deletes.Store(0)
+	t.stats.scans.Store(0)
+	t.stats.splits.Store(0)
+	t.stats.rootSplits.Store(0)
+	t.stats.linkHops.Store(0)
+	t.stats.outlinkHops.Store(0)
+	t.stats.restarts.Store(0)
+	t.stats.backtracks.Store(0)
+	t.stats.levelWaits.Store(0)
+	t.stats.underfullEvents.Store(0)
+	t.stats.insertFP.Reset()
+	t.stats.deleteFP.Reset()
+}

@@ -1,0 +1,489 @@
+package blink
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"blinktree/internal/base"
+	"blinktree/internal/node"
+	"blinktree/internal/storage"
+)
+
+func newTestTree(t *testing.T, k int) *Tree {
+	t.Helper()
+	tr, err := New(Config{MinPairs: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func mustCheck(t *testing.T, tr *Tree) {
+	t.Helper()
+	if err := tr.Check(); err != nil {
+		t.Fatalf("invariant check failed: %v", err)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTestTree(t, 2)
+	if _, err := tr.Search(5); !errors.Is(err, base.ErrNotFound) {
+		t.Fatalf("Search on empty = %v, want ErrNotFound", err)
+	}
+	if err := tr.Delete(5); !errors.Is(err, base.ErrNotFound) {
+		t.Fatalf("Delete on empty = %v, want ErrNotFound", err)
+	}
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("len=%d height=%d", tr.Len(), tr.Height())
+	}
+	mustCheck(t, tr)
+}
+
+func TestInsertSearchSingle(t *testing.T) {
+	tr := newTestTree(t, 2)
+	if err := tr.Insert(42, 420); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.Search(42)
+	if err != nil || v != 420 {
+		t.Fatalf("Search(42) = (%d, %v)", v, err)
+	}
+	if err := tr.Insert(42, 999); !errors.Is(err, base.ErrDuplicate) {
+		t.Fatalf("duplicate insert = %v, want ErrDuplicate", err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	mustCheck(t, tr)
+}
+
+func TestInsertManySequentialAscending(t *testing.T) {
+	tr := newTestTree(t, 2)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i*2)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	mustCheck(t, tr)
+	for i := 0; i < n; i++ {
+		v, err := tr.Search(base.Key(i))
+		if err != nil || v != base.Value(i*2) {
+			t.Fatalf("Search(%d) = (%d, %v)", i, v, err)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height %d suspiciously small for %d keys at k=2", tr.Height(), n)
+	}
+	st := tr.Stats()
+	if st.Splits == 0 || st.RootSplits == 0 {
+		t.Fatalf("expected splits, got %+v", st)
+	}
+	// Headline claim: insertions lock at most one node simultaneously.
+	if st.InsertLocks.MaxHeld != 1 {
+		t.Fatalf("insert max locks held = %d, want 1", st.InsertLocks.MaxHeld)
+	}
+}
+
+func TestInsertManyDescending(t *testing.T) {
+	tr := newTestTree(t, 2)
+	const n = 500
+	for i := n - 1; i >= 0; i-- {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	mustCheck(t, tr)
+	for i := 0; i < n; i++ {
+		if _, err := tr.Search(base.Key(i)); err != nil {
+			t.Fatalf("Search(%d): %v", i, err)
+		}
+	}
+}
+
+func TestInsertManyRandom(t *testing.T) {
+	tr := newTestTree(t, 3)
+	rng := rand.New(rand.NewSource(1))
+	keys := rng.Perm(2000)
+	for _, k := range keys {
+		if err := tr.Insert(base.Key(k), base.Value(k+1)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	mustCheck(t, tr)
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, k := range keys {
+		v, err := tr.Search(base.Key(k))
+		if err != nil || v != base.Value(k+1) {
+			t.Fatalf("Search(%d) = (%d, %v)", k, v, err)
+		}
+	}
+	// Absent keys.
+	for i := 2000; i < 2100; i++ {
+		if _, err := tr.Search(base.Key(i)); !errors.Is(err, base.ErrNotFound) {
+			t.Fatalf("Search(%d) = %v, want ErrNotFound", i, err)
+		}
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	tr := newTestTree(t, 2)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i += 2 {
+		if err := tr.Delete(base.Key(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	mustCheck(t, tr)
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, err := tr.Search(base.Key(i))
+		if i%2 == 0 && !errors.Is(err, base.ErrNotFound) {
+			t.Fatalf("deleted key %d still found (%v)", i, err)
+		}
+		if i%2 == 1 && err != nil {
+			t.Fatalf("surviving key %d lost: %v", i, err)
+		}
+	}
+	if err := tr.Delete(0); !errors.Is(err, base.ErrNotFound) {
+		t.Fatalf("re-delete = %v", err)
+	}
+	// Deletions also hold at most one lock.
+	if st := tr.Stats(); st.DeleteLocks.MaxHeld != 1 {
+		t.Fatalf("delete max locks held = %d, want 1", st.DeleteLocks.MaxHeld)
+	}
+}
+
+func TestDeleteAllLeavesValidEmptyishTree(t *testing.T) {
+	tr := newTestTree(t, 2)
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := tr.Delete(base.Key(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	mustCheck(t, tr) // structure remains valid even though sparse (§4)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	occ, err := tr.OccupancyStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.Pairs != 0 {
+		t.Fatalf("pairs = %d after deleting all", occ.Pairs)
+	}
+	// The trivial deletion policy wastes space — that is the motivation
+	// for §5's compression.
+	if occ.Underfull == 0 {
+		t.Fatal("expected underfull nodes after mass deletion (no compression)")
+	}
+}
+
+func TestUnderfullHookFires(t *testing.T) {
+	tr := newTestTree(t, 3)
+	var events []UnderfullEvent
+	tr.SetUnderfullHandler(func(ev UnderfullEvent) { events = append(events, ev) })
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(base.Key(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := tr.Delete(base.Key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("underfull hook never fired across a mass deletion")
+	}
+	for _, ev := range events {
+		if ev.Level != 0 {
+			t.Fatalf("leaf deletion produced level-%d event", ev.Level)
+		}
+		if ev.ID == base.NilPage {
+			t.Fatal("event with nil page")
+		}
+	}
+	st := tr.Stats()
+	if st.UnderfullEvents != uint64(len(events)) {
+		t.Fatalf("stat %d != events %d", st.UnderfullEvents, len(events))
+	}
+	tr.SetUnderfullHandler(nil)
+	before := len(events)
+	_ = tr.Insert(1, 0)
+	_ = tr.Delete(1)
+	if len(events) != before {
+		t.Fatal("hook fired after removal")
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := newTestTree(t, 2)
+	for i := 0; i < 200; i += 2 {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []base.Key
+	err := tr.Range(31, 101, func(k base.Key, v base.Value) bool {
+		if base.Value(k) != v {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []base.Key
+	for i := 32; i <= 100; i += 2 {
+		want = append(want, base.Key(i))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRangeEarlyStopAndEmpty(t *testing.T) {
+	tr := newTestTree(t, 2)
+	for i := 0; i < 50; i++ {
+		_ = tr.Insert(base.Key(i), 0)
+	}
+	count := 0
+	_ = tr.Range(0, 49, func(base.Key, base.Value) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop emitted %d", count)
+	}
+	count = 0
+	_ = tr.Range(60, 50, func(base.Key, base.Value) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("inverted range emitted pairs")
+	}
+	count = 0
+	_ = tr.Range(1000, 2000, func(base.Key, base.Value) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("out-of-range scan emitted pairs")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := newTestTree(t, 2)
+	if _, _, err := tr.Min(); !errors.Is(err, base.ErrNotFound) {
+		t.Fatal("Min on empty must be ErrNotFound")
+	}
+	if _, _, err := tr.Max(); !errors.Is(err, base.ErrNotFound) {
+		t.Fatal("Max on empty must be ErrNotFound")
+	}
+	for _, k := range []base.Key{50, 10, 90, 30, 70} {
+		_ = tr.Insert(k, base.Value(k))
+	}
+	if k, v, err := tr.Min(); err != nil || k != 10 || v != 10 {
+		t.Fatalf("Min = (%d,%d,%v)", k, v, err)
+	}
+	if k, v, err := tr.Max(); err != nil || k != 90 || v != 90 {
+		t.Fatalf("Max = (%d,%d,%v)", k, v, err)
+	}
+	// Delete the max; Max must fall back correctly even though the
+	// rightmost leaf may be sparse.
+	_ = tr.Delete(90)
+	if k, _, err := tr.Max(); err != nil || k != 70 {
+		t.Fatalf("Max after delete = (%d,%v)", k, err)
+	}
+}
+
+func TestExtremeKeys(t *testing.T) {
+	tr := newTestTree(t, 2)
+	maxKey := base.Key(^uint64(0))
+	for _, k := range []base.Key{0, 1, maxKey, maxKey - 1} {
+		if err := tr.Insert(k, base.Value(k)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	mustCheck(t, tr)
+	for _, k := range []base.Key{0, 1, maxKey, maxKey - 1} {
+		if v, err := tr.Search(k); err != nil || v != base.Value(k) {
+			t.Fatalf("Search(%d) = (%d,%v)", k, v, err)
+		}
+	}
+	var got []base.Key
+	_ = tr.Range(0, maxKey, func(k base.Key, _ base.Value) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 4 {
+		t.Fatalf("full scan = %v", got)
+	}
+}
+
+func TestPagedStoreTree(t *testing.T) {
+	ps, err := node.NewPagedStore(storage.NewMemStore(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 4
+	if max := node.MaxPairs(512); 2*k > max {
+		t.Fatalf("2k=%d exceeds page capacity %d", 2*k, max)
+	}
+	tr, err := New(Config{Store: ps, MinPairs: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i*3), base.Value(i)); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	mustCheck(t, tr)
+	for i := 0; i < n; i++ {
+		if v, err := tr.Search(base.Key(i * 3)); err != nil || v != base.Value(i) {
+			t.Fatalf("Search = (%d,%v)", v, err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if err := tr.Delete(base.Key(i * 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCheck(t, tr)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{MinPairs: 1}); err == nil {
+		t.Fatal("MinPairs 1 must be rejected")
+	}
+	tr, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.MinPairs() != DefaultMinPairs {
+		t.Fatalf("default k = %d", tr.MinPairs())
+	}
+}
+
+func TestClosedTree(t *testing.T) {
+	tr := newTestTree(t, 2)
+	_ = tr.Insert(1, 1)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Search(1); !errors.Is(err, base.ErrClosed) {
+		t.Fatalf("Search after close = %v", err)
+	}
+	if err := tr.Insert(2, 2); !errors.Is(err, base.ErrClosed) {
+		t.Fatalf("Insert after close = %v", err)
+	}
+	if err := tr.Delete(1); !errors.Is(err, base.ErrClosed) {
+		t.Fatalf("Delete after close = %v", err)
+	}
+	if err := tr.Range(0, 10, nil); !errors.Is(err, base.ErrClosed) {
+		t.Fatalf("Range after close = %v", err)
+	}
+}
+
+func TestAdoptExistingStore(t *testing.T) {
+	store := node.NewMemStore()
+	tr1, err := New(Config{Store: store, MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		_ = tr1.Insert(base.Key(i), base.Value(i))
+	}
+	_ = tr1.Close()
+	// A second tree over the same store adopts the existing structure.
+	tr2, err := New(Config{Store: store, MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v, err := tr2.Search(base.Key(i)); err != nil || v != base.Value(i) {
+			t.Fatalf("adopted tree lost key %d: (%d,%v)", i, v, err)
+		}
+	}
+	// Len is tracked per-Tree, so Check would flag the mismatch; verify
+	// the structural part by occupancy instead.
+	occ, err := tr2.OccupancyStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.Pairs != 100 {
+		t.Fatalf("adopted pairs = %d", occ.Pairs)
+	}
+}
+
+func TestStatsSnapshotAndReset(t *testing.T) {
+	tr := newTestTree(t, 2)
+	for i := 0; i < 64; i++ {
+		_ = tr.Insert(base.Key(i), 0)
+	}
+	_, _ = tr.Search(1)
+	_ = tr.Delete(1)
+	st := tr.Stats()
+	if st.Inserts != 64 || st.Searches != 1 || st.Deletes != 1 {
+		t.Fatalf("op counts wrong: %+v", st)
+	}
+	if st.InsertLocks.Ops != 64 {
+		t.Fatalf("insert footprint ops = %d", st.InsertLocks.Ops)
+	}
+	tr.ResetStats()
+	if st := tr.Stats(); st.Inserts != 0 || st.Splits != 0 {
+		t.Fatalf("reset failed: %+v", st)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		tr := newTestTree(t, k)
+		const n = 1000
+		for i := 0; i < n; i++ {
+			if err := tr.Insert(base.Key(i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h := tr.Height()
+		// Height is at most log_{k+1}(n) + a couple (nodes hold ≥ k
+		// after pure insertion splits... loosely bounded here).
+		if h > 12 {
+			t.Fatalf("k=%d height=%d too tall for %d keys", k, h, n)
+		}
+		mustCheck(t, tr)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	tr := newTestTree(t, 2)
+	_ = tr.Insert(1, 1)
+	s := tr.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+	var k, l, h int
+	if _, err := fmt.Sscanf(s, "blink.Tree{k=%d, len=%d, height=%d}", &k, &l, &h); err != nil {
+		t.Fatalf("unexpected String format %q: %v", s, err)
+	}
+}

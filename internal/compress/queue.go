@@ -1,0 +1,164 @@
+// Package compress implements the tree-compression processes of §5:
+// the full-scan compressor of §5.1 (procedure compress-level, Fig. 7)
+// and the queue-driven compressors of §5.4 (single process with a
+// queue, worker pool over a shared queue, or per-deletion processes).
+// Compression merges or redistributes adjacent siblings so every node
+// regains at least k pairs, locking three nodes (parent, then two
+// adjacent children) simultaneously — the lock pattern whose
+// deadlock-freedom Theorem 2 proves.
+package compress
+
+import (
+	"sync"
+
+	"blinktree/internal/base"
+	"blinktree/internal/blink"
+)
+
+// Queue is the compression queue of §5.4: a deduplicated set of
+// underfull nodes keyed by page id, drained highest-level-first (the
+// paper's footnote 17: "give priority to nodes having a higher level").
+// All methods are safe for concurrent use.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	byID   map[base.PageID]*entry
+	levels map[int][]*entry // FIFO per level; lazily compacted
+	maxLvl int
+	closed bool
+
+	offered, popped, updated, removed uint64
+}
+
+type entry struct {
+	ev       blink.UnderfullEvent
+	dequeued bool // popped or removed; still referenced from levels slice
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	q := &Queue{
+		byID:   make(map[base.PageID]*entry),
+		levels: make(map[int][]*entry),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Offer adds ev to the queue. If the node is already queued and update
+// is true, the stored high value is refreshed (callers holding the
+// node's lock have information "identical to or more recent than the
+// one stored on the queue", §5.4); with update false the existing entry
+// is left untouched (the left-neighbour requeue case, where the queued
+// information "must have been put there after the process removed A
+// and, hence, is more recent").
+func (q *Queue) Offer(ev blink.UnderfullEvent, update bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if e, ok := q.byID[ev.ID]; ok {
+		if update {
+			// The level of a node never changes; the stack need not be
+			// refreshed (§5.4).
+			e.ev.High = ev.High
+			q.updated++
+		}
+		return
+	}
+	e := &entry{ev: ev}
+	q.byID[ev.ID] = e
+	q.levels[ev.Level] = append(q.levels[ev.Level], e)
+	if ev.Level > q.maxLvl {
+		q.maxLvl = ev.Level
+	}
+	q.offered++
+	q.cond.Signal()
+}
+
+// Remove drops the queued entry for id, if any — used when a merge
+// deletes a node that was itself awaiting compression.
+func (q *Queue) Remove(id base.PageID) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.byID[id]; ok {
+		e.dequeued = true
+		delete(q.byID, id)
+		q.removed++
+	}
+}
+
+// TryPop removes and returns the highest-level entry without blocking.
+func (q *Queue) TryPop() (blink.UnderfullEvent, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popLocked()
+}
+
+// Pop blocks until an entry is available or the queue is closed.
+func (q *Queue) Pop() (blink.UnderfullEvent, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if ev, ok := q.popLocked(); ok {
+			return ev, true
+		}
+		if q.closed {
+			return blink.UnderfullEvent{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *Queue) popLocked() (blink.UnderfullEvent, bool) {
+	for lvl := q.maxLvl; lvl >= 0; lvl-- {
+		bucket := q.levels[lvl]
+		for len(bucket) > 0 {
+			e := bucket[0]
+			bucket = bucket[1:]
+			if e.dequeued {
+				continue
+			}
+			q.levels[lvl] = bucket
+			e.dequeued = true
+			delete(q.byID, e.ev.ID)
+			q.popped++
+			return e.ev, true
+		}
+		q.levels[lvl] = bucket
+	}
+	return blink.UnderfullEvent{}, false
+}
+
+// Len returns the number of queued entries.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.byID)
+}
+
+// Close wakes all blocked Pops; subsequent Offers are dropped.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// QueueStats is a snapshot of queue activity.
+type QueueStats struct {
+	Offered, Popped, Updated, Removed uint64
+	Pending                           int
+}
+
+// Stats returns the lifetime counters.
+func (q *Queue) Stats() QueueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueStats{
+		Offered: q.offered, Popped: q.popped,
+		Updated: q.updated, Removed: q.removed,
+		Pending: len(q.byID),
+	}
+}

@@ -1,0 +1,197 @@
+package compress
+
+import (
+	"fmt"
+
+	"blinktree/internal/base"
+	"blinktree/internal/locks"
+	"blinktree/internal/node"
+)
+
+// rearrangeOutcome reports what happened to one (A, B) sibling pair.
+type rearrangeOutcome int
+
+const (
+	// outcomeSkipped: neither sibling was underfull (footnote 15) or
+	// the parent's view was stale; nothing was written.
+	outcomeSkipped rearrangeOutcome = iota
+	// outcomeMerged: B's pairs moved into A and B was deleted.
+	outcomeMerged
+	// outcomeRedistributed: pairs were shifted so both hold ≥ k.
+	outcomeRedistributed
+)
+
+// rearrangeResult carries the after-images the caller needs for
+// follow-up work (requeueing an underfull parent or survivor, retiring
+// the deleted page).
+type rearrangeResult struct {
+	outcome  rearrangeOutcome
+	parent   *node.Node  // F after rewrite (nil when skipped)
+	survivor *node.Node  // A after rewrite (nil when skipped)
+	deleted  base.PageID // B's page when merged, else NilPage
+}
+
+// rearrange performs the §5.2 "rearrange A and B" step. The caller
+// holds locks (via h) on F, A and B, where A = F.Children[idx] and B is
+// A's right sibling with its pointer at F.Children[idx+1]; snapshots
+// are current. rearrange writes the three nodes in the paper's order —
+// the child that gains data first, then the parent, then the other
+// child — releasing each lock immediately after its node is rewritten,
+// and returns with all three unlocked.
+func rearrange(st node.Store, h *locks.Holder, f *node.Node, idx int, a, b *node.Node, k int) (rearrangeResult, error) {
+	unlockAll := func() {
+		h.Unlock(a.ID)
+		h.Unlock(b.ID)
+		h.Unlock(f.ID)
+	}
+
+	// Defensive staleness checks: the separator at idx must be exactly
+	// A's high value and the adjacent pointers must be A and B. The
+	// callers verify this from their own snapshots; re-verifying here
+	// keeps the invariant local.
+	if f.Children[idx] != a.ID || idx+1 >= len(f.Children) || f.Children[idx+1] != b.ID {
+		unlockAll()
+		return rearrangeResult{}, fmt.Errorf("%w: rearrange with stale parent view", base.ErrCorrupt)
+	}
+	if !f.SeparatorAfter(idx).Equal(a.High) || !a.High.Equal(b.Low) {
+		unlockAll()
+		return rearrangeResult{}, fmt.Errorf("%w: separator/high mismatch at parent %d idx %d", base.ErrCorrupt, f.ID, idx)
+	}
+
+	if a.Pairs() >= k && b.Pairs() >= k {
+		// Footnote 15: A no longer needs compression; unlock without
+		// rewriting.
+		unlockAll()
+		return rearrangeResult{outcome: outcomeSkipped}, nil
+	}
+
+	combined := a.Pairs() + b.Pairs()
+	if !a.Leaf {
+		combined++ // the separator is pulled down on an internal merge
+	}
+	if combined <= 2*k {
+		return merge(st, h, f, idx, a, b)
+	}
+	return redistribute(st, h, f, idx, a, b)
+}
+
+// merge moves all of B's pairs into A, gives A B's high value and link,
+// deletes the separator and B's pointer from F, and marks B deleted
+// with an outlink to A (§5.2 case 1 + the [4] forwarding-pointer
+// technique). Write order: A (gains data), F, B.
+func merge(st node.Store, h *locks.Holder, f *node.Node, idx int, a, b *node.Node) (rearrangeResult, error) {
+	a2 := a.Clone()
+	if a.Leaf {
+		a2.Keys = append(a2.Keys, b.Keys...)
+		a2.Vals = append(a2.Vals, b.Vals...)
+	} else {
+		// Pull the separator down between the two key runs.
+		a2.Keys = append(a2.Keys, f.Keys[idx])
+		a2.Keys = append(a2.Keys, b.Keys...)
+		a2.Children = append(a2.Children, b.Children...)
+	}
+	a2.High = b.High
+	a2.Link = b.Link
+
+	f2 := f.RemoveSeparator(idx)
+
+	b2 := &node.Node{
+		ID:      b.ID,
+		Leaf:    b.Leaf,
+		Deleted: true,
+		OutLink: a.ID,
+		Low:     b.Low,
+		High:    b.High,
+	}
+
+	if err := st.Put(a2); err != nil {
+		h.UnlockAll()
+		return rearrangeResult{}, err
+	}
+	h.Unlock(a.ID)
+	if err := st.Put(f2); err != nil {
+		h.UnlockAll()
+		return rearrangeResult{}, err
+	}
+	h.Unlock(f.ID)
+	if err := st.Put(b2); err != nil {
+		h.UnlockAll()
+		return rearrangeResult{}, err
+	}
+	h.Unlock(b.ID)
+
+	return rearrangeResult{
+		outcome:  outcomeMerged,
+		parent:   f2,
+		survivor: a2,
+		deleted:  b.ID,
+	}, nil
+}
+
+// redistribute shifts pairs between A and B so both end with at least
+// k, updating the separator in F and the adjacent bounds in A and B
+// (§5.2 case 2). Write order follows the acknowledgment's rule: the
+// child that gains data, then the parent, then the other child — which
+// confines the wrong-node hazard to the "data moved left, reader holds
+// stale B" case that the low-value check detects.
+func redistribute(st node.Store, h *locks.Holder, f *node.Node, idx int, a, b *node.Node) (rearrangeResult, error) {
+	var a2, b2 *node.Node
+	var newSep base.Key
+
+	if a.Leaf {
+		keys := append(append([]base.Key(nil), a.Keys...), b.Keys...)
+		vals := append(append([]base.Value(nil), a.Vals...), b.Vals...)
+		m := (len(keys) + 1) / 2
+		newSep = keys[m-1]
+		a2, b2 = a.Clone(), b.Clone()
+		a2.Keys, a2.Vals = keys[:m:m], vals[:m:m]
+		b2.Keys, b2.Vals = keys[m:], vals[m:]
+	} else {
+		// Combined sequence with the old separator in the middle.
+		keys := append(append([]base.Key(nil), a.Keys...), f.Keys[idx])
+		keys = append(keys, b.Keys...)
+		kids := append(append([]base.PageID(nil), a.Children...), b.Children...)
+		m := len(keys) / 2 // keys[m] becomes the new separator
+		newSep = keys[m]
+		a2, b2 = a.Clone(), b.Clone()
+		a2.Keys, a2.Children = keys[:m:m], kids[:m+1:m+1]
+		b2.Keys, b2.Children = keys[m+1:], kids[m+1:]
+	}
+	a2.High = base.FiniteBound(newSep)
+	b2.Low = base.FiniteBound(newSep)
+
+	f2 := f.Clone()
+	f2.Keys[idx] = newSep
+
+	// Who gains data? If A ends with more pairs than it had, data moved
+	// B→A (write A first); otherwise A→B (write B first).
+	aGains := a2.Pairs() > a.Pairs()
+	first, second := b2, a2
+	firstOld, secondOld := b.ID, a.ID
+	if aGains {
+		first, second = a2, b2
+		firstOld, secondOld = a.ID, b.ID
+	}
+	if err := st.Put(first); err != nil {
+		h.UnlockAll()
+		return rearrangeResult{}, err
+	}
+	h.Unlock(firstOld)
+	if err := st.Put(f2); err != nil {
+		h.UnlockAll()
+		return rearrangeResult{}, err
+	}
+	h.Unlock(f.ID)
+	if err := st.Put(second); err != nil {
+		h.UnlockAll()
+		return rearrangeResult{}, err
+	}
+	h.Unlock(secondOld)
+
+	return rearrangeResult{
+		outcome:  outcomeRedistributed,
+		parent:   f2,
+		survivor: a2,
+		deleted:  base.NilPage,
+	}, nil
+}

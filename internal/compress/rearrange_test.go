@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"blinktree/internal/base"
+	"blinktree/internal/locks"
+	"blinktree/internal/node"
+)
+
+// buildPair constructs a minimal valid parent with two adjacent leaf
+// children holding the given key counts, all registered in a store.
+func buildPair(t testing.TB, nA, nB int) (node.Store, *locks.Locker, *node.Node, *node.Node, *node.Node) {
+	st := node.NewMemStore()
+	aID, _ := st.Allocate()
+	bID, _ := st.Allocate()
+	fID, _ := st.Allocate()
+
+	a := &node.Node{ID: aID, Leaf: true, Low: base.NegInfBound(), Link: bID}
+	for i := 0; i < nA; i++ {
+		a.Keys = append(a.Keys, base.Key(i*10))
+		a.Vals = append(a.Vals, base.Value(i*10+1))
+	}
+	sep := base.Key(nA*10 + 5)
+	a.High = base.FiniteBound(sep)
+	b := &node.Node{ID: bID, Leaf: true, Low: base.FiniteBound(sep), High: base.PosInfBound()}
+	for i := 0; i < nB; i++ {
+		k := sep + base.Key(i*10+10)
+		b.Keys = append(b.Keys, k)
+		b.Vals = append(b.Vals, base.Value(k+1))
+	}
+	f := &node.Node{
+		ID: fID, Root: true,
+		Low: base.NegInfBound(), High: base.PosInfBound(),
+		Keys:     []base.Key{sep},
+		Children: []base.PageID{aID, bID},
+	}
+	for _, n := range []*node.Node{a, b, f} {
+		if err := st.Put(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, nil, f, a, b
+}
+
+// TestRearrangeProperty: for every (nA, nB) shape, rearrange either
+// skips (both ≥ k), merges (combined ≤ 2k) or redistributes, and in
+// all cases preserves the pair multiset and the bound tiling.
+func TestRearrangeProperty(t *testing.T) {
+	const k = 4
+	f := func(rawA, rawB uint8) bool {
+		nA := int(rawA % (2*k + 1)) // 0..2k
+		nB := int(rawB % (2*k + 1))
+		st, _, fn, a, b := buildPair(t, nA, nB)
+		lt := locks.NewTable()
+		h := locks.NewHolder(lt)
+		h.Lock(fn.ID)
+		h.Lock(a.ID)
+		h.Lock(b.ID)
+		res, err := rearrange(st, h, fn, 0, a, b, k)
+		if err != nil {
+			return false
+		}
+		if h.Held() != 0 {
+			return false // rearrange must release everything
+		}
+		// Collect surviving pairs.
+		pairs := map[base.Key]base.Value{}
+		collect := func(id base.PageID) bool {
+			n, err := st.Get(id)
+			if err != nil {
+				return false
+			}
+			if n.Deleted {
+				return true
+			}
+			for i, key := range n.Keys {
+				pairs[key] = n.Vals[i]
+			}
+			return true
+		}
+		if !collect(a.ID) || !collect(b.ID) {
+			return false
+		}
+		if len(pairs) != nA+nB {
+			return false
+		}
+		// Expected outcome by shape.
+		switch {
+		case nA >= k && nB >= k:
+			if res.outcome != outcomeSkipped {
+				return false
+			}
+		case nA+nB <= 2*k:
+			if res.outcome != outcomeMerged {
+				return false
+			}
+			merged, _ := st.Get(a.ID)
+			bb, _ := st.Get(b.ID)
+			if !bb.Deleted || bb.OutLink != a.ID {
+				return false
+			}
+			if merged.High.Kind != base.PosInf || merged.Link != base.NilPage {
+				return false
+			}
+			f2, _ := st.Get(fn.ID)
+			if len(f2.Children) != 1 {
+				return false
+			}
+		default:
+			if res.outcome != outcomeRedistributed {
+				return false
+			}
+			a2, _ := st.Get(a.ID)
+			b2, _ := st.Get(b.ID)
+			if a2.Pairs() < k || b2.Pairs() < k {
+				return false
+			}
+			if !a2.High.Equal(b2.Low) {
+				return false
+			}
+			f2, _ := st.Get(fn.ID)
+			if !f2.SeparatorAfter(0).Equal(a2.High) {
+				return false
+			}
+			if a2.Validate() != nil || b2.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRearrangeInternalNodes: the separator pulls down on internal
+// merges and rotates on internal redistribution.
+func TestRearrangeInternalNodes(t *testing.T) {
+	const k = 2
+	st := node.NewMemStore()
+	ids := make([]base.PageID, 10)
+	for i := range ids {
+		ids[i], _ = st.Allocate()
+	}
+	// A: keys [10], children [c0, c1]; B: keys [30, 40], children [c2..c4]
+	a := &node.Node{ID: ids[0], Low: base.NegInfBound(), High: base.FiniteBound(20), Link: ids[1],
+		Keys: []base.Key{10}, Children: []base.PageID{ids[3], ids[4]}}
+	b := &node.Node{ID: ids[1], Low: base.FiniteBound(20), High: base.PosInfBound(),
+		Keys: []base.Key{30, 40}, Children: []base.PageID{ids[5], ids[6], ids[7]}}
+	f := &node.Node{ID: ids[2], Root: true, Low: base.NegInfBound(), High: base.PosInfBound(),
+		Keys: []base.Key{20}, Children: []base.PageID{ids[0], ids[1]}}
+	for _, n := range []*node.Node{a, b, f} {
+		if err := st.Put(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lt := locks.NewTable()
+	h := locks.NewHolder(lt)
+	h.Lock(f.ID)
+	h.Lock(a.ID)
+	h.Lock(b.ID)
+	res, err := rearrange(st, h, f, 0, a, b, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 + 2 separators + pulled-down boundary = 4 ≤ 2k: merged.
+	if res.outcome != outcomeMerged {
+		t.Fatalf("outcome = %v, want merge", res.outcome)
+	}
+	merged, _ := st.Get(a.ID)
+	wantKeys := []base.Key{10, 20, 30, 40}
+	if len(merged.Keys) != 4 {
+		t.Fatalf("merged keys = %v", merged.Keys)
+	}
+	for i, wk := range wantKeys {
+		if merged.Keys[i] != wk {
+			t.Fatalf("merged keys = %v, want %v", merged.Keys, wantKeys)
+		}
+	}
+	if len(merged.Children) != 5 {
+		t.Fatalf("merged children = %v", merged.Children)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,321 @@
+package compress
+
+import (
+	"sync/atomic"
+	"time"
+
+	"blinktree/internal/base"
+	"blinktree/internal/locks"
+	"blinktree/internal/node"
+	"blinktree/internal/reclaim"
+)
+
+// Scanner is the single compression process of §5.1: it scans the
+// levels of the tree bottom-up, examining pairs of adjacent children of
+// each parent node (procedure compress-level, Fig. 7) and rearranging
+// any pair with an underfull member. It runs concurrently with
+// searches, insertions and deletions, locking three nodes at a time in
+// parent-then-children order.
+type Scanner struct {
+	st  node.Store
+	lt  locks.Locker
+	k   int
+	rec *reclaim.Reclaimer
+
+	// WaitDelay is how long to sleep when a sibling's pointer has not
+	// yet been inserted into the parent (Fig. 7: "wait & later restart
+	// the loop"). MaxWaits bounds the waiting; after that the pair is
+	// skipped and left for a later pass.
+	WaitDelay time.Duration
+	MaxWaits  int
+
+	stats ScannerStats
+}
+
+// ScannerStats counts scanner activity.
+type ScannerStats struct {
+	Merges, Redistributions, Skips, Waits, RootCollapses atomic.Uint64
+	Footprint                                            locks.FootprintStats
+}
+
+// NewScanner builds a Scanner over the tree's substrate. rec may be
+// nil (deleted pages then stay allocated, as in §4's trivial regime).
+func NewScanner(st node.Store, lt locks.Locker, minPairs int, rec *reclaim.Reclaimer) *Scanner {
+	return &Scanner{
+		st: st, lt: lt, k: minPairs, rec: rec,
+		WaitDelay: 200 * time.Microsecond,
+		MaxWaits:  50,
+	}
+}
+
+// Stats exposes the counters.
+func (s *Scanner) Stats() *ScannerStats { return &s.stats }
+
+// CompressAll runs compress-level on every level from the leaves up,
+// then collapses the root while it has a single child. One pass moves
+// each level's slack up one level; O(log n) passes fully compact a
+// degenerate tree (§5.1), which Compact provides.
+func (s *Scanner) CompressAll() error {
+	p, err := s.st.ReadPrime()
+	if err != nil {
+		return err
+	}
+	for level := 0; level < p.Levels-1; level++ {
+		if err := s.CompressLevel(level); err != nil {
+			return err
+		}
+	}
+	return s.collapseRoot()
+}
+
+// Compact runs CompressAll until a pass makes no change, fully
+// compacting a quiesced tree.
+func (s *Scanner) Compact() error {
+	for {
+		before := s.changeCount()
+		if err := s.CompressAll(); err != nil {
+			return err
+		}
+		if s.changeCount() == before {
+			return nil
+		}
+	}
+}
+
+func (s *Scanner) changeCount() uint64 {
+	return s.stats.Merges.Load() + s.stats.Redistributions.Load() + s.stats.RootCollapses.Load()
+}
+
+// CompressLevel examines every pair of adjacent children at level
+// (leaves are level 0) by walking the parents at level+1 — the
+// procedure compress-level(i) of Fig. 7.
+func (s *Scanner) CompressLevel(level int) error {
+	p, err := s.st.ReadPrime()
+	if err != nil {
+		return err
+	}
+	if level+1 >= p.Levels {
+		return nil // no parents at level+1; nothing to compress against
+	}
+	parent := p.Leftmost[level+1]
+	idx := 0
+	waits := 0
+	for parent != base.NilPage {
+		next, nextIdx, err := s.compressPair(parent, idx, &waits)
+		if err != nil {
+			return err
+		}
+		parent, idx = next, nextIdx
+	}
+	return nil
+}
+
+// compressPair handles one (parent, child-index) step and returns where
+// to continue: same parent with an advanced (or repeated) index, the
+// right neighbour parent, or NilPage when the level is finished.
+func (s *Scanner) compressPair(parentID base.PageID, idx int, waits *int) (base.PageID, int, error) {
+	if s.rec != nil {
+		g := s.rec.Enter()
+		defer s.rec.Exit(g)
+	}
+	h := locks.NewHolder(s.lt)
+	defer func() {
+		h.UnlockAll()
+		s.stats.Footprint.Record(h)
+	}()
+
+	h.Lock(parentID)
+	f, err := s.st.Get(parentID)
+	if err != nil {
+		return base.NilPage, 0, err
+	}
+	if f.Deleted {
+		// The parent was merged away while we scanned; resume from its
+		// survivor (which is to its left — positions restart at 0).
+		h.Unlock(parentID)
+		return f.OutLink, 0, nil // OutLink may be nil: level finished
+	}
+	if idx >= len(f.Children)-1 {
+		// All pairs in F processed; move to the right neighbour (Fig. 7
+		// "all pointers in F have been processed").
+		next := f.Link
+		h.Unlock(parentID)
+		return next, 0, nil
+	}
+
+	aID := f.Children[idx]
+	h.Lock(aID)
+	a, err := s.st.Get(aID)
+	if err != nil {
+		return base.NilPage, 0, err
+	}
+	if a.Deleted || !f.SeparatorBefore(idx).Equal(a.Low) {
+		// Stale view (another compressor got here first); re-read F.
+		h.Unlock(aID)
+		h.Unlock(parentID)
+		return parentID, idx, nil
+	}
+	twoID := a.Link
+	if twoID == base.NilPage {
+		// A is the rightmost node of its level: done (Fig. 7 "if two =
+		// nil then return").
+		h.Unlock(aID)
+		h.Unlock(parentID)
+		return base.NilPage, 0, nil
+	}
+	h.Lock(twoID)
+	b, err := s.st.Get(twoID)
+	if err != nil {
+		return base.NilPage, 0, err
+	}
+
+	if idx+1 < len(f.Children) && f.Children[idx+1] == twoID {
+		// "two is in F": rearrange if needed.
+		res, err := rearrange(s.st, h, f, idx, a, b, s.k)
+		if err != nil {
+			return base.NilPage, 0, err
+		}
+		*waits = 0
+		switch res.outcome {
+		case outcomeMerged:
+			s.stats.Merges.Add(1)
+			s.retire(res.deleted)
+			// A absorbed B; the pair starting at idx is now (A, A's new
+			// right sibling): examine idx again.
+			return parentID, idx, nil
+		case outcomeRedistributed:
+			s.stats.Redistributions.Add(1)
+			return parentID, idx + 1, nil
+		default:
+			s.stats.Skips.Add(1)
+			return parentID, idx + 1, nil
+		}
+	}
+
+	// "two is not in F" (§5.2): unlock all three and decide.
+	h.Unlock(twoID)
+	h.Unlock(aID)
+	h.Unlock(parentID)
+	belongsInF := !f.High.LessBound(b.High) // B's range ends within F's
+	needsWork := a.Pairs() < s.k || b.Pairs() < s.k
+	switch {
+	case belongsInF && needsWork:
+		// Case (1): wait until the pending separator insertion puts
+		// two into F, then retry the same pair.
+		s.stats.Waits.Add(1)
+		if *waits++; *waits > s.MaxWaits {
+			*waits = 0
+			return parentID, idx + 1, nil // skip; a later pass retries
+		}
+		time.Sleep(s.WaitDelay)
+		return parentID, idx, nil
+	case belongsInF:
+		// Case (2): nothing to do for this pair; move on.
+		*waits = 0
+		return parentID, idx + 1, nil
+	default:
+		// Case (3): B hangs under F's right neighbour.
+		*waits = 0
+		return f.Link, 0, nil
+	}
+}
+
+// retire hands a dead page to the reclaimer, or leaves it allocated
+// (readable, marked deleted) when no reclaimer is configured.
+func (s *Scanner) retire(id base.PageID) {
+	if s.rec != nil && id != base.NilPage {
+		s.rec.Retire(id)
+	}
+}
+
+// collapseRoot removes root levels while the root has exactly one
+// child with no right sibling, making that child the new root (§5.4).
+// The four-step write order of the paper is followed: new root first
+// (root bit on), then the prime block, then the old root is marked
+// deleted.
+func (s *Scanner) collapseRoot() error {
+	for {
+		collapsed, err := s.collapseRootOnce()
+		if err != nil || !collapsed {
+			return err
+		}
+		s.stats.RootCollapses.Add(1)
+	}
+}
+
+func (s *Scanner) collapseRootOnce() (bool, error) {
+	if s.rec != nil {
+		g := s.rec.Enter()
+		defer s.rec.Exit(g)
+	}
+	h := locks.NewHolder(s.lt)
+	defer func() {
+		h.UnlockAll()
+		s.stats.Footprint.Record(h)
+	}()
+
+	p, err := s.st.ReadPrime()
+	if err != nil {
+		return false, err
+	}
+	rootID := p.Root
+	h.Lock(rootID)
+	f, err := s.st.Get(rootID)
+	if err != nil {
+		return false, err
+	}
+	if f.Deleted || !f.Root || f.Leaf || len(f.Children) != 1 {
+		h.Unlock(rootID)
+		return false, nil
+	}
+	childID := f.Children[0]
+	h.Lock(childID)
+	a, err := s.st.Get(childID)
+	if err != nil {
+		return false, err
+	}
+	if a.Deleted || a.Link != base.NilPage {
+		// Not the only node at its level: a split is in flight; the
+		// root must stay (§5.4's link-nil check).
+		h.Unlock(childID)
+		h.Unlock(rootID)
+		return false, nil
+	}
+
+	// Step 1: rewrite the child with the root bit on.
+	a2 := a.Clone()
+	a2.Root = true
+	if err := s.st.Put(a2); err != nil {
+		return false, err
+	}
+	// Step 2: rewrite the prime block, then release the new root.
+	p2, err := s.st.ReadPrime()
+	if err != nil {
+		return false, err
+	}
+	p2 = p2.Clone()
+	p2.Root = childID
+	p2.Levels--
+	p2.Leftmost = p2.Leftmost[:p2.Levels]
+	if err := s.st.WritePrime(p2); err != nil {
+		return false, err
+	}
+	h.Unlock(childID)
+	// Steps 3–4: mark the old root deleted and release it. The outlink
+	// stays nil — the node's whole level is gone, so there is no
+	// same-level survivor to forward to; stale readers restart from the
+	// (new) prime block instead (§5.4 "the whole level is deleted").
+	f2 := &node.Node{
+		ID:      rootID,
+		Leaf:    f.Leaf,
+		Deleted: true,
+		Low:     f.Low,
+		High:    f.High,
+	}
+	if err := s.st.Put(f2); err != nil {
+		return false, err
+	}
+	h.Unlock(rootID)
+	s.retire(rootID)
+	return true, nil
+}

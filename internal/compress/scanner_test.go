@@ -1,0 +1,292 @@
+package compress
+
+import (
+	"testing"
+
+	"blinktree/internal/base"
+	"blinktree/internal/blink"
+	"blinktree/internal/locks"
+	"blinktree/internal/node"
+	"blinktree/internal/reclaim"
+)
+
+// buildTree populates a fresh tree with n sequential keys at the given
+// k and returns it plus its substrate pieces.
+func buildTree(t *testing.T, k, n int) (*blink.Tree, node.Store, locks.Locker) {
+	t.Helper()
+	st := node.NewMemStore()
+	lt := locks.NewTable()
+	tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	return tr, st, lt
+}
+
+func deleteRange(t *testing.T, tr *blink.Tree, lo, hi, step int) {
+	t.Helper()
+	for i := lo; i < hi; i += step {
+		if err := tr.Delete(base.Key(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+}
+
+func verifySurvivors(t *testing.T, tr *blink.Tree, n int, deleted func(int) bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v, err := tr.Search(base.Key(i))
+		if deleted(i) {
+			if err == nil {
+				t.Fatalf("deleted key %d still present", i)
+			}
+			continue
+		}
+		if err != nil || v != base.Value(i) {
+			t.Fatalf("survivor %d: (%d, %v)", i, v, err)
+		}
+	}
+}
+
+func TestScannerCompactRestoresOccupancy(t *testing.T) {
+	const k, n = 3, 2000
+	tr, st, lt := buildTree(t, k, n)
+	for i := 0; i < n; i++ {
+		if i%10 != 0 { // delete all but every 10th key
+			if err := tr.Delete(base.Key(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before, err := tr.OccupancyStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Underfull == 0 {
+		t.Fatal("precondition: expected underfull nodes before compression")
+	}
+
+	s := NewScanner(st, lt, k, nil)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("post-compaction invariants: %v", err)
+	}
+	after, err := tr.OccupancyStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Underfull != 0 {
+		t.Fatalf("underfull nodes after Compact: %d (occ %+v)", after.Underfull, after)
+	}
+	if after.Nodes >= before.Nodes {
+		t.Fatalf("node count did not shrink: %d -> %d", before.Nodes, after.Nodes)
+	}
+	if after.Height > before.Height {
+		t.Fatalf("height grew: %d -> %d", before.Height, after.Height)
+	}
+	if s.Stats().Merges.Load() == 0 {
+		t.Fatal("no merges recorded")
+	}
+	verifySurvivors(t, tr, n, func(i int) bool { return i%10 != 0 })
+}
+
+func TestScannerEmptiedTreeCollapsesToSingleLeaf(t *testing.T) {
+	const k, n = 2, 1000
+	tr, st, lt := buildTree(t, k, n)
+	deleteRange(t, tr, 0, n, 1)
+
+	s := NewScanner(st, lt, k, nil)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if h := tr.Height(); h != 1 {
+		t.Fatalf("height after full deletion + compaction = %d, want 1", h)
+	}
+	occ, _ := tr.OccupancyStats()
+	if occ.Nodes != 1 || occ.Pairs != 0 {
+		t.Fatalf("expected a single empty root leaf, got %+v", occ)
+	}
+	if s.Stats().RootCollapses.Load() == 0 {
+		t.Fatal("no root collapses recorded")
+	}
+}
+
+func TestScannerThreeLockMaximum(t *testing.T) {
+	const k, n = 2, 800
+	tr, st, lt := buildTree(t, k, n)
+	for i := 0; i < n; i++ {
+		if i%5 != 0 {
+			_ = tr.Delete(base.Key(i))
+		}
+	}
+	s := NewScanner(st, lt, k, nil)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	fp := s.Stats().Footprint.Snapshot()
+	if fp.MaxHeld > 3 {
+		t.Fatalf("compression held %d locks simultaneously, max is 3 (§5)", fp.MaxHeld)
+	}
+	if fp.MaxHeld < 3 {
+		t.Fatalf("compression never held 3 locks (%d) — rearrange path untested", fp.MaxHeld)
+	}
+}
+
+func TestScannerPreservesDataAcrossPatterns(t *testing.T) {
+	patterns := []struct {
+		name    string
+		deleted func(int) bool
+	}{
+		{"evens", func(i int) bool { return i%2 == 0 }},
+		{"front-block", func(i int) bool { return i < 700 }},
+		{"back-block", func(i int) bool { return i >= 300 }},
+		{"middle", func(i int) bool { return i >= 250 && i < 750 }},
+		{"sparse", func(i int) bool { return i%7 != 3 }},
+	}
+	const k, n = 3, 1000
+	for _, p := range patterns {
+		t.Run(p.name, func(t *testing.T) {
+			tr, st, lt := buildTree(t, k, n)
+			for i := 0; i < n; i++ {
+				if p.deleted(i) {
+					if err := tr.Delete(base.Key(i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			s := NewScanner(st, lt, k, nil)
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Check(); err != nil {
+				t.Fatal(err)
+			}
+			occ, _ := tr.OccupancyStats()
+			if occ.Underfull != 0 {
+				t.Fatalf("underfull after compact: %+v", occ)
+			}
+			verifySurvivors(t, tr, n, p.deleted)
+			// Range scan agrees too.
+			count := 0
+			_ = tr.Range(0, base.Key(n), func(k base.Key, v base.Value) bool {
+				if p.deleted(int(k)) || base.Value(k) != v {
+					t.Fatalf("scan returned wrong pair (%d,%d)", k, v)
+				}
+				count++
+				return true
+			})
+			want := 0
+			for i := 0; i < n; i++ {
+				if !p.deleted(i) {
+					want++
+				}
+			}
+			if count != want {
+				t.Fatalf("scan count %d, want %d", count, want)
+			}
+		})
+	}
+}
+
+func TestScannerWithReclaimerFreesPages(t *testing.T) {
+	const k, n = 2, 1500
+	st := node.NewMemStore()
+	lt := locks.NewTable()
+	rec := reclaim.New(st.Free)
+	tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: k, Reclaimer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pagesBefore := st.Pages()
+	for i := 0; i < n; i++ {
+		if i%20 != 0 {
+			if err := tr.Delete(base.Key(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := NewScanner(st, lt, k, rec)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pages() >= pagesBefore {
+		t.Fatalf("pages not reclaimed: %d -> %d", pagesBefore, st.Pages())
+	}
+	rs := rec.Stats()
+	if rs.Freed == 0 || rs.Freed != rs.Retired {
+		t.Fatalf("reclaim stats: %+v", rs)
+	}
+	verifySurvivors(t, tr, n, func(i int) bool { return i%20 != 0 })
+}
+
+func TestScannerIdempotentOnCompactTree(t *testing.T) {
+	const k, n = 3, 500
+	tr, st, lt := buildTree(t, k, n)
+	s := NewScanner(st, lt, k, nil)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	merges := s.Stats().Merges.Load()
+	redis := s.Stats().Redistributions.Load()
+	// A second pass over an already-compact tree must change nothing.
+	if err := s.CompressAll(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Merges.Load() != merges || s.Stats().Redistributions.Load() != redis {
+		t.Fatal("second pass modified a compact tree")
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScannerInternalLevels(t *testing.T) {
+	// Deep tree (k=2) so internal levels need compression too: after
+	// deleting most keys and compacting leaves, internal nodes become
+	// underfull and must merge.
+	const k, n = 2, 3000
+	tr, st, lt := buildTree(t, k, n)
+	if tr.Height() < 4 {
+		t.Fatalf("precondition: height %d too small", tr.Height())
+	}
+	for i := 0; i < n; i++ {
+		if i%50 != 0 {
+			_ = tr.Delete(base.Key(i))
+		}
+	}
+	s := NewScanner(st, lt, k, nil)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	occ, _ := tr.OccupancyStats()
+	if occ.Underfull != 0 {
+		t.Fatalf("underfull after compact: %+v", occ)
+	}
+	if occ.Height >= tr.MinPairs()+4 {
+		t.Fatalf("height %d did not shrink meaningfully", occ.Height)
+	}
+}

@@ -1,0 +1,560 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"blinktree/internal/base"
+	"blinktree/internal/baseline/lehmanyao"
+	"blinktree/internal/blink"
+	"blinktree/internal/compress"
+	"blinktree/internal/locks"
+	"blinktree/internal/node"
+	"blinktree/internal/reclaim"
+	"blinktree/internal/storage"
+	"blinktree/internal/workload"
+)
+
+// Scale shrinks or grows experiment sizes. 1.0 is the full run used for
+// EXPERIMENTS.md; smaller values keep smoke runs fast.
+type Scale float64
+
+func (s Scale) n(full int) int {
+	v := int(float64(full) * float64(s))
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// E1Throughput measures mixed-workload throughput per implementation
+// and worker count — the paper's overall "higher degree of concurrency"
+// claim (§1). On a single-CPU host the separation comes from blocking
+// behaviour under contention rather than parallel speedup.
+func E1Throughput(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E1: throughput (ops/s) by implementation and goroutines, balanced mix",
+		Headers: []string{"impl", "1", "4", "16", "64"},
+		Notes:   []string{"balanced mix 50/25/25, uniform keys, preload " + fmt.Sprint(s.n(50000))},
+	}
+	for _, kind := range AllKinds {
+		row := []any{string(kind)}
+		for _, workers := range []int{1, 4, 16, 64} {
+			res, err := Run(RunConfig{
+				Kind: kind, K: 16, Workers: workers,
+				OpsPerWorker: s.n(200000) / workers,
+				Preload:      s.n(50000), KeySpace: 1 << 18,
+				Mix: workload.Balanced, Seed: 1,
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.0f", res.Throughput))
+		}
+		tbl.Add(row...)
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// E1DiskThroughput is E1 in the paper's actual regime: nodes are pages
+// of simulated secondary storage (fixed per-I/O latency), so lock hold
+// time spans I/O and the cost of holding 2–3 locks across the upward
+// pass (Lehman–Yao) versus 1 (Sagiv) becomes visible even on one CPU —
+// sleeping goroutines overlap, exactly like outstanding disk requests.
+func E1DiskThroughput(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E1b: concurrent sequential inserts on simulated-disk pages (1ms/IO)",
+		Headers: []string{"impl/keys", "w=1", "w=4", "w=16"},
+		Notes: []string{
+			"uniform: scattered keys, realistic contention; hotspot: interleaved ascending",
+			"keys so every inserter fights over the rightmost path (split every ~4 inserts,",
+			"k=4) — the adversarial case where Lehman–Yao's held-across-IO coupling pins",
+			"its chain position while Sagiv's release-and-rechase loses ground",
+		},
+	}
+	const ioLat = time.Millisecond // honest: Linux timer granularity rounds sub-ms sleeps up anyway
+	totalOps := s.n(2400)
+	if totalOps < 200 {
+		totalOps = 200
+	}
+	for _, shape := range []string{"uniform", "hotspot"} {
+		for _, kindName := range []string{"sagiv", "lehmanyao"} {
+			row := []any{kindName + "/" + shape}
+			for _, workers := range []int{1, 4, 16} {
+				tput, err := e1bCell(kindName, shape, workers, totalOps, ioLat)
+				if err != nil {
+					return err
+				}
+				row = append(row, fmt.Sprintf("%.0f", tput))
+			}
+			tbl.Add(row...)
+		}
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// e1bCell runs one E1b cell: workers goroutines inserting totalOps keys
+// into a fresh paged tree with per-I/O latency ioLat. shape "hotspot"
+// uses interleaved ascending keys (everyone fights over the rightmost
+// path); "uniform" scatters keys so contention is realistic.
+func e1bCell(kindName, shape string, workers, totalOps int, ioLat time.Duration) (float64, error) {
+	mem := storage.NewMemStore(1024)
+	lat := storage.NewLatency(mem, ioLat, ioLat)
+	st, err := node.NewPagedStore(lat)
+	if err != nil {
+		return 0, err
+	}
+	var tree base.Tree
+	if kindName == "sagiv" {
+		tr, err := blink.New(blink.Config{Store: st, MinPairs: 4})
+		if err != nil {
+			return 0, err
+		}
+		tree = tr
+	} else {
+		tr, err := lehmanyao.New(lehmanyao.Config{Store: st, MinPairs: 4})
+		if err != nil {
+			return 0, err
+		}
+		tree = tr
+	}
+	opsPer := totalOps / workers
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				var k base.Key
+				if shape == "hotspot" {
+					// Worker wk inserts keys wk, wk+W, wk+2W, ... — all
+					// interleave into the same rightmost leaves.
+					k = base.Key(i*workers + wk)
+				} else {
+					// Golden-ratio scatter: unique key per (wk, i),
+					// spread over the space.
+					k = base.Key((uint64(i*workers+wk) * 11400714819323198485) >> 16)
+				}
+				if err := tree.Insert(k, 0); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return float64(opsPer*workers) / time.Since(start).Seconds(), nil
+}
+
+// E2LockFootprint measures the locks held simultaneously per update —
+// the paper's headline claim: Sagiv 1, Lehman–Yao ≤ 3, coupling ≥ 2.
+func E2LockFootprint(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E2: locks held simultaneously per operation (insert-heavy, 8 goroutines)",
+		Headers: []string{"impl", "insert max", "insert mean-of-max", "delete max", "search max"},
+		Notes: []string{
+			"paper claim: Sagiv insertion locks ONE node at any time (abstract, §3);",
+			"Lehman–Yao locks 2-3 moving up; lock coupling locks ≥2 everywhere incl. reads",
+		},
+	}
+	for _, kind := range []Kind{KindSagiv, KindLehmanYao, KindLockCoupling} {
+		res, err := Run(RunConfig{
+			Kind: kind, K: 4, Workers: 8,
+			OpsPerWorker: s.n(40000),
+			Preload:      s.n(2000), KeySpace: 1 << 16,
+			Mix: workload.Mix{SearchPct: 10, InsertPct: 70, DeletePct: 20}, Seed: 2,
+		})
+		if err != nil {
+			return err
+		}
+		searchMax := "0 (lock-free)"
+		if res.SearchMaxLocks > 0 {
+			searchMax = fmt.Sprint(res.SearchMaxLocks)
+		}
+		tbl.Add(string(kind), res.InsertMaxLocks, fmt.Sprintf("%.3f", res.MeanInsertLocks), res.DeleteMaxLocks, searchMax)
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// E3Compression measures space and height recovery after mass
+// deletion: none (the [8] regime), queue compression, and full
+// compaction (§1, §5.1).
+func E3Compression(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E3: occupancy after deleting 90% of keys (k=8)",
+		Headers: []string{"regime", "nodes", "height", "underfull", "mean fill", "pages freed"},
+		Notes:   []string{"paper claim: compression restores ≥ half-full nodes and minimal height (§5.1)"},
+	}
+	n := s.n(200000)
+
+	type regime struct {
+		name string
+		run  func() (*blink.Tree, node.Store, *reclaim.Reclaimer, error)
+	}
+	build := func(compressed bool, compact bool) (*blink.Tree, node.Store, *reclaim.Reclaimer, error) {
+		st := node.NewMemStore()
+		lt := locks.NewTable()
+		rec := reclaim.New(st.Free)
+		tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 8, Reclaimer: rec})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var comp *compress.Compressor
+		if compressed {
+			comp = compress.NewCompressor(st, lt, 8, rec)
+			comp.Attach(tr)
+		}
+		for i := 0; i < n; i++ {
+			if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		for i := 0; i < n; i++ {
+			if i%10 != 0 {
+				if err := tr.Delete(base.Key(i)); err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+		if compressed {
+			if err := comp.DrainOnce(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		if compact {
+			sc := compress.NewScanner(st, lt, 8, rec)
+			if err := sc.Compact(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		if _, err := rec.Collect(); err != nil {
+			return nil, nil, nil, err
+		}
+		return tr, st, rec, nil
+	}
+	regimes := []regime{
+		{"none (Lehman-Yao [8])", func() (*blink.Tree, node.Store, *reclaim.Reclaimer, error) { return build(false, false) }},
+		{"queue compressors (§5.4)", func() (*blink.Tree, node.Store, *reclaim.Reclaimer, error) { return build(true, false) }},
+		{"queue + full compaction (§5.1)", func() (*blink.Tree, node.Store, *reclaim.Reclaimer, error) { return build(true, true) }},
+	}
+	for _, r := range regimes {
+		tr, _, rec, err := r.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		occ, err := tr.OccupancyStats()
+		if err != nil {
+			return err
+		}
+		rs := rec.Stats()
+		tbl.Add(r.name, occ.Nodes, occ.Height, occ.Underfull,
+			fmt.Sprintf("%.2f", occ.MeanFill), rs.Freed)
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// E4RestartRate measures how often searches restart while compression
+// churns — the paper's bet that restarts beat universal lock coupling
+// (§1, §5.2), plus the backtrack-vs-root ablation.
+func E4RestartRate(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E4: wrong-node restarts under concurrent compression",
+		Headers: []string{"restart policy", "searches", "restarts", "restarts/op", "link hops/op"},
+		Notes:   []string{"paper claim: 'the problem occurs infrequently' (§1) — restarts/op should be ≪ 1"},
+	}
+	for _, pol := range []struct {
+		name string
+		p    blink.RestartPolicy
+	}{{"backtrack (§5.2 opt)", blink.RestartBacktrack}, {"from-root", blink.RestartFromRoot}} {
+		st := node.NewMemStore()
+		lt := locks.NewTable()
+		rec := reclaim.New(st.Free)
+		tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 4, Reclaimer: rec, Restart: pol.p})
+		if err != nil {
+			return err
+		}
+		comp := compress.NewCompressor(st, lt, 4, rec)
+		comp.Attach(tr)
+		n := s.n(100000)
+		for i := 0; i < n; i++ {
+			if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+				return err
+			}
+		}
+		comp.Start(2)
+		done := make(chan error, 1)
+		go func() {
+			for i := 0; i < n; i++ {
+				if i%4 != 0 {
+					if err := tr.Delete(base.Key(i)); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+		searches := s.n(200000)
+		for i := 0; i < searches; i++ {
+			k := base.Key((i * 2654435761) % n)
+			if _, err := tr.Search(k); err != nil && err != base.ErrNotFound {
+				return err
+			}
+		}
+		if err := <-done; err != nil {
+			return err
+		}
+		comp.Stop()
+		stats := tr.Stats()
+		ops := float64(stats.Searches + stats.Deletes + stats.Inserts)
+		tbl.Add(pol.name, stats.Searches, stats.Restarts,
+			fmt.Sprintf("%.5f", float64(stats.Restarts)/ops),
+			fmt.Sprintf("%.4f", float64(stats.LinkHops)/ops))
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// E5Compressors measures delete-heavy throughput and residual
+// underfull nodes as the number of compressor workers varies — §5.4's
+// "dynamically change the number of compression processes".
+func E5Compressors(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E5: compressor scaling on a delete-heavy mix (4 mutator goroutines)",
+		Headers: []string{"compressors", "ops/s", "underfull after", "queue left", "merges"},
+		Notes:   []string{"paper: any number of compression processes may run concurrently (Thm 2)"},
+	}
+	for _, nComp := range []int{0, 1, 2, 4, 8} {
+		st := node.NewMemStore()
+		lt := locks.NewTable()
+		rec := reclaim.New(st.Free)
+		tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 8, Reclaimer: rec})
+		if err != nil {
+			return err
+		}
+		var comp *compress.Compressor
+		if nComp > 0 {
+			comp = compress.NewCompressor(st, lt, 8, rec)
+			comp.Attach(tr)
+			comp.Start(nComp)
+		}
+		n := s.n(100000)
+		for i := 0; i < n; i++ {
+			if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		var total uint64
+		errCh := make(chan error, 4)
+		doneCh := make(chan uint64, 4)
+		for wkr := 0; wkr < 4; wkr++ {
+			go func(wkr int) {
+				gen, err := workload.NewGenerator(int64(wkr), workload.Uniform{N: uint64(n)}, workload.DeleteHeavy)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				ops := uint64(0)
+				for i := 0; i < s.n(50000); i++ {
+					if _, err := workload.Apply(tr, gen.Next()); err != nil {
+						errCh <- err
+						return
+					}
+					ops++
+				}
+				doneCh <- ops
+			}(wkr)
+		}
+		for i := 0; i < 4; i++ {
+			select {
+			case err := <-errCh:
+				return err
+			case ops := <-doneCh:
+				total += ops
+			}
+		}
+		elapsed := time.Since(start)
+		queueLeft, merges := 0, uint64(0)
+		if comp != nil {
+			queueLeft = comp.Queue().Len()
+			merges = comp.Stats().Merges.Load()
+			comp.Stop()
+		}
+		occ, err := tr.OccupancyStats()
+		if err != nil {
+			return err
+		}
+		tbl.Add(nComp, fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+			occ.Underfull, queueLeft, merges)
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// E6Deadlock stresses the Theorem 2 lock pattern — inserts, deletes and
+// compressors together — under a watchdog: if anything deadlocks, the
+// run never finishes; the table reports the lock high-water marks.
+func E6Deadlock(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E6: deadlock-freedom stress (Theorem 2)",
+		Headers: []string{"ops completed", "tree max locks", "compressor max locks", "watchdog"},
+	}
+	st := node.NewMemStore()
+	lt := locks.NewTable()
+	rec := reclaim.New(st.Free)
+	tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 2, Reclaimer: rec})
+	if err != nil {
+		return err
+	}
+	comp := compress.NewCompressor(st, lt, 2, rec)
+	comp.Attach(tr)
+	comp.Start(4)
+
+	const workers = 8
+	opsPer := s.n(30000)
+	finished := make(chan struct{})
+	errCh := make(chan error, workers)
+	go func() {
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < workers; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				gen, err := workload.NewGenerator(int64(wkr)*31, workload.Uniform{N: 5000}, workload.WriteOnly)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i := 0; i < opsPer; i++ {
+					if _, err := workload.Apply(tr, gen.Next()); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(wkr)
+		}
+		wg.Wait()
+		close(finished)
+	}()
+	watchdog := time.After(5 * time.Minute)
+	select {
+	case <-finished:
+	case err := <-errCh:
+		return err
+	case <-watchdog:
+		return fmt.Errorf("E6: watchdog fired — possible deadlock")
+	}
+	comp.Stop()
+	stats := tr.Stats()
+	fp := comp.Stats().Footprint.Snapshot()
+	maxTree := stats.InsertLocks.MaxHeld
+	if stats.DeleteLocks.MaxHeld > maxTree {
+		maxTree = stats.DeleteLocks.MaxHeld
+	}
+	tbl.Add(workers*opsPer, maxTree, fp.MaxHeld, "passed")
+	tbl.Notes = append(tbl.Notes, "updates ≤ 1 lock, compression ≤ 3 locks: the Theorem 2 acyclicity conditions")
+	tbl.Render(w)
+	return tr.Check()
+}
+
+// E7LinkChase measures how often searches traverse right links — the
+// price of the B-link design the paper argues is "more than compensated"
+// by lock avoidance (§1).
+func E7LinkChase(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E7: link chases per search vs insert pressure (8 goroutines)",
+		Headers: []string{"mix", "searches", "link hops", "hops/op", "restarts"},
+	}
+	for _, mx := range []struct {
+		name string
+		mix  workload.Mix
+	}{
+		{"read-only", workload.ReadOnly},
+		{"read-mostly", workload.ReadMostly},
+		{"balanced", workload.Balanced},
+		{"insert-heavy", workload.InsertHeavy},
+	} {
+		res, err := Run(RunConfig{
+			Kind: KindSagiv, K: 4, Workers: 8,
+			OpsPerWorker: s.n(50000),
+			Preload:      s.n(20000), KeySpace: 1 << 17,
+			Mix: mx.mix, Seed: 7,
+		})
+		if err != nil {
+			return err
+		}
+		tbl.Add(mx.name, res.Searches, res.LinkHops,
+			fmt.Sprintf("%.4f", float64(res.LinkHops)/float64(res.Ops)), res.Restarts)
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// E8Reclamation measures retired/freed page flow under churn with
+// periodic Collects (§5.3).
+func E8Reclamation(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E8: deleted-page reclamation under churn (§5.3)",
+		Headers: []string{"phase", "pages", "retired", "freed", "limbo"},
+	}
+	st := node.NewMemStore()
+	lt := locks.NewTable()
+	rec := reclaim.New(st.Free)
+	tr, err := blink.New(blink.Config{Store: st, Locks: lt, MinPairs: 4, Reclaimer: rec})
+	if err != nil {
+		return err
+	}
+	comp := compress.NewCompressor(st, lt, 4, rec)
+	comp.Attach(tr)
+	n := s.n(100000)
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			return err
+		}
+	}
+	snap := func(phase string) {
+		rs := rec.Stats()
+		tbl.Add(phase, st.Pages(), rs.Retired, rs.Freed, rs.Limbo)
+	}
+	snap("after load")
+	for i := 0; i < n; i++ {
+		if i%10 != 0 {
+			if err := tr.Delete(base.Key(i)); err != nil {
+				return err
+			}
+		}
+	}
+	snap("after 90% deletes")
+	if err := comp.DrainOnce(); err != nil {
+		return err
+	}
+	snap("after compression (no collect)")
+	if _, err := rec.Collect(); err != nil {
+		return err
+	}
+	snap("after collect")
+	sc := compress.NewScanner(st, lt, 4, rec)
+	if err := sc.Compact(); err != nil {
+		return err
+	}
+	if _, err := rec.Collect(); err != nil {
+		return err
+	}
+	snap("after full compaction + collect")
+	tbl.Render(w)
+	return nil
+}

@@ -1,0 +1,108 @@
+// Package locks implements the lock substrate of the paper's model
+// (§2.2): a single lock type per node that excludes other lockers but
+// not readers. It also provides
+//
+//   - Holder: per-operation accounting of how many locks are held
+//     simultaneously, which is the unit of the paper's headline claim
+//     (Sagiv insertions hold 1, Lehman–Yao up to 3, lock coupling ≥ 2);
+//   - RWTable: read/write locks for the lock-coupling baseline;
+//   - Detector: a wait-for-graph deadlock detector used as a test oracle
+//     for Theorem 2's deadlock-freedom proof.
+package locks
+
+import (
+	"sync"
+
+	"blinktree/internal/base"
+)
+
+// Locker is a per-page mutual-exclusion service. Lock blocks until the
+// page lock is available. Locks are not reentrant.
+type Locker interface {
+	Lock(id base.PageID)
+	Unlock(id base.PageID)
+}
+
+const tableShards = 64
+
+// Table is the standard Locker: a sharded map of per-page mutexes.
+// Entries persist once created; the per-page footprint is one mutex.
+type Table struct {
+	shards [tableShards]tableShard
+}
+
+type tableShard struct {
+	mu sync.Mutex
+	m  map[base.PageID]*sync.Mutex
+}
+
+// NewTable returns an empty lock table.
+func NewTable() *Table {
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[base.PageID]*sync.Mutex)
+	}
+	return t
+}
+
+func (t *Table) mutexFor(id base.PageID) *sync.Mutex {
+	s := &t.shards[id%tableShards]
+	s.mu.Lock()
+	m, ok := s.m[id]
+	if !ok {
+		m = &sync.Mutex{}
+		s.m[id] = m
+	}
+	s.mu.Unlock()
+	return m
+}
+
+// Lock implements Locker.
+func (t *Table) Lock(id base.PageID) { t.mutexFor(id).Lock() }
+
+// Unlock implements Locker.
+func (t *Table) Unlock(id base.PageID) { t.mutexFor(id).Unlock() }
+
+// RWTable provides per-page read/write locks for algorithms (the
+// lock-coupling baseline) that, unlike the paper's, make readers lock.
+type RWTable struct {
+	shards [tableShards]rwShard
+}
+
+type rwShard struct {
+	mu sync.Mutex
+	m  map[base.PageID]*sync.RWMutex
+}
+
+// NewRWTable returns an empty read/write lock table.
+func NewRWTable() *RWTable {
+	t := &RWTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[base.PageID]*sync.RWMutex)
+	}
+	return t
+}
+
+func (t *RWTable) mutexFor(id base.PageID) *sync.RWMutex {
+	s := &t.shards[id%tableShards]
+	s.mu.Lock()
+	m, ok := s.m[id]
+	if !ok {
+		m = &sync.RWMutex{}
+		s.m[id] = m
+	}
+	s.mu.Unlock()
+	return m
+}
+
+// RLock takes the page lock in shared mode.
+func (t *RWTable) RLock(id base.PageID) { t.mutexFor(id).RLock() }
+
+// RUnlock releases a shared hold.
+func (t *RWTable) RUnlock(id base.PageID) { t.mutexFor(id).RUnlock() }
+
+// Lock takes the page lock exclusively.
+func (t *RWTable) Lock(id base.PageID) { t.mutexFor(id).Lock() }
+
+// Unlock releases an exclusive hold.
+func (t *RWTable) Unlock(id base.PageID) { t.mutexFor(id).Unlock() }

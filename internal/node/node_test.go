@@ -1,0 +1,350 @@
+package node
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blinktree/internal/base"
+)
+
+func leafNode(id base.PageID, keys ...base.Key) *Node {
+	n := &Node{ID: id, Leaf: true, High: base.PosInfBound()}
+	for _, k := range keys {
+		n.Keys = append(n.Keys, k)
+		n.Vals = append(n.Vals, base.Value(k*10))
+	}
+	if len(keys) > 0 {
+		n.High = base.FiniteBound(keys[len(keys)-1])
+	}
+	return n
+}
+
+func TestCoversAndNext(t *testing.T) {
+	n := &Node{
+		ID:       1,
+		Low:      base.FiniteBound(10),
+		High:     base.FiniteBound(40),
+		Link:     9,
+		Keys:     []base.Key{20, 30},
+		Children: []base.PageID{2, 3, 4},
+	}
+	if n.Covers(10) {
+		t.Fatal("low bound is exclusive")
+	}
+	if !n.Covers(11) || !n.Covers(40) {
+		t.Fatal("range (10,40] must cover 11 and 40")
+	}
+	if n.Covers(41) {
+		t.Fatal("high bound is inclusive upper limit")
+	}
+
+	tests := []struct {
+		k    base.Key
+		want base.PageID
+		link bool
+	}{
+		{11, 2, false}, {20, 2, false},
+		{21, 3, false}, {30, 3, false},
+		{31, 4, false}, {40, 4, false},
+		{41, 9, true}, {100, 9, true},
+	}
+	for _, tt := range tests {
+		got, link := n.Next(tt.k)
+		if got != tt.want || link != tt.link {
+			t.Errorf("Next(%d) = (%d,%v), want (%d,%v)", tt.k, got, link, tt.want, tt.link)
+		}
+	}
+}
+
+func TestLeafFindInsertDelete(t *testing.T) {
+	n := leafNode(1, 10, 20, 30)
+	if v, ok := n.LeafFind(20); !ok || v != 200 {
+		t.Fatalf("LeafFind(20) = (%d,%v)", v, ok)
+	}
+	if _, ok := n.LeafFind(25); ok {
+		t.Fatal("LeafFind(25) found a missing key")
+	}
+
+	n2 := n.InsertLeafPair(25, 250)
+	if got := n2.Keys; len(got) != 4 || got[0] != 10 || got[1] != 20 || got[2] != 25 || got[3] != 30 {
+		t.Fatalf("keys after insert: %v", got)
+	}
+	if v, _ := n2.LeafFind(25); v != 250 {
+		t.Fatal("inserted value lost")
+	}
+	// Original must be untouched (immutability contract).
+	if len(n.Keys) != 3 {
+		t.Fatal("InsertLeafPair mutated the receiver")
+	}
+
+	n3 := n2.DeleteLeafPair(20)
+	if n3 == nil || len(n3.Keys) != 3 {
+		t.Fatalf("delete failed: %v", n3)
+	}
+	if _, ok := n3.LeafFind(20); ok {
+		t.Fatal("deleted key still found")
+	}
+	if n2.DeleteLeafPair(99) != nil {
+		t.Fatal("delete of absent key must return nil")
+	}
+}
+
+func TestInsertSeparator(t *testing.T) {
+	n := &Node{
+		ID:       1,
+		High:     base.PosInfBound(),
+		Keys:     []base.Key{20, 40},
+		Children: []base.PageID{2, 3, 4},
+	}
+	n2, err := n.InsertSeparator(30, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := []base.Key{20, 30, 40}
+	wantKids := []base.PageID{2, 3, 99, 4}
+	for i, k := range wantKeys {
+		if n2.Keys[i] != k {
+			t.Fatalf("keys = %v, want %v", n2.Keys, wantKeys)
+		}
+	}
+	for i, c := range wantKids {
+		if n2.Children[i] != c {
+			t.Fatalf("children = %v, want %v", n2.Children, wantKids)
+		}
+	}
+	if _, err := n2.InsertSeparator(30, 7); err == nil {
+		t.Fatal("duplicate separator must error")
+	}
+	// Separator beyond every key lands at the end.
+	n3, err := n.InsertSeparator(50, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n3.Keys[2] != 50 || n3.Children[3] != 77 {
+		t.Fatalf("tail insert wrong: keys=%v children=%v", n3.Keys, n3.Children)
+	}
+}
+
+func TestRemoveSeparator(t *testing.T) {
+	n := &Node{
+		ID:       1,
+		High:     base.PosInfBound(),
+		Keys:     []base.Key{20, 30, 40},
+		Children: []base.PageID{2, 3, 4, 5},
+	}
+	n2 := n.RemoveSeparator(1) // removes key 30 and child 4
+	if len(n2.Keys) != 2 || n2.Keys[0] != 20 || n2.Keys[1] != 40 {
+		t.Fatalf("keys = %v", n2.Keys)
+	}
+	if len(n2.Children) != 3 || n2.Children[0] != 2 || n2.Children[1] != 3 || n2.Children[2] != 5 {
+		t.Fatalf("children = %v", n2.Children)
+	}
+}
+
+func TestSplitLeaf(t *testing.T) {
+	n := leafNode(1, 10, 20, 30, 40, 50)
+	n.High = base.PosInfBound()
+	n.Link = base.NilPage
+	n.Root = true
+	left, right, sep := n.Split(2)
+
+	if sep != 30 {
+		t.Fatalf("sep = %d, want 30 (left keeps ceil half)", sep)
+	}
+	if len(left.Keys) != 3 || len(right.Keys) != 2 {
+		t.Fatalf("split sizes %d/%d", len(left.Keys), len(right.Keys))
+	}
+	if !left.High.Equal(base.FiniteBound(30)) || left.Link != 2 {
+		t.Fatalf("left high/link wrong: %v", left)
+	}
+	if !right.Low.Equal(base.FiniteBound(30)) || right.High.Kind != base.PosInf || right.Link != base.NilPage {
+		t.Fatalf("right bounds wrong: %v", right)
+	}
+	if left.Root {
+		t.Fatal("split node kept root bit")
+	}
+	// B gets A's high value and link (Fig. 3); values travel with keys.
+	if v, ok := right.LeafFind(50); !ok || v != 500 {
+		t.Fatal("right half lost a value")
+	}
+	if err := left.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitInternal(t *testing.T) {
+	n := &Node{
+		ID:       1,
+		Low:      base.NegInfBound(),
+		High:     base.FiniteBound(100),
+		Link:     7,
+		Keys:     []base.Key{10, 20, 30, 40, 50},
+		Children: []base.PageID{11, 12, 13, 14, 15, 16},
+	}
+	left, right, sep := n.Split(2)
+	if sep != 30 {
+		t.Fatalf("sep = %d, want middle key 30", sep)
+	}
+	// The separator moves up exclusively: in neither half's keys.
+	for _, k := range append(append([]base.Key{}, left.Keys...), right.Keys...) {
+		if k == 30 {
+			t.Fatal("separator retained in a half")
+		}
+	}
+	if len(left.Keys) != 2 || len(left.Children) != 3 {
+		t.Fatalf("left shape %d/%d", len(left.Keys), len(left.Children))
+	}
+	if len(right.Keys) != 2 || len(right.Children) != 3 {
+		t.Fatalf("right shape %d/%d", len(right.Keys), len(right.Children))
+	}
+	if left.Children[2] != 13 || right.Children[0] != 14 {
+		t.Fatal("children mispartitioned around separator")
+	}
+	if !left.High.Equal(base.FiniteBound(30)) || !right.Low.Equal(base.FiniteBound(30)) {
+		t.Fatal("bounds not set to separator")
+	}
+	if !right.High.Equal(base.FiniteBound(100)) || right.Link != 7 {
+		t.Fatal("right must inherit old high and link")
+	}
+	if err := left.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splitting a random leaf preserves the multiset of pairs and
+// the coverage partition.
+func TestSplitLeafProperty(t *testing.T) {
+	f := func(raw []uint64) bool {
+		// Build a sorted, deduped leaf with 2..64 keys.
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		seen := map[base.Key]bool{}
+		n := &Node{ID: 1, Leaf: true, High: base.PosInfBound(), Link: 5}
+		for _, r := range raw {
+			k := base.Key(r % 100000)
+			if !seen[k] {
+				seen[k] = true
+				n.Keys = append(n.Keys, k)
+			}
+		}
+		if len(n.Keys) < 2 {
+			return true
+		}
+		sortKeys(n.Keys)
+		n.Vals = make([]base.Value, len(n.Keys))
+		for i, k := range n.Keys {
+			n.Vals[i] = base.Value(k + 1)
+		}
+		left, right, sep := n.Split(2)
+		if left.Validate() != nil || right.Validate() != nil {
+			return false
+		}
+		if !left.High.Equal(base.FiniteBound(sep)) || !right.Low.Equal(base.FiniteBound(sep)) {
+			return false
+		}
+		if left.Keys[len(left.Keys)-1] != sep {
+			return false // leaf split keeps separator as left's max key
+		}
+		// Pair preservation.
+		got := map[base.Key]base.Value{}
+		for i, k := range left.Keys {
+			got[k] = left.Vals[i]
+		}
+		for i, k := range right.Keys {
+			got[k] = right.Vals[i]
+		}
+		if len(got) != len(n.Keys) {
+			return false
+		}
+		for i, k := range n.Keys {
+			if got[k] != n.Vals[i] {
+				return false
+			}
+		}
+		// Balance: both halves ≥ floor(n/2) ≥ 1.
+		return len(left.Keys) >= len(n.Keys)/2 && len(right.Keys) >= len(n.Keys)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortKeys(ks []base.Key) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && ks[j-1] > ks[j]; j-- {
+			ks[j-1], ks[j] = ks[j], ks[j-1]
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		n    *Node
+	}{
+		{"keys out of order", &Node{ID: 1, Leaf: true, High: base.PosInfBound(), Keys: []base.Key{2, 1}, Vals: []base.Value{0, 0}}},
+		{"dup keys", &Node{ID: 1, Leaf: true, High: base.PosInfBound(), Keys: []base.Key{2, 2}, Vals: []base.Value{0, 0}}},
+		{"key below low", &Node{ID: 1, Leaf: true, Low: base.FiniteBound(5), High: base.PosInfBound(), Keys: []base.Key{5}, Vals: []base.Value{0}}},
+		{"key above high", &Node{ID: 1, Leaf: true, High: base.FiniteBound(3), Keys: []base.Key{4}, Vals: []base.Value{0}}},
+		{"val count", &Node{ID: 1, Leaf: true, High: base.PosInfBound(), Keys: []base.Key{1}, Vals: nil}},
+		{"child count", &Node{ID: 1, High: base.PosInfBound(), Keys: []base.Key{1}, Children: []base.PageID{2}}},
+		{"high below low", &Node{ID: 1, Leaf: true, Low: base.FiniteBound(9), High: base.FiniteBound(3)}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.n.Validate(); err == nil {
+				t.Fatalf("Validate accepted corrupt node %v", tt.n)
+			}
+		})
+	}
+	good := leafNode(1, 1, 2, 3)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected a good node: %v", err)
+	}
+}
+
+func TestSeparatorBounds(t *testing.T) {
+	n := &Node{
+		ID:       1,
+		Low:      base.FiniteBound(5),
+		High:     base.FiniteBound(50),
+		Keys:     []base.Key{10, 20},
+		Children: []base.PageID{2, 3, 4},
+	}
+	if !n.SeparatorBefore(0).Equal(base.FiniteBound(5)) {
+		t.Fatal("first child opens at Low")
+	}
+	if !n.SeparatorAfter(0).Equal(base.FiniteBound(10)) || !n.SeparatorBefore(1).Equal(base.FiniteBound(10)) {
+		t.Fatal("middle separators wrong")
+	}
+	if !n.SeparatorAfter(2).Equal(base.FiniteBound(50)) {
+		t.Fatal("last child closes at High")
+	}
+	if n.FindChild(3) != 1 || n.FindChild(99) != -1 {
+		t.Fatal("FindChild wrong")
+	}
+}
+
+func TestMaxKeyUsable(t *testing.T) {
+	// The full key space including MaxUint64 must be storable because
+	// infinities are out-of-band.
+	n := leafNode(1, base.Key(math.MaxUint64))
+	n.High = base.PosInfBound()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Covers(base.Key(math.MaxUint64)) {
+		t.Fatal("max key not covered under +inf high")
+	}
+}

@@ -1,0 +1,180 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blinktree/internal/base"
+)
+
+// Store provides the paper's get/put model over Nodes (§2.2): Get and
+// Put of a single page are indivisible, Get never blocks (not even on a
+// locked node — locks live in a separate table), and a Get concurrent
+// with a Put returns a complete before- or after-image.
+//
+// Nodes returned by Get are immutable snapshots and must not be
+// modified; Put publishes a new snapshot for the page named by n.ID.
+type Store interface {
+	// Get returns the current snapshot of the page.
+	Get(id base.PageID) (*Node, error)
+	// Put atomically replaces the snapshot of page n.ID.
+	Put(n *Node) error
+	// Allocate reserves a fresh page id.
+	Allocate() (base.PageID, error)
+	// Free returns a page to the allocator.
+	Free(id base.PageID) error
+	// ReadPrime returns the current prime block.
+	ReadPrime() (Prime, error)
+	// WritePrime atomically replaces the prime block.
+	WritePrime(Prime) error
+	// Pages returns the number of allocated node pages.
+	Pages() int
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore keeps node snapshots in memory behind atomic pointers. It is
+// the fastest substrate and the reference implementation of the
+// indivisibility contract: Put is a single pointer swap.
+type MemStore struct {
+	mu     sync.RWMutex // guards growth of slots
+	slots  []*slot
+	free   []base.PageID
+	prime  atomic.Pointer[Prime]
+	closed atomic.Bool
+
+	gets, puts atomic.Uint64
+}
+
+type slot struct {
+	n atomic.Pointer[Node] // nil when the page is unallocated
+}
+
+// NewMemStore returns an empty in-memory node store with an empty prime
+// block (no root).
+func NewMemStore() *MemStore {
+	s := &MemStore{}
+	s.prime.Store(&Prime{})
+	return s
+}
+
+func (s *MemStore) slotFor(id base.PageID) (*slot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := int(id)
+	if i <= 0 || i > len(s.slots) || s.slots[i-1] == nil {
+		return nil, fmt.Errorf("%w: page %d unallocated", base.ErrCorrupt, id)
+	}
+	return s.slots[i-1], nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id base.PageID) (*Node, error) {
+	if s.closed.Load() {
+		return nil, base.ErrClosed
+	}
+	sl, err := s.slotFor(id)
+	if err != nil {
+		return nil, err
+	}
+	s.gets.Add(1)
+	n := sl.n.Load()
+	if n == nil {
+		return nil, fmt.Errorf("%w: page %d never written", base.ErrCorrupt, id)
+	}
+	return n, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(n *Node) error {
+	if s.closed.Load() {
+		return base.ErrClosed
+	}
+	if n.ID == base.NilPage {
+		return fmt.Errorf("%w: Put of node with nil id", base.ErrCorrupt)
+	}
+	sl, err := s.slotFor(n.ID)
+	if err != nil {
+		return err
+	}
+	s.puts.Add(1)
+	sl.n.Store(n)
+	return nil
+}
+
+// Allocate implements Store.
+func (s *MemStore) Allocate() (base.PageID, error) {
+	if s.closed.Load() {
+		return base.NilPage, base.ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.slots[id-1] = &slot{}
+		return id, nil
+	}
+	s.slots = append(s.slots, &slot{})
+	return base.PageID(len(s.slots)), nil
+}
+
+// Free implements Store.
+func (s *MemStore) Free(id base.PageID) error {
+	if s.closed.Load() {
+		return base.ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := int(id)
+	if i <= 0 || i > len(s.slots) || s.slots[i-1] == nil {
+		return fmt.Errorf("%w: Free of unallocated page %d", base.ErrCorrupt, id)
+	}
+	s.slots[i-1] = nil
+	s.free = append(s.free, id)
+	return nil
+}
+
+// ReadPrime implements Store.
+func (s *MemStore) ReadPrime() (Prime, error) {
+	if s.closed.Load() {
+		return Prime{}, base.ErrClosed
+	}
+	return *s.prime.Load(), nil
+}
+
+// WritePrime implements Store.
+func (s *MemStore) WritePrime(p Prime) error {
+	if s.closed.Load() {
+		return base.ErrClosed
+	}
+	cp := p.Clone()
+	s.prime.Store(&cp)
+	return nil
+}
+
+// Pages implements Store.
+func (s *MemStore) Pages() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, sl := range s.slots {
+		if sl != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.closed.Store(true)
+	return nil
+}
+
+// Ops returns the lifetime get and put counts, the paper's physical-
+// operation counts.
+func (s *MemStore) Ops() (gets, puts uint64) {
+	return s.gets.Load(), s.puts.Load()
+}

@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"blinktree/internal/base"
+)
+
+// BufferPool is a write-back LRU page cache layered over another Store.
+// It bounds the number of in-memory page images while preserving the
+// per-page read/write atomicity contract: a frame's content is only ever
+// touched under the pool lock, and eviction writes dirty frames back to
+// the underlying store before reuse.
+//
+// The pool exists so the paged tree can run with a working set smaller
+// than the tree (the disk-resident regime of 1985); hit/miss counters
+// feed the experiment harness.
+type BufferPool struct {
+	under    Store
+	capacity int
+
+	mu     sync.Mutex
+	frames map[base.PageID]*list.Element // -> *frame
+	lru    *list.List                    // front = most recent
+
+	hits, misses, evictions, writebacks uint64
+}
+
+type frame struct {
+	id    base.PageID
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool wraps under with an LRU cache of capacity pages
+// (minimum 4).
+func NewBufferPool(under Store, capacity int) *BufferPool {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &BufferPool{
+		under:    under,
+		capacity: capacity,
+		frames:   make(map[base.PageID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// PageSize implements Store.
+func (p *BufferPool) PageSize() int { return p.under.PageSize() }
+
+// frameFor returns the (locked-pool) frame for id, faulting it in and
+// possibly evicting. Caller holds p.mu.
+func (p *BufferPool) frameFor(id base.PageID, loadFromUnder bool) (*frame, error) {
+	if el, ok := p.frames[id]; ok {
+		p.hits++
+		p.lru.MoveToFront(el)
+		return el.Value.(*frame), nil
+	}
+	p.misses++
+	if err := p.evictIfFull(); err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, data: make([]byte, p.under.PageSize())}
+	if loadFromUnder {
+		if err := p.under.Read(id, fr.data); err != nil {
+			return nil, err
+		}
+	}
+	p.frames[id] = p.lru.PushFront(fr)
+	return fr, nil
+}
+
+// evictIfFull writes back and drops the least recently used frame when
+// the pool is at capacity. Caller holds p.mu.
+func (p *BufferPool) evictIfFull() error {
+	for p.lru.Len() >= p.capacity {
+		el := p.lru.Back()
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := p.under.Write(fr.id, fr.data); err != nil {
+				return fmt.Errorf("storage: writeback page %d: %w", fr.id, err)
+			}
+			p.writebacks++
+		}
+		p.lru.Remove(el)
+		delete(p.frames, fr.id)
+		p.evictions++
+	}
+	return nil
+}
+
+// Read implements Store.
+func (p *BufferPool) Read(id base.PageID, buf []byte) error {
+	if err := checkBuf(p.under.PageSize(), buf); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr, err := p.frameFor(id, true)
+	if err != nil {
+		return err
+	}
+	copy(buf, fr.data)
+	return nil
+}
+
+// Write implements Store.
+func (p *BufferPool) Write(id base.PageID, buf []byte) error {
+	if err := checkBuf(p.under.PageSize(), buf); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Fault the page in even though we overwrite it whole: the read
+	// validates that id is actually allocated in the underlying store.
+	fr, err := p.frameFor(id, true)
+	if err != nil {
+		return err
+	}
+	copy(fr.data, buf)
+	fr.dirty = true
+	return nil
+}
+
+// Allocate implements Store.
+func (p *BufferPool) Allocate() (base.PageID, error) { return p.under.Allocate() }
+
+// Free implements Store. The cached frame, if any, is dropped without
+// write-back since the page's content is dead.
+func (p *BufferPool) Free(id base.PageID) error {
+	p.mu.Lock()
+	if el, ok := p.frames[id]; ok {
+		p.lru.Remove(el)
+		delete(p.frames, id)
+	}
+	p.mu.Unlock()
+	return p.under.Free(id)
+}
+
+// Pages implements Store.
+func (p *BufferPool) Pages() int { return p.under.Pages() }
+
+// Flush writes every dirty frame back to the underlying store.
+func (p *BufferPool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if !fr.dirty {
+			continue
+		}
+		if err := p.under.Write(fr.id, fr.data); err != nil {
+			return err
+		}
+		fr.dirty = false
+		p.writebacks++
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying store.
+func (p *BufferPool) Close() error {
+	if err := p.Flush(); err != nil {
+		return err
+	}
+	return p.under.Close()
+}
+
+// PoolStats is a snapshot of cache behaviour.
+type PoolStats struct {
+	Hits, Misses, Evictions, Writebacks uint64
+	Resident                            int
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *BufferPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Hits: p.hits, Misses: p.misses,
+		Evictions: p.evictions, Writebacks: p.writebacks,
+		Resident: p.lru.Len(),
+	}
+}

@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"blinktree/internal/base"
+)
+
+// MemStore keeps all pages in memory. It is the default substrate for
+// tests and benchmarks. Page reads and writes copy the page under a
+// sharded RW latch, so a reader never observes a torn write — the
+// indivisibility the paper's get/put model requires.
+type MemStore struct {
+	pageSize int
+	free     *freelist
+	closed   atomic.Bool
+
+	mu    sync.RWMutex // guards the pages slice header (growth)
+	latch [shardCount]sync.RWMutex
+	pages []memPage
+}
+
+type memPage struct {
+	data  []byte
+	alloc bool
+}
+
+// NewMemStore returns an empty in-memory store with the given page size
+// (DefaultPageSize if zero or negative).
+func NewMemStore(pageSize int) *MemStore {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &MemStore{pageSize: pageSize, free: newFreelist()}
+}
+
+// PageSize implements Store.
+func (s *MemStore) PageSize() int { return s.pageSize }
+
+func (s *MemStore) page(id base.PageID) (*memPage, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := int(id)
+	if i <= 0 || i >= len(s.pages)+1 || !s.pages[i-1].alloc {
+		return nil, fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	return &s.pages[i-1], nil
+}
+
+// Read implements Store.
+func (s *MemStore) Read(id base.PageID, buf []byte) error {
+	if s.closed.Load() {
+		return base.ErrClosed
+	}
+	if err := checkBuf(s.pageSize, buf); err != nil {
+		return err
+	}
+	p, err := s.page(id)
+	if err != nil {
+		return err
+	}
+	l := &s.latch[shardOf(id)]
+	l.RLock()
+	copy(buf, p.data)
+	l.RUnlock()
+	return nil
+}
+
+// Write implements Store.
+func (s *MemStore) Write(id base.PageID, buf []byte) error {
+	if s.closed.Load() {
+		return base.ErrClosed
+	}
+	if err := checkBuf(s.pageSize, buf); err != nil {
+		return err
+	}
+	p, err := s.page(id)
+	if err != nil {
+		return err
+	}
+	l := &s.latch[shardOf(id)]
+	l.Lock()
+	copy(p.data, buf)
+	l.Unlock()
+	return nil
+}
+
+// Allocate implements Store.
+func (s *MemStore) Allocate() (base.PageID, error) {
+	if s.closed.Load() {
+		return base.NilPage, base.ErrClosed
+	}
+	id := s.free.alloc()
+	s.mu.Lock()
+	for int(id) > len(s.pages) {
+		s.pages = append(s.pages, memPage{})
+	}
+	p := &s.pages[id-1]
+	if p.data == nil {
+		p.data = make([]byte, s.pageSize)
+	} else {
+		// A recycled page may still be raced by a straggling reader that
+		// held its id across Free; clear under the page latch so such a
+		// reader sees a whole before- or after-image, never a torn one.
+		l := &s.latch[shardOf(id)]
+		l.Lock()
+		clear(p.data)
+		l.Unlock()
+	}
+	p.alloc = true
+	s.mu.Unlock()
+	return id, nil
+}
+
+// Free implements Store.
+func (s *MemStore) Free(id base.PageID) error {
+	if s.closed.Load() {
+		return base.ErrClosed
+	}
+	s.mu.Lock()
+	i := int(id)
+	if i <= 0 || i > len(s.pages) || !s.pages[i-1].alloc {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	s.pages[i-1].alloc = false
+	s.mu.Unlock()
+	s.free.free(id)
+	return nil
+}
+
+// Pages implements Store.
+func (s *MemStore) Pages() int {
+	return int(s.free.highWater()) - 1 - s.free.freeCount()
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error {
+	s.closed.Store(true)
+	return nil
+}

@@ -1,0 +1,107 @@
+// Package storage provides the page-store substrate beneath the trees:
+// the "secondary storage" of the paper's model (§2.2). A Store hands out
+// fixed-size pages addressed by base.PageID and guarantees that Read and
+// Write of a single page are indivisible with respect to each other, the
+// property the paper's get/put primitives require.
+//
+// Implementations:
+//
+//   - MemStore: pages in memory; Read/Write copy under a sharded lock.
+//   - FileStore: pages in a single file, one page per slot.
+//   - BufferPool: an LRU write-back cache wrapped around another Store.
+//   - Metered: wraps a Store and counts operations.
+//   - Latency: wraps a Store and sleeps per operation, simulating a disk.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"blinktree/internal/base"
+)
+
+// DefaultPageSize is the page size used when an Options.PageSize is zero.
+const DefaultPageSize = 4096
+
+// Errors returned by stores.
+var (
+	// ErrBadPage is returned for out-of-range or unallocated page ids.
+	ErrBadPage = errors.New("storage: bad page id")
+	// ErrShortPage is returned when a caller's buffer is not PageSize bytes.
+	ErrShortPage = errors.New("storage: buffer is not page sized")
+)
+
+// Store is a flat array of fixed-size pages. All methods are safe for
+// concurrent use. Read and Write of the same page are mutually atomic:
+// a Read never observes a torn Write.
+type Store interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// Read copies page id into buf, which must be exactly PageSize bytes.
+	Read(id base.PageID, buf []byte) error
+	// Write copies buf (exactly PageSize bytes) into page id.
+	Write(id base.PageID, buf []byte) error
+	// Allocate returns a fresh zeroed page.
+	Allocate() (base.PageID, error)
+	// Free returns a page to the allocator. Reading a freed page is an
+	// error until it is reallocated.
+	Free(id base.PageID) error
+	// Pages returns the number of currently allocated pages.
+	Pages() int
+	// Close releases resources.
+	Close() error
+}
+
+// freelist is a simple LIFO page-id recycler shared by the stores.
+type freelist struct {
+	mu   sync.Mutex
+	ids  []base.PageID
+	next base.PageID // next never-used id; ids start at 1 (0 is nil)
+}
+
+func newFreelist() *freelist { return &freelist{next: 1} }
+
+func (f *freelist) alloc() base.PageID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := len(f.ids); n > 0 {
+		id := f.ids[n-1]
+		f.ids = f.ids[:n-1]
+		return id
+	}
+	id := f.next
+	f.next++
+	return id
+}
+
+func (f *freelist) free(id base.PageID) {
+	f.mu.Lock()
+	f.ids = append(f.ids, id)
+	f.mu.Unlock()
+}
+
+func (f *freelist) highWater() base.PageID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
+
+func (f *freelist) freeCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ids)
+}
+
+// shardCount is the number of page-latch shards used by MemStore. It
+// bounds memory while keeping unrelated pages from contending.
+const shardCount = 64
+
+func shardOf(id base.PageID) int { return int(id % shardCount) }
+
+func checkBuf(size int, buf []byte) error {
+	if len(buf) != size {
+		return fmt.Errorf("%w: got %d bytes, want %d", ErrShortPage, len(buf), size)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"sync/atomic"
+	"time"
+
+	"blinktree/internal/base"
+)
+
+// Metered wraps a Store and counts page operations. It is the I/O probe
+// used by the experiment harness: the paper's efficiency arguments are
+// about how many page reads, writes and lock acquisitions each algorithm
+// needs, which Metered makes observable independent of wall-clock noise.
+type Metered struct {
+	under Store
+
+	reads, writes, allocs, frees atomic.Uint64
+}
+
+// NewMetered wraps under with operation counters.
+func NewMetered(under Store) *Metered { return &Metered{under: under} }
+
+// PageSize implements Store.
+func (m *Metered) PageSize() int { return m.under.PageSize() }
+
+// Read implements Store.
+func (m *Metered) Read(id base.PageID, buf []byte) error {
+	m.reads.Add(1)
+	return m.under.Read(id, buf)
+}
+
+// Write implements Store.
+func (m *Metered) Write(id base.PageID, buf []byte) error {
+	m.writes.Add(1)
+	return m.under.Write(id, buf)
+}
+
+// Allocate implements Store.
+func (m *Metered) Allocate() (base.PageID, error) {
+	m.allocs.Add(1)
+	return m.under.Allocate()
+}
+
+// Free implements Store.
+func (m *Metered) Free(id base.PageID) error {
+	m.frees.Add(1)
+	return m.under.Free(id)
+}
+
+// Pages implements Store.
+func (m *Metered) Pages() int { return m.under.Pages() }
+
+// Close implements Store.
+func (m *Metered) Close() error { return m.under.Close() }
+
+// IOStats is a snapshot of the counters.
+type IOStats struct {
+	Reads, Writes, Allocs, Frees uint64
+}
+
+// Stats returns the current counters.
+func (m *Metered) Stats() IOStats {
+	return IOStats{
+		Reads:  m.reads.Load(),
+		Writes: m.writes.Load(),
+		Allocs: m.allocs.Load(),
+		Frees:  m.frees.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (m *Metered) Reset() {
+	m.reads.Store(0)
+	m.writes.Store(0)
+	m.allocs.Store(0)
+	m.frees.Store(0)
+}
+
+// Latency wraps a Store and sleeps for a fixed duration on every Read
+// and Write, simulating the disk of the paper's era. It turns the
+// in-memory substrate into an I/O-bound one so that lock hold times and
+// link-chase penalties become visible in wall-clock benchmarks.
+type Latency struct {
+	under      Store
+	read, writ time.Duration
+}
+
+// NewLatency wraps under, adding read and write delay per operation.
+func NewLatency(under Store, read, write time.Duration) *Latency {
+	return &Latency{under: under, read: read, writ: write}
+}
+
+// PageSize implements Store.
+func (l *Latency) PageSize() int { return l.under.PageSize() }
+
+// Read implements Store.
+func (l *Latency) Read(id base.PageID, buf []byte) error {
+	if l.read > 0 {
+		time.Sleep(l.read)
+	}
+	return l.under.Read(id, buf)
+}
+
+// Write implements Store.
+func (l *Latency) Write(id base.PageID, buf []byte) error {
+	if l.writ > 0 {
+		time.Sleep(l.writ)
+	}
+	return l.under.Write(id, buf)
+}
+
+// Allocate implements Store.
+func (l *Latency) Allocate() (base.PageID, error) { return l.under.Allocate() }
+
+// Free implements Store.
+func (l *Latency) Free(id base.PageID) error { return l.under.Free(id) }
+
+// Pages implements Store.
+func (l *Latency) Pages() int { return l.under.Pages() }
+
+// Close implements Store.
+func (l *Latency) Close() error { return l.under.Close() }

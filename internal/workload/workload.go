@@ -1,0 +1,230 @@
+// Package workload generates the key distributions and operation mixes
+// the experiment harness drives the trees with. Generators are
+// deterministic given a seed, so experiment runs are reproducible.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"blinktree/internal/base"
+)
+
+// OpKind is one logical operation type.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpSearch OpKind = iota
+	OpInsert
+	OpDelete
+	OpScan
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpSearch:
+		return "search"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  base.Key
+	// Hi is the scan upper bound for OpScan.
+	Hi base.Key
+}
+
+// KeyDist draws keys from some distribution.
+type KeyDist interface {
+	// Draw returns the next key using rng.
+	Draw(rng *rand.Rand) base.Key
+	// Name identifies the distribution in reports.
+	Name() string
+}
+
+// Uniform draws uniformly from [0, N).
+type Uniform struct{ N uint64 }
+
+// Draw implements KeyDist.
+func (u Uniform) Draw(rng *rand.Rand) base.Key { return base.Key(rng.Uint64() % u.N) }
+
+// Name implements KeyDist.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d)", u.N) }
+
+// Zipf draws from a Zipf distribution over [0, N): a few keys are hot.
+type Zipf struct {
+	N uint64
+	S float64 // skew, > 1; default 1.2
+}
+
+// Name implements KeyDist.
+func (z Zipf) Name() string { return fmt.Sprintf("zipf(%d,s=%.2f)", z.N, z.skew()) }
+
+func (z Zipf) skew() float64 {
+	if z.S <= 1 {
+		return 1.2
+	}
+	return z.S
+}
+
+// Draw implements KeyDist. A rand.Zipf is derived per call-site rng on
+// first use via a small cache keyed by the rng pointer; to stay
+// allocation-free we simply construct on demand — Zipf draws are not in
+// the measured hot path of any experiment that cares about ns-level
+// generator overhead.
+func (z Zipf) Draw(rng *rand.Rand) base.Key {
+	zp := rand.NewZipf(rng, z.skew(), 1, z.N-1)
+	return base.Key(zp.Uint64())
+}
+
+// Sequential draws ascending keys (the classic bulk-load /
+// time-ordered-insert pattern that stresses the rightmost path).
+type Sequential struct{ next uint64 }
+
+// Draw implements KeyDist. Not safe for concurrent use; give each
+// worker its own.
+func (s *Sequential) Draw(*rand.Rand) base.Key {
+	k := s.next
+	s.next++
+	return base.Key(k)
+}
+
+// Name implements KeyDist.
+func (s *Sequential) Name() string { return "sequential" }
+
+// HotSet draws from a small hot range with probability HotProb and
+// uniformly otherwise.
+type HotSet struct {
+	N       uint64
+	HotN    uint64
+	HotProb float64
+}
+
+// Draw implements KeyDist.
+func (h HotSet) Draw(rng *rand.Rand) base.Key {
+	if rng.Float64() < h.HotProb {
+		return base.Key(rng.Uint64() % h.HotN)
+	}
+	return base.Key(rng.Uint64() % h.N)
+}
+
+// Name implements KeyDist.
+func (h HotSet) Name() string {
+	return fmt.Sprintf("hotset(%d/%d,p=%.2f)", h.HotN, h.N, h.HotProb)
+}
+
+// Mix is an operation mix in percent; the parts must sum to 100.
+type Mix struct {
+	SearchPct, InsertPct, DeletePct, ScanPct int
+	// ScanSpan is the key width of generated scans.
+	ScanSpan uint64
+}
+
+// Validate checks the mix sums to 100.
+func (m Mix) Validate() error {
+	if s := m.SearchPct + m.InsertPct + m.DeletePct + m.ScanPct; s != 100 {
+		return fmt.Errorf("workload: mix sums to %d, want 100", s)
+	}
+	return nil
+}
+
+// String renders the mix for reports.
+func (m Mix) String() string {
+	return fmt.Sprintf("%ds/%di/%dd/%dsc", m.SearchPct, m.InsertPct, m.DeletePct, m.ScanPct)
+}
+
+// Common mixes used across experiments.
+var (
+	ReadOnly    = Mix{SearchPct: 100}
+	ReadMostly  = Mix{SearchPct: 90, InsertPct: 5, DeletePct: 5}
+	Balanced    = Mix{SearchPct: 50, InsertPct: 25, DeletePct: 25}
+	InsertHeavy = Mix{SearchPct: 20, InsertPct: 80}
+	DeleteHeavy = Mix{SearchPct: 20, InsertPct: 10, DeletePct: 70}
+	WriteOnly   = Mix{InsertPct: 50, DeletePct: 50}
+)
+
+// Generator produces a deterministic operation stream. Not safe for
+// concurrent use; create one per worker with distinct seeds.
+type Generator struct {
+	rng  *rand.Rand
+	draw func() base.Key
+	mix  Mix
+}
+
+// NewGenerator builds a Generator.
+func NewGenerator(seed int64, dist KeyDist, mix Mix) (*Generator, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), mix: mix}
+	if z, ok := dist.(Zipf); ok {
+		// Bind the Zipf sampler once: rand.NewZipf precomputes tables
+		// that must not be rebuilt per draw.
+		zp := rand.NewZipf(g.rng, z.skew(), 1, z.N-1)
+		g.draw = func() base.Key { return base.Key(zp.Uint64()) }
+	} else {
+		g.draw = func() base.Key { return dist.Draw(g.rng) }
+	}
+	return g, nil
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	p := g.rng.Intn(100)
+	k := g.draw()
+	switch {
+	case p < g.mix.SearchPct:
+		return Op{Kind: OpSearch, Key: k}
+	case p < g.mix.SearchPct+g.mix.InsertPct:
+		return Op{Kind: OpInsert, Key: k}
+	case p < g.mix.SearchPct+g.mix.InsertPct+g.mix.DeletePct:
+		return Op{Kind: OpDelete, Key: k}
+	default:
+		span := g.mix.ScanSpan
+		if span == 0 {
+			span = 100
+		}
+		return Op{Kind: OpScan, Key: k, Hi: k + base.Key(span)}
+	}
+}
+
+// Apply executes op against tr, swallowing the benign ErrNotFound /
+// ErrDuplicate outcomes that are part of any random mix. It reports
+// whether the operation mutated the tree.
+func Apply(tr base.Tree, op Op) (bool, error) {
+	switch op.Kind {
+	case OpSearch:
+		_, err := tr.Search(op.Key)
+		if err != nil && !errors.Is(err, base.ErrNotFound) {
+			return false, err
+		}
+		return false, nil
+	case OpInsert:
+		err := tr.Insert(op.Key, base.Value(op.Key))
+		if err != nil && !errors.Is(err, base.ErrDuplicate) {
+			return false, err
+		}
+		return err == nil, nil
+	case OpDelete:
+		err := tr.Delete(op.Key)
+		if err != nil && !errors.Is(err, base.ErrNotFound) {
+			return false, err
+		}
+		return err == nil, nil
+	default:
+		err := tr.Range(op.Key, op.Hi, func(base.Key, base.Value) bool { return true })
+		return false, err
+	}
+}
