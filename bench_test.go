@@ -48,13 +48,18 @@ func buildTree(b *testing.B, kind harness.Kind, k, preload int, keySpace uint64)
 }
 
 // benchMix drives RunParallel with a deterministic per-goroutine
-// workload generator.
+// workload generator drawing uniformly from [0, keySpace).
 func benchMix(b *testing.B, tr base.Tree, keySpace uint64, mix workload.Mix) {
+	benchMixDist(b, tr, workload.Uniform{N: keySpace}, mix)
+}
+
+// benchMixDist is benchMix with an arbitrary key distribution.
+func benchMixDist(b *testing.B, tr base.Tree, dist workload.KeyDist, mix workload.Mix) {
 	b.Helper()
 	var seed atomic.Int64
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		gen, err := workload.NewGenerator(seed.Add(1)*104729, workload.Uniform{N: keySpace}, mix)
+		gen, err := workload.NewGenerator(seed.Add(1)*104729, dist, mix)
 		if err != nil {
 			b.Error(err)
 			return
@@ -517,6 +522,94 @@ func BenchmarkBulkLoadVsInsert(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(n), "keys")
+	})
+}
+
+// BenchmarkE9ShardedScaling: the sharded front-end against the single
+// tree (shards=1) under the concurrent balanced mix. Keys are spread
+// over the full uint64 range so every partition receives traffic.
+// Sharding wins twice: contention (locks, queues, root splits) is
+// confined to one shard, and each shard is shallower than one big tree
+// holding the same population.
+func BenchmarkE9ShardedScaling(b *testing.B) {
+	const population = 1 << 18
+	const preload = 50000
+	stride := ^uint64(0)/population + 1
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			idx, err := OpenSharded(n, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer idx.Close()
+			for i := 0; i < preload; i++ {
+				k := Key(uint64(i) * (population / preload) * stride)
+				if err := idx.Insert(k, Value(k)); err != nil && !errors.Is(err, ErrDuplicate) {
+					b.Fatal(err)
+				}
+			}
+			// Oversubscribe goroutines so lock contention — what
+			// sharding relieves — shows even at low core counts.
+			b.SetParallelism(8)
+			benchMixDist(b, idx,
+				workload.Stretch{Base: workload.Uniform{N: population}, Stride: stride},
+				workload.Balanced)
+		})
+	}
+}
+
+// BenchmarkE10BatchApply: ApplyBatch's grouped dispatch against
+// issuing the same cross-shard operations one at a time. The batch
+// path spawns one goroutine per touched shard, so it trades fixed
+// dispatch overhead for shard-parallel execution: it loses on a single
+// core and wins as cores grow (the crossover is the number of cores
+// needed to amortize ~3µs of scheduling per shard group).
+func BenchmarkE10BatchApply(b *testing.B) {
+	const population = 1 << 18
+	const batchSize = 512
+	stride := ^uint64(0)/population + 1
+	build := func(b *testing.B) (*Sharded, []BatchOp) {
+		idx, err := OpenSharded(8, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < population; i += 4 {
+			k := Key(uint64(i) * stride)
+			if err := idx.Insert(k, Value(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ops := make([]BatchOp, batchSize)
+		for i := range ops {
+			ops[i] = BatchOp{Kind: BatchSearch, Key: Key(uint64(i*509%population) * stride)}
+		}
+		return idx, ops
+	}
+	b.Run("point", func(b *testing.B) {
+		idx, ops := build(b)
+		defer idx.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, op := range ops {
+				if _, err := idx.Search(op.Key); err != nil && !errors.Is(err, ErrNotFound) {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batchSize), "ops/batch")
+	})
+	b.Run("batch", func(b *testing.B) {
+		idx, ops := build(b)
+		defer idx.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range idx.ApplyBatch(ops) {
+				if res.Err != nil && !errors.Is(res.Err, ErrNotFound) {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(batchSize), "ops/batch")
 	})
 }
 

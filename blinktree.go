@@ -9,6 +9,14 @@
 // concurrently with everything else — merge or redistribute underfull
 // nodes so that deletions do not degrade space utilization or height.
 //
+// Two front-ends implement the same Index interface:
+//
+//   - NewTree / Open: one tree, the paper-faithful configuration.
+//   - NewSharded / OpenSharded: N independent trees range-partitioned
+//     over the keyspace, each with its own lock table, compression
+//     queue and reclamation epoch — the scaled configuration for
+//     write-heavy multicore workloads.
+//
 // Quick start:
 //
 //	t, err := blinktree.Open(blinktree.Options{})
@@ -29,15 +37,11 @@
 package blinktree
 
 import (
-	"fmt"
+	"io"
 
 	"blinktree/internal/base"
 	"blinktree/internal/blink"
-	"blinktree/internal/compress"
-	"blinktree/internal/locks"
-	"blinktree/internal/node"
-	"blinktree/internal/reclaim"
-	"blinktree/internal/storage"
+	"blinktree/internal/shard"
 )
 
 // Key is a 64-bit search key; the full range is usable.
@@ -55,216 +59,178 @@ var (
 	ErrCorrupt   = base.ErrCorrupt
 )
 
-// CompressionMode selects how underfull nodes are repaired.
-type CompressionMode int
+// CompressionMode selects how underfull nodes are repaired. See the
+// mode constants for the three regimes.
+type CompressionMode = shard.CompressionMode
 
 // Compression modes.
 const (
 	// CompressionBackground runs worker goroutines that drain the
 	// underfull queue concurrently with other operations (§5.4). The
 	// default.
-	CompressionBackground CompressionMode = iota
+	CompressionBackground = shard.CompressionBackground
 	// CompressionManual enqueues underfull nodes but compresses only
 	// when Compact or DrainCompression is called.
-	CompressionManual
+	CompressionManual = shard.CompressionManual
 	// CompressionOff never rebalances after deletions, exactly the
 	// Lehman–Yao regime the paper improves on ([8], §4).
-	CompressionOff
+	CompressionOff = shard.CompressionOff
 )
 
-// Options configures Open. The zero value is a usable in-memory tree
-// with background compression.
-type Options struct {
-	// MinPairs is the paper's k: nodes hold between k and 2k pairs.
-	// Default 16.
-	MinPairs int
-	// Compression selects the repair mode. Default background.
-	Compression CompressionMode
-	// CompressorWorkers is the number of background compression
-	// goroutines (§5.4 mode 2). Default 1. Ignored unless background.
-	CompressorWorkers int
-	// Path, when non-empty, stores nodes in a file at this path through
-	// the page codec instead of in memory. PageSize (default 4096) and
-	// CachePages (default 1024, LRU buffer pool; 0 disables caching)
-	// control the paged store.
-	Path       string
-	PageSize   int
-	CachePages int
-	// RestartFromRoot disables the backtracking optimization for
-	// wrong-node restarts (§5.2); restarts then always begin at the
-	// root.
-	RestartFromRoot bool
+// Options configures Open and OpenSharded. The zero value is a usable
+// in-memory tree with background compression. Aliased (like
+// CompressionMode and Stats) so the facade cannot drift from the
+// engine: see shard.Options for the field docs.
+type Options = shard.Options
+
+// Iterator walks pairs in ascending key order: strictly ascending
+// keys, each key at most once, no locks held, concurrent mutations may
+// or may not be observed. Implemented by both front-ends' cursors.
+type Iterator interface {
+	// Next advances to the following pair, returning false at the end
+	// or on error (check Err).
+	Next() (Key, Value, bool)
+	// Seek repositions before the smallest key ≥ k; backwards is
+	// allowed.
+	Seek(k Key)
+	// Err returns the error that terminated iteration, if any.
+	Err() error
 }
 
-// Tree is a concurrent B-link tree. All methods are safe for concurrent
-// use by any number of goroutines.
+// Index is the interface shared by the single tree (Tree) and the
+// sharded front-end (Sharded): the paper's logical operations plus the
+// maintenance surface. All methods are safe for concurrent use; Check,
+// BulkLoad, Snapshot and Restore are exact only when quiesced.
+type Index interface {
+	// Insert stores v under k; ErrDuplicate if k is present.
+	Insert(k Key, v Value) error
+	// Search returns the value stored under k, or ErrNotFound.
+	Search(k Key) (Value, error)
+	// Delete removes k, or returns ErrNotFound.
+	Delete(k Key) error
+	// Range calls fn for each pair with lo ≤ key ≤ hi in ascending
+	// order, stopping early if fn returns false.
+	Range(lo, hi Key, fn func(Key, Value) bool) error
+	// Min returns the smallest stored pair, or ErrNotFound when empty.
+	Min() (Key, Value, error)
+	// Max returns the largest stored pair, or ErrNotFound when empty.
+	Max() (Key, Value, error)
+	// Len returns the number of stored pairs (exact when quiesced).
+	Len() int
+	// Height returns the number of levels (the max across shards).
+	Height() int
+	// NewIterator returns an Iterator positioned before the smallest
+	// key ≥ start.
+	NewIterator(start Key) Iterator
+	// BulkLoad builds an empty index bottom-up from a strictly
+	// ascending pair stream; see Tree.BulkLoad.
+	BulkLoad(pairs func() (Key, Value, bool), fill float64) error
+	// Compact fully compresses the index; see Tree.Compact.
+	Compact() error
+	// DrainCompression processes pending underfull queues once.
+	DrainCompression() error
+	// CollectGarbage frees retired pages no live operation can still
+	// reference (§5.3).
+	CollectGarbage() (int, error)
+	// Check validates every structural invariant. Run it quiesced.
+	Check() error
+	// Stats returns a snapshot of operation and compression counters.
+	Stats() (Stats, error)
+	// Snapshot streams all pairs in ascending order to w.
+	Snapshot(w io.Writer) error
+	// Restore loads a Snapshot stream into the (fresh) index.
+	Restore(r io.Reader) error
+	// Close releases resources; the index must not be used afterwards.
+	Close() error
+}
+
+// Compile-time checks that both front-ends satisfy the shared
+// interfaces (and, for mixed fleets, the internal baseline contract).
+var (
+	_ Index     = (*Tree)(nil)
+	_ Index     = (*Sharded)(nil)
+	_ base.Tree = (Index)(nil)
+	_ Iterator  = (*Cursor)(nil)
+	_ Iterator  = (*ShardedCursor)(nil)
+)
+
+// Tree is a concurrent B-link tree — the paper-faithful single-tree
+// front-end. All methods are safe for concurrent use by any number of
+// goroutines.
 type Tree struct {
-	inner   *blink.Tree
-	store   node.Store
-	lt      locks.Locker
-	rec     *reclaim.Reclaimer
-	comp    *compress.Compressor
-	scanner *compress.Scanner
-	mode    CompressionMode
-	workers int
-	pool    *storage.BufferPool
+	eng *shard.Engine
 }
 
 // Open creates a Tree per opts.
 func Open(opts Options) (*Tree, error) {
-	if opts.MinPairs == 0 {
-		opts.MinPairs = blink.DefaultMinPairs
-	}
-	var st node.Store
-	var pool *storage.BufferPool
-	if opts.Path != "" {
-		ps := opts.PageSize
-		if ps == 0 {
-			ps = storage.DefaultPageSize
-		}
-		if max := node.MaxPairs(ps); 2*opts.MinPairs > max {
-			return nil, fmt.Errorf("blinktree: 2k=%d pairs exceed page capacity %d for page size %d",
-				2*opts.MinPairs, max, ps)
-		}
-		fs, err := storage.NewFileStore(opts.Path, ps)
-		if err != nil {
-			return nil, err
-		}
-		var under storage.Store = fs
-		cache := opts.CachePages
-		if cache == 0 {
-			cache = 1024
-		}
-		if cache > 0 {
-			pool = storage.NewBufferPool(fs, cache)
-			under = pool
-		}
-		paged, err := node.NewPagedStore(under)
-		if err != nil {
-			return nil, err
-		}
-		st = paged
-	} else {
-		st = node.NewMemStore()
-	}
-
-	lt := locks.NewTable()
-	rec := reclaim.New(st.Free)
-	pol := blink.RestartBacktrack
-	if opts.RestartFromRoot {
-		pol = blink.RestartFromRoot
-	}
-	inner, err := blink.New(blink.Config{
-		Store:     st,
-		Locks:     lt,
-		MinPairs:  opts.MinPairs,
-		Restart:   pol,
-		Reclaimer: rec,
-	})
+	eng, err := shard.OpenEngine(opts)
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{
-		inner:   inner,
-		store:   st,
-		lt:      lt,
-		rec:     rec,
-		mode:    opts.Compression,
-		workers: opts.CompressorWorkers,
-		pool:    pool,
+	return &Tree{eng: eng}, nil
+}
+
+// NewTree returns a default in-memory Tree (background compression,
+// k = 16). It panics on failure, which the default configuration
+// cannot produce; use Open to handle errors or set options.
+func NewTree() *Tree {
+	t, err := Open(Options{})
+	if err != nil {
+		panic(err)
 	}
-	t.scanner = compress.NewScanner(st, lt, opts.MinPairs, rec)
-	if opts.Compression != CompressionOff {
-		t.comp = compress.NewCompressor(st, lt, opts.MinPairs, rec)
-		t.comp.Attach(inner)
-		if opts.Compression == CompressionBackground {
-			if t.workers <= 0 {
-				t.workers = 1
-			}
-			t.comp.Start(t.workers)
-		}
-	}
-	return t, nil
+	return t
 }
 
 // Insert stores v under k; ErrDuplicate if k is present.
-func (t *Tree) Insert(k Key, v Value) error { return t.inner.Insert(k, v) }
+func (t *Tree) Insert(k Key, v Value) error { return t.eng.Tree.Insert(k, v) }
 
 // Search returns the value stored under k, or ErrNotFound.
-func (t *Tree) Search(k Key) (Value, error) { return t.inner.Search(k) }
+func (t *Tree) Search(k Key) (Value, error) { return t.eng.Tree.Search(k) }
 
 // Delete removes k, or returns ErrNotFound.
-func (t *Tree) Delete(k Key) error { return t.inner.Delete(k) }
+func (t *Tree) Delete(k Key) error { return t.eng.Tree.Delete(k) }
 
 // Range calls fn for each pair with lo ≤ key ≤ hi in ascending order,
 // stopping early if fn returns false.
 func (t *Tree) Range(lo, hi Key, fn func(Key, Value) bool) error {
-	return t.inner.Range(lo, hi, fn)
+	return t.eng.Tree.Range(lo, hi, fn)
 }
 
 // Min returns the smallest stored pair, or ErrNotFound when empty.
-func (t *Tree) Min() (Key, Value, error) { return t.inner.Min() }
+func (t *Tree) Min() (Key, Value, error) { return t.eng.Tree.Min() }
 
 // Max returns the largest stored pair, or ErrNotFound when empty.
-func (t *Tree) Max() (Key, Value, error) { return t.inner.Max() }
+func (t *Tree) Max() (Key, Value, error) { return t.eng.Tree.Max() }
 
 // Len returns the number of stored pairs (exact when quiesced).
-func (t *Tree) Len() int { return t.inner.Len() }
+func (t *Tree) Len() int { return t.eng.Tree.Len() }
 
 // Height returns the number of levels (1 for a root-leaf tree).
-func (t *Tree) Height() int { return t.inner.Height() }
+func (t *Tree) Height() int { return t.eng.Tree.Height() }
 
 // Compact fully compresses the tree: it drains the underfull queue,
 // then runs scan passes (§5.1) until every non-root node holds at least
 // MinPairs pairs and the height is minimal, then frees retired pages.
 // It may run concurrently with other operations, though it converges
 // fastest quiesced.
-func (t *Tree) Compact() error {
-	if t.comp != nil {
-		if err := t.comp.DrainOnce(); err != nil {
-			return err
-		}
-	}
-	if err := t.scanner.Compact(); err != nil {
-		return err
-	}
-	_, err := t.rec.Collect()
-	return err
-}
+func (t *Tree) Compact() error { return t.eng.Compact() }
 
 // DrainCompression processes the pending underfull queue once without
 // running full scan passes. No-op when compression is off.
-func (t *Tree) DrainCompression() error {
-	if t.comp == nil {
-		return nil
-	}
-	if err := t.comp.DrainOnce(); err != nil {
-		return err
-	}
-	_, err := t.rec.Collect()
-	return err
-}
+func (t *Tree) DrainCompression() error { return t.eng.DrainCompression() }
 
 // CollectGarbage frees pages retired by compression that no live
 // operation can still reference (§5.3). Called automatically by
 // Compact; long-running background deployments should call it
 // periodically.
-func (t *Tree) CollectGarbage() (int, error) { return t.rec.Collect() }
+func (t *Tree) CollectGarbage() (int, error) { return t.eng.CollectGarbage() }
 
 // Check validates every structural invariant. Run it quiesced.
-func (t *Tree) Check() error { return t.inner.Check() }
+func (t *Tree) Check() error { return t.eng.Tree.Check() }
 
 // Close stops background compression and closes the store. The tree
 // must not be used afterwards.
-func (t *Tree) Close() error {
-	if t.comp != nil && t.mode == CompressionBackground {
-		t.comp.Stop()
-	}
-	if err := t.inner.Close(); err != nil {
-		return err
-	}
-	return t.store.Close()
-}
+func (t *Tree) Close() error { return t.eng.Close() }
 
 // Cursor iterates pairs in ascending key order. See blink.Cursor for
 // the concurrent-mutation semantics (strictly ascending, each key at
@@ -272,59 +238,157 @@ func (t *Tree) Close() error {
 type Cursor = blink.Cursor
 
 // NewCursor returns a cursor positioned before the smallest key ≥ start.
-func (t *Tree) NewCursor(start Key) *Cursor { return t.inner.NewCursor(start) }
+func (t *Tree) NewCursor(start Key) *Cursor { return t.eng.Tree.NewCursor(start) }
+
+// NewIterator returns the same cursor as NewCursor behind the Iterator
+// interface.
+func (t *Tree) NewIterator(start Key) Iterator { return t.NewCursor(start) }
 
 // BulkLoad builds an empty tree bottom-up from a strictly ascending
 // pair stream, packing nodes to the fill fraction (0 = fully packed).
 // It is much faster than repeated Insert and requires exclusive access;
 // the tree is fully concurrent afterwards.
 func (t *Tree) BulkLoad(pairs func() (Key, Value, bool), fill float64) error {
-	return t.inner.BulkLoad(pairs, fill)
+	return t.eng.Tree.BulkLoad(pairs, fill)
 }
 
-// Stats aggregates the counters of the tree and its compressors.
-type Stats struct {
-	Tree       blink.StatsSnapshot
-	Occupancy  blink.Occupancy
-	Reclaim    reclaim.ReclaimStats
-	QueueDepth int
-	Merges     uint64
-	Redist     uint64
-	Collapses  uint64
-	// CompressorMaxLocks is the high-water of simultaneous locks held
-	// by compression (≤ 3 per the paper).
-	CompressorMaxLocks uint64
-}
+// Stats aggregates the counters of a front-end and its compressors.
+// For a sharded index, counters sum across shards, lock high-waters
+// take the shard maximum, and occupancy merges node-weighted.
+type Stats = shard.Stats
 
 // Stats returns a snapshot of operation and compression counters.
 // Occupancy is gathered with a full walk; avoid calling it in hot
 // loops.
-func (t *Tree) Stats() (Stats, error) {
-	occ, err := t.inner.OccupancyStats()
-	if err != nil {
-		return Stats{}, err
-	}
-	s := Stats{
-		Tree:      t.inner.Stats(),
-		Occupancy: occ,
-		Reclaim:   t.rec.Stats(),
-	}
-	sc := t.scanner.Stats()
-	s.Merges += sc.Merges.Load()
-	s.Redist += sc.Redistributions.Load()
-	s.Collapses += sc.RootCollapses.Load()
-	if fp := sc.Footprint.Snapshot(); fp.MaxHeld > s.CompressorMaxLocks {
-		s.CompressorMaxLocks = fp.MaxHeld
-	}
-	if t.comp != nil {
-		cs := t.comp.Stats()
-		s.Merges += cs.Merges.Load()
-		s.Redist += cs.Redistributions.Load()
-		s.Collapses += cs.RootCollapses.Load()
-		s.QueueDepth = t.comp.Queue().Len()
-		if fp := cs.Footprint.Snapshot(); fp.MaxHeld > s.CompressorMaxLocks {
-			s.CompressorMaxLocks = fp.MaxHeld
-		}
-	}
-	return s, nil
+func (t *Tree) Stats() (Stats, error) { return t.eng.Stats() }
+
+// Sharded is the scaled front-end: N independent trees
+// range-partitioned over the keyspace (shard i owns keys
+// [i·2^64/N, (i+1)·2^64/N)). Point operations route to one shard;
+// ordered operations stitch shards in key order; each shard has its
+// own lock table, compression queue and reclamation epoch, so
+// contention stays within a shard. All methods are safe for concurrent
+// use by any number of goroutines.
+type Sharded struct {
+	r *shard.Router
 }
+
+// OpenSharded creates a sharded index of n ≥ 1 shards, each configured
+// per opts. With a non-empty Path, shard i persists to
+// "<path>.shard<i>".
+func OpenSharded(n int, opts Options) (*Sharded, error) {
+	r, err := shard.NewRouter(n, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{r: r}, nil
+}
+
+// NewSharded returns a default in-memory sharded index of n shards
+// (background compression, k = 16 per shard). It panics when n < 1;
+// use OpenSharded to handle errors or set options.
+func NewSharded(n int) *Sharded {
+	s, err := OpenSharded(n, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Shards returns the number of partitions.
+func (s *Sharded) Shards() int { return s.r.Shards() }
+
+// Insert stores v under k in k's shard; ErrDuplicate if k is present.
+func (s *Sharded) Insert(k Key, v Value) error { return s.r.Insert(k, v) }
+
+// Search returns the value stored under k, or ErrNotFound.
+func (s *Sharded) Search(k Key) (Value, error) { return s.r.Search(k) }
+
+// Delete removes k from its shard, or returns ErrNotFound.
+func (s *Sharded) Delete(k Key) error { return s.r.Delete(k) }
+
+// Range calls fn for each pair with lo ≤ key ≤ hi in ascending order
+// across all shards, stopping early if fn returns false.
+func (s *Sharded) Range(lo, hi Key, fn func(Key, Value) bool) error {
+	return s.r.Range(lo, hi, fn)
+}
+
+// Min returns the smallest stored pair, or ErrNotFound when empty.
+func (s *Sharded) Min() (Key, Value, error) { return s.r.Min() }
+
+// Max returns the largest stored pair, or ErrNotFound when empty.
+func (s *Sharded) Max() (Key, Value, error) { return s.r.Max() }
+
+// Len returns the total number of stored pairs (exact when quiesced).
+func (s *Sharded) Len() int { return s.r.Len() }
+
+// Height returns the tallest shard's level count.
+func (s *Sharded) Height() int { return s.r.Height() }
+
+// ShardedCursor iterates all shards in ascending key order by
+// stitching per-shard cursors end to end.
+type ShardedCursor = shard.Cursor
+
+// NewCursor returns a cursor positioned before the smallest key ≥
+// start, in whichever shard owns it.
+func (s *Sharded) NewCursor(start Key) *ShardedCursor { return s.r.NewCursor(start) }
+
+// NewIterator returns the same cursor as NewCursor behind the Iterator
+// interface.
+func (s *Sharded) NewIterator(start Key) Iterator { return s.NewCursor(start) }
+
+// BulkLoad builds all shards bottom-up from one strictly ascending
+// pair stream, cutting it at partition boundaries. Same contract as
+// Tree.BulkLoad: empty index, exclusive access.
+func (s *Sharded) BulkLoad(pairs func() (Key, Value, bool), fill float64) error {
+	return s.r.BulkLoad(pairs, fill)
+}
+
+// BatchOp is one operation of an ApplyBatch call.
+type BatchOp = shard.Op
+
+// BatchResult is the outcome of one batched operation.
+type BatchResult = shard.Result
+
+// Batched operation kinds for BatchOp.Kind.
+const (
+	BatchSearch = shard.OpSearch
+	BatchInsert = shard.OpInsert
+	BatchDelete = shard.OpDelete
+)
+
+// ApplyBatch groups ops by destination shard and dispatches each
+// group on its own goroutine, returning results positionally aligned
+// with ops. Errors are per-operation; a failed op does not stop the
+// batch. For cross-shard batches this amortizes routing and runs
+// disjoint shards truly in parallel.
+func (s *Sharded) ApplyBatch(ops []BatchOp) []BatchResult { return s.r.ApplyBatch(ops) }
+
+// Compact fully compresses every shard; see Tree.Compact.
+func (s *Sharded) Compact() error { return s.r.Compact() }
+
+// DrainCompression drains every shard's underfull queue once.
+func (s *Sharded) DrainCompression() error { return s.r.DrainCompression() }
+
+// CollectGarbage frees retired pages in every shard, returning the
+// total freed.
+func (s *Sharded) CollectGarbage() (int, error) { return s.r.CollectGarbage() }
+
+// Check validates every shard's structural invariants. Run it
+// quiesced.
+func (s *Sharded) Check() error { return s.r.Check() }
+
+// Stats aggregates all shards' counters; see Stats for the merge
+// rules. Occupancy walks every shard; avoid calling it in hot loops.
+func (s *Sharded) Stats() (Stats, error) { return s.r.Stats() }
+
+// ShardStat is one shard's row of ShardStats.
+type ShardStat = shard.ShardStat
+
+// ShardStats reports routing balance and size per shard, cheaply (no
+// occupancy walk). Use it to spot partition skew.
+func (s *Sharded) ShardStats() []ShardStat { return s.r.ShardStats() }
+
+// Close closes every shard, returning the first error but closing
+// all. The index must not be used afterwards.
+func (s *Sharded) Close() error { return s.r.Close() }

@@ -1,12 +1,18 @@
-// Command blinkstress hammers a Sagiv tree with a concurrent mix of
-// searches, insertions, deletions and background compression for a
-// fixed duration, then validates every structural invariant — an
-// executable form of Theorems 1 and 2. A non-zero exit means a bug.
+// Command blinkstress hammers a Sagiv tree — or a sharded fleet of
+// them — with a concurrent mix of searches, insertions, deletions and
+// background compression for a fixed duration, then validates every
+// structural invariant: an executable form of Theorems 1 and 2. A
+// non-zero exit means a bug.
 //
 // Usage:
 //
 //	blinkstress [-duration 10s] [-workers 8] [-compressors 2]
-//	            [-k 4] [-keys 100000] [-mix balanced]
+//	            [-k 4] [-keys 100000] [-mix balanced] [-shards 1]
+//
+// With -shards N > 1 the keyspace is range-partitioned across N
+// independent trees (each with its own compression workers) and the
+// stress keys are spread over the full uint64 range so every shard
+// receives traffic; the report then includes per-shard balance.
 package main
 
 import (
@@ -25,10 +31,11 @@ import (
 func main() {
 	dur := flag.Duration("duration", 10*time.Second, "stress duration")
 	workers := flag.Int("workers", 8, "mutator goroutines")
-	compressors := flag.Int("compressors", 2, "background compression workers")
+	compressors := flag.Int("compressors", 2, "background compression workers per tree")
 	k := flag.Int("k", 4, "minimum pairs per node")
-	keys := flag.Uint64("keys", 100000, "key space size")
+	keys := flag.Uint64("keys", 100000, "key population size")
 	mixName := flag.String("mix", "balanced", "read-only|read-mostly|balanced|insert-heavy|delete-heavy|write-only")
+	shards := flag.Int("shards", 1, "range partitions (1 = single tree)")
 	flag.Parse()
 
 	mixes := map[string]workload.Mix{
@@ -44,25 +51,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mix %q\n", *mixName)
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "-shards %d: need at least 1\n", *shards)
+		os.Exit(2)
+	}
 
-	tr, err := blinktree.Open(blinktree.Options{
+	opts := blinktree.Options{
 		MinPairs:          *k,
 		CompressorWorkers: *compressors,
-	})
-	if err != nil {
-		fatal("open", err)
+	}
+	var tr blinktree.Index
+	var sh *blinktree.Sharded
+	if *shards > 1 {
+		s, err := blinktree.OpenSharded(*shards, opts)
+		if err != nil {
+			fatal("open", err)
+		}
+		tr, sh = s, s
+	} else {
+		t, err := blinktree.Open(opts)
+		if err != nil {
+			fatal("open", err)
+		}
+		tr = t
 	}
 	defer tr.Close()
 
-	// Preload half the key space so deletes find targets immediately.
+	// Stretch the key population over the full uint64 range so all
+	// shards see traffic (harmless for the single tree).
+	stride := ^uint64(0) / *keys + 1
+	dist := workload.Stretch{Base: workload.Uniform{N: *keys}, Stride: stride}
+
+	// Preload half the key population so deletes find targets
+	// immediately.
 	for i := uint64(0); i < *keys; i += 2 {
-		if err := tr.Insert(blinktree.Key(i), blinktree.Value(i)); err != nil {
+		if err := tr.Insert(blinktree.Key(i*stride), blinktree.Value(i*stride)); err != nil {
 			fatal("preload", err)
 		}
 	}
 
-	fmt.Printf("blinkstress: %d workers, %d compressors, mix=%s, k=%d, keys=%d, %v\n",
-		*workers, *compressors, *mixName, *k, *keys, *dur)
+	fmt.Printf("blinkstress: %d workers, %d compressors, mix=%s, k=%d, keys=%d, shards=%d, %v\n",
+		*workers, *compressors, *mixName, *k, *keys, *shards, *dur)
 
 	var ops, failures atomic.Uint64
 	stop := make(chan struct{})
@@ -71,7 +100,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			gen, err := workload.NewGenerator(int64(w)*977, workload.Uniform{N: *keys}, mix)
+			gen, err := workload.NewGenerator(int64(w)*977, dist, mix)
 			if err != nil {
 				failures.Add(1)
 				fmt.Fprintln(os.Stderr, "generator:", err)
@@ -167,27 +196,35 @@ loop:
 	fmt.Printf("      occupancy: %d nodes, height %d, %d underfull, mean fill %.2f; pages freed %d\n",
 		st.Occupancy.Nodes, st.Occupancy.Height, st.Occupancy.Underfull,
 		st.Occupancy.MeanFill, st.Reclaim.Freed)
+	if sh != nil {
+		fmt.Println("      shard balance (routed ops / pairs / height):")
+		for _, ss := range sh.ShardStats() {
+			routed := ss.Searches + ss.Inserts + ss.Deletes + ss.Scans
+			fmt.Printf("        shard %2d: %9d ops  %7d pairs  height %d\n",
+				ss.Shard, routed, ss.Len, ss.Height)
+		}
+	}
 }
 
-func apply(tr *blinktree.Tree, op workload.Op) error {
+func apply(tr blinktree.Index, op workload.Op) error {
 	switch op.Kind {
 	case workload.OpSearch:
-		_, err := tr.Search(blinktree.Key(op.Key))
+		_, err := tr.Search(op.Key)
 		if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
 			return err
 		}
 	case workload.OpInsert:
-		err := tr.Insert(blinktree.Key(op.Key), blinktree.Value(op.Key))
+		err := tr.Insert(op.Key, blinktree.Value(op.Key))
 		if err != nil && !errors.Is(err, blinktree.ErrDuplicate) {
 			return err
 		}
 	case workload.OpDelete:
-		err := tr.Delete(blinktree.Key(op.Key))
+		err := tr.Delete(op.Key)
 		if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
 			return err
 		}
 	default:
-		return tr.Range(blinktree.Key(op.Key), blinktree.Key(op.Hi), func(blinktree.Key, blinktree.Value) bool { return true })
+		return tr.Range(op.Key, op.Hi, func(blinktree.Key, blinktree.Value) bool { return true })
 	}
 	return nil
 }

@@ -108,3 +108,41 @@ func ExampleTree_Compact() {
 	// underfull nodes: 0
 	// invariants: true
 }
+
+// A sharded index serves the same Index interface as the single tree,
+// partitioning the keyspace across independent trees.
+func ExampleNewSharded() {
+	s := blinktree.NewSharded(4)
+	defer s.Close()
+
+	// Keys spread over the full uint64 range land on different shards.
+	stride := ^uint64(0)/8 + 1
+	for i := uint64(0); i < 8; i++ {
+		_ = s.Insert(blinktree.Key(i*stride), blinktree.Value(i))
+	}
+	fmt.Println("pairs:", s.Len())
+
+	// Ordered scans cross shard boundaries transparently.
+	_ = s.Range(0, blinktree.Key(^uint64(0)), func(k blinktree.Key, v blinktree.Value) bool {
+		fmt.Println(v)
+		return true
+	})
+
+	// Batches group by destination shard and run shard-parallel.
+	res := s.ApplyBatch([]blinktree.BatchOp{
+		{Kind: blinktree.BatchSearch, Key: blinktree.Key(3 * stride)},
+		{Kind: blinktree.BatchDelete, Key: blinktree.Key(7 * stride)},
+	})
+	fmt.Println("search hit:", res[0].Value, "delete ok:", res[1].Err == nil)
+	// Output:
+	// pairs: 8
+	// 0
+	// 1
+	// 2
+	// 3
+	// 4
+	// 5
+	// 6
+	// 7
+	// search hit: 3 delete ok: true
+}

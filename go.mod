@@ -1,0 +1,3 @@
+module blinktree
+
+go 1.22

@@ -1,11 +1,3 @@
-// Package compress implements the tree-compression processes of §5:
-// the full-scan compressor of §5.1 (procedure compress-level, Fig. 7)
-// and the queue-driven compressors of §5.4 (single process with a
-// queue, worker pool over a shared queue, or per-deletion processes).
-// Compression merges or redistributes adjacent siblings so every node
-// regains at least k pairs, locking three nodes (parent, then two
-// adjacent children) simultaneously — the lock pattern whose
-// deadlock-freedom Theorem 2 proves.
 package compress
 
 import (

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"blinktree/internal/base"
+)
+
+// OpKind is one batched operation type.
+type OpKind uint8
+
+// Batched operation kinds.
+const (
+	OpSearch OpKind = iota
+	OpInsert
+	OpDelete
+)
+
+// Op is one operation in a batch. Value is ignored for searches and
+// deletes.
+type Op struct {
+	Kind  OpKind
+	Key   base.Key
+	Value base.Value
+}
+
+// Result is the outcome of one batched operation, in the same position
+// as its Op. Value is set only for successful searches.
+type Result struct {
+	Value base.Value
+	Err   error
+}
+
+// ApplyBatch executes ops grouped by destination shard, one goroutine
+// per non-empty shard group, and returns results positionally aligned
+// with ops. Grouping pays the routing division once per op but lets
+// disjoint shards proceed in parallel with no cross-shard
+// coordination; within one shard, the group's operations run in their
+// original relative order.
+//
+// Errors are per-operation (base.ErrNotFound, base.ErrDuplicate, ...),
+// never aggregate: a failed op does not stop the batch.
+func (r *Router) ApplyBatch(ops []Op) []Result {
+	results := make([]Result, len(ops))
+	if len(ops) == 0 {
+		return results
+	}
+	groups := make([][]int32, len(r.engines))
+	for i, op := range ops {
+		s := r.shardFor(op.Key)
+		groups[s] = append(groups[s], int32(i))
+	}
+	var wg sync.WaitGroup
+	for s, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int32) {
+			defer wg.Done()
+			start := time.Now()
+			tr := r.engines[s].Tree
+			for _, i := range idxs {
+				op := ops[i]
+				switch op.Kind {
+				case OpInsert:
+					results[i].Err = tr.Insert(op.Key, op.Value)
+				case OpDelete:
+					results[i].Err = tr.Delete(op.Key)
+				default:
+					results[i].Value, results[i].Err = tr.Search(op.Key)
+				}
+			}
+			m := &r.ms[s]
+			m.Batches.Inc()
+			m.BatchOps.Add(uint64(len(idxs)))
+			m.BatchLatency.Observe(time.Since(start))
+		}(s, idxs)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,64 @@
+package shard
+
+import (
+	"blinktree/internal/base"
+	"blinktree/internal/blink"
+)
+
+// Cursor iterates all shards in ascending key order by stitching
+// per-shard blink cursors end to end: partitions are contiguous, so
+// exhausting shard i and opening a cursor at shard i+1's low bound
+// continues the global order with no merging. It inherits the
+// per-shard cursor semantics (§2.1 footnote 3, §5.2): no locks held,
+// keys strictly ascending, each key at most once, concurrent mutations
+// may or may not be observed.
+//
+// A Cursor is not safe for concurrent use by multiple goroutines.
+type Cursor struct {
+	r   *Router
+	idx int
+	cur *blink.Cursor
+	err error
+}
+
+// NewCursor returns a cursor positioned before the smallest key ≥
+// start, in whichever shard owns it.
+func (r *Router) NewCursor(start base.Key) *Cursor {
+	i := r.shardFor(start)
+	return &Cursor{r: r, idx: i, cur: r.engines[i].Tree.NewCursor(start)}
+}
+
+// Next advances to the following pair, hopping to the next shard when
+// the current one is exhausted. It returns false at the end of the
+// last shard or on error (check Err).
+func (c *Cursor) Next() (base.Key, base.Value, bool) {
+	if c.err != nil {
+		return 0, 0, false
+	}
+	for {
+		k, v, ok := c.cur.Next()
+		if ok {
+			return k, v, true
+		}
+		if err := c.cur.Err(); err != nil {
+			c.err = err
+			return 0, 0, false
+		}
+		if c.idx+1 >= len(c.r.engines) {
+			return 0, 0, false
+		}
+		c.idx++
+		c.cur = c.r.engines[c.idx].Tree.NewCursor(c.r.lowKey(c.idx))
+	}
+}
+
+// Seek repositions the cursor before the smallest key ≥ k, switching
+// shards as needed. Seeking backwards is allowed.
+func (c *Cursor) Seek(k base.Key) {
+	c.idx = c.r.shardFor(k)
+	c.cur = c.r.engines[c.idx].Tree.NewCursor(k)
+	c.err = nil
+}
+
+// Err returns the error that terminated iteration, if any.
+func (c *Cursor) Err() error { return c.err }

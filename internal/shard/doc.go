@@ -1,0 +1,38 @@
+// Package shard scales the Sagiv B-link tree horizontally: it
+// range-partitions the uint64 keyspace across N fully independent
+// Engines, each a complete instance of the paper's machinery — a
+// blink.Tree (§2–§4), its own lock table (§2.2), its own compression
+// queue and workers (§5.4), and its own reclamation epoch (§5.3).
+//
+// The paper's concurrency guarantees are per tree: searches lock
+// nothing, updates lock at most one node (Theorem 1), compressors lock
+// at most three and never deadlock (Theorem 2). Sharding multiplies
+// those guarantees rather than weakening them — a Router never holds
+// locks of two shards for one point operation, because every key maps
+// to exactly one shard. Contention (lock-table traffic, compression
+// queues, root splits, reclamation epochs) is confined to a 1/N slice
+// of the keyspace, which is what lets throughput scale with cores
+// beyond what a single tree's upper levels allow.
+//
+// Layout of the package:
+//
+//   - engine.go: Engine, the bundle of one tree plus its compression
+//     and reclamation lifecycle; OpenEngine subsumes what the
+//     public blinktree.Open used to assemble inline.
+//   - router.go: Router, the range partitioner. Point operations
+//     route by key; ordered operations (Range, Min, Max) visit
+//     shards in partition order, which is key order.
+//   - cursor.go: Cursor stitches per-shard cursors into one ascending
+//     iterator with the same at-most-once, no-locks semantics as a
+//     single tree's cursor (§2.1 footnote 3, §5.2).
+//   - batch.go: ApplyBatch groups operations by destination shard and
+//     dispatches each group on its own goroutine — amortizing routing
+//     and letting disjoint shards proceed truly in parallel.
+//
+// The partition is static: shard i owns keys [i·stride, (i+1)·stride)
+// with stride = ceil(2^64 / N). Static ranges keep routing a single
+// integer division and make cross-shard order trivial (all keys of
+// shard i precede all keys of shard i+1); the cost is that skewed
+// workloads can load shards unevenly — per-shard metrics (Router.
+// ShardStats) expose that imbalance.
+package shard

@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"fmt"
+
+	"blinktree/internal/blink"
+	"blinktree/internal/compress"
+	"blinktree/internal/locks"
+	"blinktree/internal/node"
+	"blinktree/internal/reclaim"
+	"blinktree/internal/storage"
+)
+
+// CompressionMode selects how underfull nodes are repaired.
+type CompressionMode int
+
+// Compression modes.
+const (
+	// CompressionBackground runs worker goroutines that drain the
+	// underfull queue concurrently with other operations (§5.4). The
+	// default.
+	CompressionBackground CompressionMode = iota
+	// CompressionManual enqueues underfull nodes but compresses only
+	// when Compact or DrainCompression is called.
+	CompressionManual
+	// CompressionOff never rebalances after deletions, exactly the
+	// Lehman–Yao regime the paper improves on ([8], §4).
+	CompressionOff
+)
+
+// Options configures OpenEngine. The zero value is a usable in-memory
+// engine with background compression.
+type Options struct {
+	// MinPairs is the paper's k: nodes hold between k and 2k pairs.
+	// Default blink.DefaultMinPairs.
+	MinPairs int
+	// Compression selects the repair mode. Default background.
+	Compression CompressionMode
+	// CompressorWorkers is the number of background compression
+	// goroutines (§5.4 mode 2). Default 1. Ignored unless background.
+	CompressorWorkers int
+	// Path, when non-empty, stores nodes in a file at this path through
+	// the page codec instead of in memory. PageSize (default 4096) and
+	// CachePages (default 1024, LRU buffer pool; 0 disables caching)
+	// control the paged store.
+	Path       string
+	PageSize   int
+	CachePages int
+	// RestartFromRoot disables the backtracking optimization for
+	// wrong-node restarts (§5.2); restarts then always begin at the
+	// root.
+	RestartFromRoot bool
+}
+
+// Engine bundles one blink.Tree with the private substrate the paper's
+// full system needs around it: the node store, the lock table shared
+// with compression, the reclamation epoch, the §5.4 queue compressor
+// and the §5.1 scan compressor. Every Engine is completely independent
+// of every other — nothing is shared, so N engines contend on nothing.
+type Engine struct {
+	Tree    *blink.Tree
+	store   node.Store
+	lt      locks.Locker
+	rec     *reclaim.Reclaimer
+	comp    *compress.Compressor
+	scanner *compress.Scanner
+	mode    CompressionMode
+	workers int
+	pool    *storage.BufferPool
+}
+
+// Stats aggregates the counters of an engine's tree and compressors.
+type Stats struct {
+	Tree       blink.StatsSnapshot
+	Occupancy  blink.Occupancy
+	Reclaim    reclaim.ReclaimStats
+	QueueDepth int
+	Merges     uint64
+	Redist     uint64
+	Collapses  uint64
+	// CompressorMaxLocks is the high-water of simultaneous locks held
+	// by compression (≤ 3 per the paper).
+	CompressorMaxLocks uint64
+}
+
+// OpenEngine assembles a complete engine per opts: store (memory or
+// paged file), lock table, reclaimer, tree, scanner, and — unless
+// compression is off — a queue compressor, started when background.
+func OpenEngine(opts Options) (*Engine, error) {
+	if opts.MinPairs == 0 {
+		opts.MinPairs = blink.DefaultMinPairs
+	}
+	var st node.Store
+	var pool *storage.BufferPool
+	if opts.Path != "" {
+		ps := opts.PageSize
+		if ps == 0 {
+			ps = storage.DefaultPageSize
+		}
+		if max := node.MaxPairs(ps); 2*opts.MinPairs > max {
+			return nil, fmt.Errorf("blinktree: 2k=%d pairs exceed page capacity %d for page size %d",
+				2*opts.MinPairs, max, ps)
+		}
+		fs, err := storage.NewFileStore(opts.Path, ps)
+		if err != nil {
+			return nil, err
+		}
+		var under storage.Store = fs
+		cache := opts.CachePages
+		if cache == 0 {
+			cache = 1024
+		}
+		if cache > 0 {
+			pool = storage.NewBufferPool(fs, cache)
+			under = pool
+		}
+		paged, err := node.NewPagedStore(under)
+		if err != nil {
+			return nil, err
+		}
+		st = paged
+	} else {
+		st = node.NewMemStore()
+	}
+
+	lt := locks.NewTable()
+	rec := reclaim.New(st.Free)
+	pol := blink.RestartBacktrack
+	if opts.RestartFromRoot {
+		pol = blink.RestartFromRoot
+	}
+	inner, err := blink.New(blink.Config{
+		Store:     st,
+		Locks:     lt,
+		MinPairs:  opts.MinPairs,
+		Restart:   pol,
+		Reclaimer: rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		Tree:    inner,
+		store:   st,
+		lt:      lt,
+		rec:     rec,
+		mode:    opts.Compression,
+		workers: opts.CompressorWorkers,
+		pool:    pool,
+	}
+	e.scanner = compress.NewScanner(st, lt, opts.MinPairs, rec)
+	if opts.Compression != CompressionOff {
+		e.comp = compress.NewCompressor(st, lt, opts.MinPairs, rec)
+		e.comp.Attach(inner)
+		if opts.Compression == CompressionBackground {
+			if e.workers <= 0 {
+				e.workers = 1
+			}
+			e.comp.Start(e.workers)
+		}
+	}
+	return e, nil
+}
+
+// Compact fully compresses the engine's tree: it drains the underfull
+// queue, runs scan passes (§5.1) until every non-root node holds at
+// least MinPairs pairs and the height is minimal, then frees retired
+// pages.
+func (e *Engine) Compact() error {
+	if e.comp != nil {
+		if err := e.comp.DrainOnce(); err != nil {
+			return err
+		}
+	}
+	if err := e.scanner.Compact(); err != nil {
+		return err
+	}
+	_, err := e.rec.Collect()
+	return err
+}
+
+// DrainCompression processes the pending underfull queue once without
+// running full scan passes. No-op when compression is off.
+func (e *Engine) DrainCompression() error {
+	if e.comp == nil {
+		return nil
+	}
+	if err := e.comp.DrainOnce(); err != nil {
+		return err
+	}
+	_, err := e.rec.Collect()
+	return err
+}
+
+// CollectGarbage frees pages retired by compression that no live
+// operation can still reference (§5.3).
+func (e *Engine) CollectGarbage() (int, error) { return e.rec.Collect() }
+
+// QueueDepth reports pending underfull-queue entries (0 when
+// compression is off).
+func (e *Engine) QueueDepth() int {
+	if e.comp == nil {
+		return 0
+	}
+	return e.comp.Queue().Len()
+}
+
+// Stats returns a snapshot of operation and compression counters.
+// Occupancy is gathered with a full walk; avoid calling it in hot
+// loops.
+func (e *Engine) Stats() (Stats, error) {
+	occ, err := e.Tree.OccupancyStats()
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{
+		Tree:      e.Tree.Stats(),
+		Occupancy: occ,
+		Reclaim:   e.rec.Stats(),
+	}
+	sc := e.scanner.Stats()
+	s.Merges += sc.Merges.Load()
+	s.Redist += sc.Redistributions.Load()
+	s.Collapses += sc.RootCollapses.Load()
+	if fp := sc.Footprint.Snapshot(); fp.MaxHeld > s.CompressorMaxLocks {
+		s.CompressorMaxLocks = fp.MaxHeld
+	}
+	if e.comp != nil {
+		cs := e.comp.Stats()
+		s.Merges += cs.Merges.Load()
+		s.Redist += cs.Redistributions.Load()
+		s.Collapses += cs.RootCollapses.Load()
+		s.QueueDepth = e.comp.Queue().Len()
+		if fp := cs.Footprint.Snapshot(); fp.MaxHeld > s.CompressorMaxLocks {
+			s.CompressorMaxLocks = fp.MaxHeld
+		}
+	}
+	return s, nil
+}
+
+// Close stops background compression and closes the store. The engine
+// must not be used afterwards.
+func (e *Engine) Close() error {
+	if e.comp != nil && e.mode == CompressionBackground {
+		e.comp.Stop()
+	}
+	if err := e.Tree.Close(); err != nil {
+		return err
+	}
+	return e.store.Close()
+}

@@ -1,0 +1,31 @@
+// Package storage provides the page-store substrate beneath the trees:
+// the "secondary storage" of the paper's model (§2.2). A Store hands
+// out fixed-size pages addressed by base.PageID and guarantees that
+// Read and Write of a single page are indivisible with respect to each
+// other — the property the paper's get/put primitives require, and the
+// only property the correctness proofs lean on (no ordering across
+// pages, no global atomicity).
+//
+// Map from code to the model:
+//
+//   - store.go: the Store interface (Allocate/Read/Write/Free), i.e.
+//     the paper's page-granular secondary storage with indivisible
+//     get/put (§2.2).
+//   - memstore.go: MemStore keeps pages in memory, copying under a
+//     sharded lock — the configuration every in-memory tree and test
+//     uses.
+//   - filestore.go: FileStore maps one page per fixed-size slot of a
+//     single file, the durable deployment.
+//   - bufferpool.go: BufferPool is an LRU write-back cache wrapped
+//     around another Store — the "main memory holds a few pages at a
+//     time" assumption (§2.2) made explicit and bounded.
+//   - wrappers.go: Metered counts operations and Latency injects
+//     artificial per-op delay, used by the experiment harness to
+//     simulate disks.
+//
+// The node layer (internal/node) sits directly above: it serializes
+// tree nodes through the page codec into whichever Store is
+// configured. Each shard of a sharded index (internal/shard) owns a
+// disjoint Store — with a file-backed configuration, shard i lives in
+// its own "<path>.shard<i>" file.
+package storage

@@ -1,16 +1,3 @@
-// Package storage provides the page-store substrate beneath the trees:
-// the "secondary storage" of the paper's model (§2.2). A Store hands out
-// fixed-size pages addressed by base.PageID and guarantees that Read and
-// Write of a single page are indivisible with respect to each other, the
-// property the paper's get/put primitives require.
-//
-// Implementations:
-//
-//   - MemStore: pages in memory; Read/Write copy under a sharded lock.
-//   - FileStore: pages in a single file, one page per slot.
-//   - BufferPool: an LRU write-back cache wrapped around another Store.
-//   - Metered: wraps a Store and counts operations.
-//   - Latency: wraps a Store and sleeps per operation, simulating a disk.
 package storage
 
 import (

@@ -125,6 +125,30 @@ func (h HotSet) Name() string {
 	return fmt.Sprintf("hotset(%d/%d,p=%.2f)", h.HotN, h.N, h.HotProb)
 }
 
+// Stretch scales another distribution's draws by a constant stride,
+// spreading a compact [0, N) population over the full uint64 range —
+// the shape a range-partitioned (sharded) index needs so that every
+// partition receives traffic. Order and collision structure of the
+// base distribution are preserved provided N·Stride ≤ 2^64 (larger
+// products wrap around uint64 and fold the high population back onto
+// low keys); ^uint64(0)/N + 1 is the canonical full-range stride.
+// Generators scale scan spans by Stride too, so Mix.ScanSpan stays in
+// population units.
+type Stretch struct {
+	Base   KeyDist
+	Stride uint64
+}
+
+// Draw implements KeyDist.
+func (s Stretch) Draw(rng *rand.Rand) base.Key {
+	return base.Key(uint64(s.Base.Draw(rng)) * s.Stride)
+}
+
+// Name implements KeyDist.
+func (s Stretch) Name() string {
+	return fmt.Sprintf("stretch(%s,x%d)", s.Base.Name(), s.Stride)
+}
+
 // Mix is an operation mix in percent; the parts must sum to 100.
 type Mix struct {
 	SearchPct, InsertPct, DeletePct, ScanPct int
@@ -161,6 +185,9 @@ type Generator struct {
 	rng  *rand.Rand
 	draw func() base.Key
 	mix  Mix
+	// spanScale converts Mix.ScanSpan from population units to key
+	// units (the Stretch stride, or 1).
+	spanScale uint64
 }
 
 // NewGenerator builds a Generator.
@@ -168,12 +195,23 @@ func NewGenerator(seed int64, dist KeyDist, mix Mix) (*Generator, error) {
 	if err := mix.Validate(); err != nil {
 		return nil, err
 	}
-	g := &Generator{rng: rand.New(rand.NewSource(seed)), mix: mix}
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), mix: mix, spanScale: 1}
+	// Unwrap a Stretch so the Zipf fast path below still fires and scan
+	// spans scale with the stride.
+	scale := uint64(1)
+	if st, ok := dist.(Stretch); ok {
+		scale = st.Stride
+		g.spanScale = st.Stride
+		dist = st.Base
+	}
 	if z, ok := dist.(Zipf); ok {
 		// Bind the Zipf sampler once: rand.NewZipf precomputes tables
 		// that must not be rebuilt per draw.
 		zp := rand.NewZipf(g.rng, z.skew(), 1, z.N-1)
-		g.draw = func() base.Key { return base.Key(zp.Uint64()) }
+		g.draw = func() base.Key { return base.Key(zp.Uint64() * scale) }
+	} else if scale != 1 {
+		d := dist
+		g.draw = func() base.Key { return base.Key(uint64(d.Draw(g.rng)) * scale) }
 	} else {
 		g.draw = func() base.Key { return dist.Draw(g.rng) }
 	}
@@ -196,7 +234,11 @@ func (g *Generator) Next() Op {
 		if span == 0 {
 			span = 100
 		}
-		return Op{Kind: OpScan, Key: k, Hi: k + base.Key(span)}
+		hi := k + base.Key(span*g.spanScale)
+		if hi < k { // saturate at the top of the keyspace
+			hi = base.Key(^uint64(0))
+		}
+		return Op{Kind: OpScan, Key: k, Hi: hi}
 	}
 }
 

@@ -105,6 +105,22 @@ func TestDistributions(t *testing.T) {
 	if hot < 800 {
 		t.Fatalf("hotset not hot: %d/1000", hot)
 	}
+
+	stride := ^uint64(0)/64 + 1
+	gst, _ := NewGenerator(1, Stretch{Base: Uniform{N: 64}, Stride: stride}, ReadOnly)
+	quarters := [4]int{}
+	for i := 0; i < 1000; i++ {
+		k := uint64(gst.Next().Key)
+		if k%stride != 0 {
+			t.Fatalf("stretch draw %d not on stride", k)
+		}
+		quarters[k/(stride*16)]++
+	}
+	for q, n := range quarters {
+		if n == 0 {
+			t.Fatalf("stretch never hit quarter %d of the keyspace", q)
+		}
+	}
 }
 
 func TestScanOps(t *testing.T) {
@@ -112,6 +128,42 @@ func TestScanOps(t *testing.T) {
 	op := g.Next()
 	if op.Kind != OpScan || op.Hi != op.Key+25 {
 		t.Fatalf("scan op wrong: %+v", op)
+	}
+
+	// Under Stretch, spans stay in population units: a 25-key window
+	// over the base population spans 25 strides of stretched keyspace
+	// (saturating at the top instead of wrapping).
+	stride := ^uint64(0)/100 + 1
+	gs, _ := NewGenerator(3, Stretch{Base: Uniform{N: 100}, Stride: stride},
+		Mix{ScanPct: 100, ScanSpan: 25})
+	for i := 0; i < 200; i++ {
+		op := gs.Next()
+		want := op.Key + base.Key(25*stride)
+		if want < op.Key {
+			want = base.Key(^uint64(0))
+		}
+		if op.Hi != want {
+			t.Fatalf("stretched scan span: %+v, want hi %d", op, want)
+		}
+	}
+
+	// Stretch keeps the Zipf fast path: draws must remain skewed and on
+	// stride (the sampler is bound once, not rebuilt per draw). The
+	// stride must match the population (N·Stride ≤ 2^64).
+	zstride := ^uint64(0)/1000 + 1
+	gz, _ := NewGenerator(1, Stretch{Base: Zipf{N: 1000}, Stride: zstride}, ReadOnly)
+	low := 0
+	for i := 0; i < 1000; i++ {
+		k := uint64(gz.Next().Key)
+		if k%zstride != 0 {
+			t.Fatalf("stretched zipf draw %d not on stride", k)
+		}
+		if k/zstride < 10 {
+			low++
+		}
+	}
+	if low < 300 {
+		t.Fatalf("stretched zipf not skewed: %d/1000 low draws", low)
 	}
 }
 

@@ -10,49 +10,44 @@ import (
 // snapshot stream format (little endian):
 //
 //	magic "BLTS" | version u32 | count u64 | count × (key u64, value u64)
+//
+// The format is front-end agnostic: a snapshot taken from a single
+// tree restores into a sharded index and vice versa, which is also the
+// supported path for re-partitioning (snapshot with N shards, restore
+// with M).
 var snapMagic = [4]byte{'B', 'L', 'T', 'S'}
 
 const snapVersion = 1
 
-// Snapshot writes a point-in-time copy of the logical data (all
-// key/value pairs in ascending key order) to w. Run it quiesced for an
-// exact snapshot; under concurrent mutation it degrades to the scan
-// semantics of Range.
-func (t *Tree) Snapshot(w io.Writer) error {
+// writeSnapshot streams idx's pairs in ascending key order to w.
+func writeSnapshot(idx Index, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapMagic[:]); err != nil {
 		return err
 	}
 	var hdr [12]byte
 	binary.LittleEndian.PutUint32(hdr[0:], snapVersion)
-	binary.LittleEndian.PutUint64(hdr[4:], uint64(t.Len()))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(idx.Len()))
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return err
 	}
-	count := uint64(0)
 	var pair [16]byte
-	err := t.Range(0, Key(^uint64(0)), func(k Key, v Value) bool {
+	err := idx.Range(0, Key(^uint64(0)), func(k Key, v Value) bool {
 		binary.LittleEndian.PutUint64(pair[0:], uint64(k))
 		binary.LittleEndian.PutUint64(pair[8:], uint64(v))
-		if _, err := bw.Write(pair[:]); err != nil {
-			return false
-		}
-		count++
-		return true
+		_, werr := bw.Write(pair[:])
+		return werr == nil
 	})
 	if err != nil {
 		return err
 	}
-	// Rewrite an accurate count if it drifted (concurrent mutation):
-	// the stream count is advisory; Restore trusts the pair stream and
-	// only uses the header count for preallocation.
+	// The header count is advisory (it can drift under concurrent
+	// mutation); Restore trusts the pair stream.
 	return bw.Flush()
 }
 
-// Restore loads a snapshot produced by Snapshot into the tree. The tree
-// should be freshly opened (existing keys colliding with snapshot keys
-// cause ErrDuplicate).
-func (t *Tree) Restore(r io.Reader) error {
+// readSnapshot loads a snapshot stream into idx via Insert.
+func readSnapshot(idx Index, r io.Reader) error {
 	br := bufio.NewReader(r)
 	var head [16]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
@@ -74,8 +69,28 @@ func (t *Tree) Restore(r io.Reader) error {
 		}
 		k := Key(binary.LittleEndian.Uint64(pair[0:]))
 		v := Value(binary.LittleEndian.Uint64(pair[8:]))
-		if err := t.Insert(k, v); err != nil {
+		if err := idx.Insert(k, v); err != nil {
 			return err
 		}
 	}
 }
+
+// Snapshot writes a point-in-time copy of the logical data (all
+// key/value pairs in ascending key order) to w. Run it quiesced for an
+// exact snapshot; under concurrent mutation it degrades to the scan
+// semantics of Range.
+func (t *Tree) Snapshot(w io.Writer) error { return writeSnapshot(t, w) }
+
+// Restore loads a snapshot produced by Snapshot into the tree. The tree
+// should be freshly opened (existing keys colliding with snapshot keys
+// cause ErrDuplicate).
+func (t *Tree) Restore(r io.Reader) error { return readSnapshot(t, r) }
+
+// Snapshot writes a point-in-time copy of all shards' data, in global
+// ascending key order, to w. Same semantics as Tree.Snapshot.
+func (s *Sharded) Snapshot(w io.Writer) error { return writeSnapshot(s, w) }
+
+// Restore loads a snapshot into the sharded index, routing each pair
+// to its shard — snapshots move freely between shard counts and the
+// single tree.
+func (s *Sharded) Restore(r io.Reader) error { return readSnapshot(s, r) }
