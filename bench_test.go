@@ -613,6 +613,107 @@ func BenchmarkE10BatchApply(b *testing.B) {
 	})
 }
 
+// BenchmarkE11ConditionalWrites: E11 — the atomic conditional-write
+// surface against its pre-API emulation. "atomic" upserts with one
+// descent and one leaf lock; "emulated" is what callers had to write
+// before: Search, then Delete+Insert on a hit or Insert on a miss —
+// two to three descents and no atomicity. Run single-tree and sharded;
+// the gap is the price of the emulation, and it widens with height and
+// with shard-level parallelism (more concurrent writers per second
+// paying the extra descents).
+func BenchmarkE11ConditionalWrites(b *testing.B) {
+	const keySpace = 1 << 18
+	const preload = 50000
+	build := func(b *testing.B, shards int) Index {
+		var idx Index
+		var err error
+		if shards > 1 {
+			idx, err = OpenSharded(shards, Options{})
+		} else {
+			idx, err = Open(Options{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		stride := ^uint64(0)/keySpace + 1
+		for i := 0; i < preload; i++ {
+			k := Key(uint64(i) * (keySpace / preload) * stride)
+			if err := idx.Insert(k, Value(k)); err != nil && !errors.Is(err, ErrDuplicate) {
+				b.Fatal(err)
+			}
+		}
+		return idx
+	}
+	drive := func(b *testing.B, idx Index, emulated bool) {
+		stride := ^uint64(0)/keySpace + 1
+		var seed atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			rng := seed.Add(1) * 104729
+			i := 0
+			for pb.Next() {
+				// Write-heavy: 75% upsert, 25% read-modify-write.
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := Key((uint64(rng>>11) % keySpace) * stride)
+				if i++; i%4 != 0 {
+					if emulated {
+						if _, err := idx.Search(k); err == nil {
+							if err := idx.Delete(k); err != nil && !errors.Is(err, ErrNotFound) {
+								b.Error(err)
+								return
+							}
+						}
+						if err := idx.Insert(k, Value(k)); err != nil && !errors.Is(err, ErrDuplicate) {
+							b.Error(err)
+							return
+						}
+					} else if _, _, err := idx.Upsert(k, Value(k)); err != nil {
+						b.Error(err)
+						return
+					}
+				} else {
+					if emulated {
+						v, err := idx.Search(k)
+						if errors.Is(err, ErrNotFound) {
+							continue
+						}
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := idx.Delete(k); err != nil && !errors.Is(err, ErrNotFound) {
+							b.Error(err)
+							return
+						}
+						if err := idx.Insert(k, v); err != nil && !errors.Is(err, ErrDuplicate) {
+							b.Error(err)
+							return
+						}
+					} else if _, err := idx.Update(k, func(v Value) Value { return v }); err != nil && !errors.Is(err, ErrNotFound) {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		})
+	}
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{{"tree", 1}, {"sharded=8", 8}} {
+		for _, mode := range []struct {
+			name     string
+			emulated bool
+		}{{"atomic", false}, {"emulated", true}} {
+			b.Run(fmt.Sprintf("%s/%s", cfg.name, mode.name), func(b *testing.B) {
+				idx := build(b, cfg.shards)
+				defer idx.Close()
+				drive(b, idx, mode.emulated)
+			})
+		}
+	}
+}
+
 // BenchmarkCoarseFloor pins the coarse baseline cost for reference.
 func BenchmarkCoarseFloor(b *testing.B) {
 	tr, err := coarse.New(16)

@@ -24,10 +24,24 @@
 //	defer t.Close()
 //	_ = t.Insert(42, 420)
 //	v, err := t.Search(42)
-//	_ = t.Range(0, 100, func(k blinktree.Key, v blinktree.Value) bool {
+//	for k, v := range t.All() {
 //		fmt.Println(k, v)
-//		return true
-//	})
+//	}
+//
+// Beyond the paper's Search/Insert/Delete, both front-ends expose
+// atomic conditional writes — the read-modify-write shapes serving
+// workloads are made of — implemented inside the same protocol (one
+// descent, the decision under the single held leaf lock):
+//
+//	old, existed, _ := t.Upsert(42, 421)              // put, returning what was there
+//	v, loaded, _ := t.GetOrInsert(7, 70)              // the cache idiom
+//	v, _ = t.Update(42, func(v Value) Value { return v + 1 })
+//	swapped, _ := t.CompareAndSwap(42, v, 1000)
+//	deleted, _ := t.CompareAndDelete(7, 70)
+//
+// Iteration is Go 1.23 range-over-func: All, Ascend(lo, hi) and
+// Descend(hi, lo) on both front-ends, plus explicit Cursor /
+// ReverseCursor types; the callback Range remains.
 //
 // By default compression runs in the background: deletions that leave a
 // leaf underfull enqueue it, and worker goroutines compress it
@@ -38,6 +52,7 @@ package blinktree
 
 import (
 	"io"
+	"iter"
 
 	"blinktree/internal/base"
 	"blinktree/internal/blink"
@@ -108,9 +123,35 @@ type Index interface {
 	Search(k Key) (Value, error)
 	// Delete removes k, or returns ErrNotFound.
 	Delete(k Key) error
+	// Upsert stores v under k unconditionally, returning the previous
+	// value and whether one existed. Atomic: one descent, the decision
+	// under the single held leaf lock.
+	Upsert(k Key, v Value) (old Value, existed bool, err error)
+	// GetOrInsert returns the value under k, inserting v first when k
+	// is absent; loaded reports whether it was already present.
+	GetOrInsert(k Key, v Value) (actual Value, loaded bool, err error)
+	// Update atomically replaces the value under k with fn(current) and
+	// returns the new value, or ErrNotFound. fn runs under the held
+	// leaf lock and may be re-invoked after internal restarts; keep it
+	// fast and side-effect free.
+	Update(k Key, fn func(Value) Value) (Value, error)
+	// CompareAndSwap replaces k's value with new only when it equals
+	// old. A missing key is ErrNotFound; a mismatch is (false, nil).
+	CompareAndSwap(k Key, old, new Value) (swapped bool, err error)
+	// CompareAndDelete removes k only when its value equals old, with
+	// the same convention as CompareAndSwap.
+	CompareAndDelete(k Key, old Value) (deleted bool, err error)
 	// Range calls fn for each pair with lo ≤ key ≤ hi in ascending
 	// order, stopping early if fn returns false.
 	Range(lo, hi Key, fn func(Key, Value) bool) error
+	// All returns a range-over-func iterator over every pair in
+	// ascending key order: for k, v := range idx.All() { ... }.
+	All() iter.Seq2[Key, Value]
+	// Ascend returns an iterator over lo ≤ key ≤ hi, ascending.
+	Ascend(lo, hi Key) iter.Seq2[Key, Value]
+	// Descend returns an iterator over lo ≤ key ≤ hi in descending
+	// order, from hi down to lo.
+	Descend(hi, lo Key) iter.Seq2[Key, Value]
 	// Min returns the smallest stored pair, or ErrNotFound when empty.
 	Min() (Key, Value, error)
 	// Max returns the largest stored pair, or ErrNotFound when empty.
@@ -190,11 +231,58 @@ func (t *Tree) Search(k Key) (Value, error) { return t.eng.Tree.Search(k) }
 // Delete removes k, or returns ErrNotFound.
 func (t *Tree) Delete(k Key) error { return t.eng.Tree.Delete(k) }
 
+// Upsert stores v under k unconditionally, returning the previous
+// value and whether one existed. It is atomic under the paper's
+// protocol — one descent, the present/absent decision taken while the
+// single leaf lock is held — unlike a Search+Insert emulation.
+func (t *Tree) Upsert(k Key, v Value) (Value, bool, error) { return t.eng.Tree.Upsert(k, v) }
+
+// GetOrInsert returns the value under k, inserting v first when k is
+// absent; loaded reports whether it was already present.
+func (t *Tree) GetOrInsert(k Key, v Value) (Value, bool, error) {
+	return t.eng.Tree.GetOrInsert(k, v)
+}
+
+// Update atomically replaces the value under k with fn(current) and
+// returns the new value, or ErrNotFound. fn runs under the held leaf
+// lock and may be re-invoked after internal restarts; keep it fast and
+// side-effect free.
+func (t *Tree) Update(k Key, fn func(Value) Value) (Value, error) {
+	return t.eng.Tree.Update(k, fn)
+}
+
+// CompareAndSwap replaces k's value with new only when it equals old.
+// A missing key is ErrNotFound; a mismatch is (false, nil).
+func (t *Tree) CompareAndSwap(k Key, old, new Value) (bool, error) {
+	return t.eng.Tree.CompareAndSwap(k, old, new)
+}
+
+// CompareAndDelete removes k only when its value equals old, with the
+// same convention as CompareAndSwap.
+func (t *Tree) CompareAndDelete(k Key, old Value) (bool, error) {
+	return t.eng.Tree.CompareAndDelete(k, old)
+}
+
 // Range calls fn for each pair with lo ≤ key ≤ hi in ascending order,
 // stopping early if fn returns false.
 func (t *Tree) Range(lo, hi Key, fn func(Key, Value) bool) error {
 	return t.eng.Tree.Range(lo, hi, fn)
 }
+
+// All returns a range-over-func iterator over every pair in ascending
+// key order. It holds no locks; see NewCursor for the semantics under
+// concurrent mutation.
+func (t *Tree) All() iter.Seq2[Key, Value] { return t.eng.Tree.All() }
+
+// Ascend returns an iterator over the pairs with lo ≤ key ≤ hi in
+// ascending key order.
+func (t *Tree) Ascend(lo, hi Key) iter.Seq2[Key, Value] { return t.eng.Tree.Ascend(lo, hi) }
+
+// Descend returns an iterator over the pairs with lo ≤ key ≤ hi in
+// descending key order, from hi down to lo. Reverse order has no link
+// chain to ride (splits only ever create right links), so each leaf
+// hop costs one O(height) descent; see NewReverseCursor.
+func (t *Tree) Descend(hi, lo Key) iter.Seq2[Key, Value] { return t.eng.Tree.Descend(hi, lo) }
 
 // Min returns the smallest stored pair, or ErrNotFound when empty.
 func (t *Tree) Min() (Key, Value, error) { return t.eng.Tree.Min() }
@@ -237,8 +325,20 @@ func (t *Tree) Close() error { return t.eng.Close() }
 // most once, no locks held).
 type Cursor = blink.Cursor
 
+// ReverseCursor iterates pairs in descending key order: strictly
+// descending, each key at most once, no locks held. Each leaf hop
+// re-descends for the predecessor (B-link trees have no left links),
+// costing O(height) per leaf instead of one link read.
+type ReverseCursor = blink.ReverseCursor
+
 // NewCursor returns a cursor positioned before the smallest key ≥ start.
 func (t *Tree) NewCursor(start Key) *Cursor { return t.eng.Tree.NewCursor(start) }
+
+// NewReverseCursor returns a cursor positioned before the largest key
+// ≤ start.
+func (t *Tree) NewReverseCursor(start Key) *ReverseCursor {
+	return t.eng.Tree.NewReverseCursor(start)
+}
 
 // NewIterator returns the same cursor as NewCursor behind the Iterator
 // interface.
@@ -307,11 +407,46 @@ func (s *Sharded) Search(k Key) (Value, error) { return s.r.Search(k) }
 // Delete removes k from its shard, or returns ErrNotFound.
 func (s *Sharded) Delete(k Key) error { return s.r.Delete(k) }
 
+// Upsert stores v under k in k's shard, returning the previous value
+// and whether one existed. Atomic within the owning shard, like every
+// point operation.
+func (s *Sharded) Upsert(k Key, v Value) (Value, bool, error) { return s.r.Upsert(k, v) }
+
+// GetOrInsert returns the value under k, inserting v first when k is
+// absent from its shard.
+func (s *Sharded) GetOrInsert(k Key, v Value) (Value, bool, error) { return s.r.GetOrInsert(k, v) }
+
+// Update atomically replaces the value under k with fn(current) in k's
+// shard, or returns ErrNotFound.
+func (s *Sharded) Update(k Key, fn func(Value) Value) (Value, error) { return s.r.Update(k, fn) }
+
+// CompareAndSwap replaces k's value with new only when it equals old.
+func (s *Sharded) CompareAndSwap(k Key, old, new Value) (bool, error) {
+	return s.r.CompareAndSwap(k, old, new)
+}
+
+// CompareAndDelete removes k only when its value equals old.
+func (s *Sharded) CompareAndDelete(k Key, old Value) (bool, error) {
+	return s.r.CompareAndDelete(k, old)
+}
+
 // Range calls fn for each pair with lo ≤ key ≤ hi in ascending order
 // across all shards, stopping early if fn returns false.
 func (s *Sharded) Range(lo, hi Key, fn func(Key, Value) bool) error {
 	return s.r.Range(lo, hi, fn)
 }
+
+// All returns a range-over-func iterator over every pair of every
+// shard in ascending key order.
+func (s *Sharded) All() iter.Seq2[Key, Value] { return s.r.All() }
+
+// Ascend returns an iterator over lo ≤ key ≤ hi, ascending, crossing
+// shard boundaries transparently.
+func (s *Sharded) Ascend(lo, hi Key) iter.Seq2[Key, Value] { return s.r.Ascend(lo, hi) }
+
+// Descend returns an iterator over lo ≤ key ≤ hi in descending order,
+// from hi down to lo, visiting shards right to left.
+func (s *Sharded) Descend(hi, lo Key) iter.Seq2[Key, Value] { return s.r.Descend(hi, lo) }
 
 // Min returns the smallest stored pair, or ErrNotFound when empty.
 func (s *Sharded) Min() (Key, Value, error) { return s.r.Min() }
@@ -329,9 +464,20 @@ func (s *Sharded) Height() int { return s.r.Height() }
 // stitching per-shard cursors end to end.
 type ShardedCursor = shard.Cursor
 
+// ShardedReverseCursor iterates all shards in descending key order,
+// stitching per-shard reverse cursors right to left.
+type ShardedReverseCursor = shard.ReverseCursor
+
 // NewCursor returns a cursor positioned before the smallest key ≥
-// start, in whichever shard owns it.
+// start, in whichever shard owns it — routed directly, like point
+// operations, with no probes of other shards.
 func (s *Sharded) NewCursor(start Key) *ShardedCursor { return s.r.NewCursor(start) }
+
+// NewReverseCursor returns a cursor positioned before the largest key
+// ≤ start, in whichever shard owns it.
+func (s *Sharded) NewReverseCursor(start Key) *ShardedReverseCursor {
+	return s.r.NewReverseCursor(start)
+}
 
 // NewIterator returns the same cursor as NewCursor behind the Iterator
 // interface.
@@ -350,11 +496,16 @@ type BatchOp = shard.Op
 // BatchResult is the outcome of one batched operation.
 type BatchResult = shard.Result
 
-// Batched operation kinds for BatchOp.Kind.
+// Batched operation kinds for BatchOp.Kind. Update is not batchable
+// (it carries a function); every other logical operation is.
 const (
-	BatchSearch = shard.OpSearch
-	BatchInsert = shard.OpInsert
-	BatchDelete = shard.OpDelete
+	BatchSearch           = shard.OpSearch
+	BatchInsert           = shard.OpInsert
+	BatchDelete           = shard.OpDelete
+	BatchUpsert           = shard.OpUpsert
+	BatchGetOrInsert      = shard.OpGetOrInsert
+	BatchCompareAndSwap   = shard.OpCompareAndSwap
+	BatchCompareAndDelete = shard.OpCompareAndDelete
 )
 
 // ApplyBatch groups ops by destination shard and dispatches each

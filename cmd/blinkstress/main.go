@@ -16,7 +16,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +33,7 @@ func main() {
 	compressors := flag.Int("compressors", 2, "background compression workers per tree")
 	k := flag.Int("k", 4, "minimum pairs per node")
 	keys := flag.Uint64("keys", 100000, "key population size")
-	mixName := flag.String("mix", "balanced", "read-only|read-mostly|balanced|insert-heavy|delete-heavy|write-only")
+	mixName := flag.String("mix", "balanced", "read-only|read-mostly|balanced|insert-heavy|delete-heavy|write-only|upsert-heavy|rmw")
 	shards := flag.Int("shards", 1, "range partitions (1 = single tree)")
 	flag.Parse()
 
@@ -45,6 +44,8 @@ func main() {
 		"insert-heavy": workload.InsertHeavy,
 		"delete-heavy": workload.DeleteHeavy,
 		"write-only":   workload.WriteOnly,
+		"upsert-heavy": workload.UpsertHeavy,
+		"rmw":          workload.RMW,
 	}
 	mix, ok := mixes[*mixName]
 	if !ok {
@@ -94,6 +95,7 @@ func main() {
 		*workers, *compressors, *mixName, *k, *keys, *shards, *dur)
 
 	var ops, failures atomic.Uint64
+	var kindOps [workload.NumOpKinds]atomic.Uint64
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for w := 0; w < *workers; w++ {
@@ -113,12 +115,13 @@ func main() {
 				default:
 				}
 				op := gen.Next()
-				if err := apply(tr, op); err != nil {
+				if _, err := workload.Apply(tr, op); err != nil {
 					failures.Add(1)
 					fmt.Fprintf(os.Stderr, "worker %d: %v on %+v\n", w, err, op)
 					return
 				}
 				ops.Add(1)
+				kindOps[op.Kind].Add(1)
 			}
 		}(w)
 	}
@@ -183,7 +186,7 @@ loop:
 	if err != nil {
 		fatal("stats", err)
 	}
-	if st.Tree.InsertLocks.MaxHeld > 1 || st.Tree.DeleteLocks.MaxHeld > 1 {
+	if st.Tree.InsertLocks.MaxHeld > 1 || st.Tree.DeleteLocks.MaxHeld > 1 || st.Tree.CondLocks.MaxHeld > 1 {
 		fatal("locks", fmt.Errorf("update footprint exceeded 1: %+v", st.Tree))
 	}
 	if st.CompressorMaxLocks > 3 {
@@ -196,37 +199,23 @@ loop:
 	fmt.Printf("      occupancy: %d nodes, height %d, %d underfull, mean fill %.2f; pages freed %d\n",
 		st.Occupancy.Nodes, st.Occupancy.Height, st.Occupancy.Underfull,
 		st.Occupancy.MeanFill, st.Reclaim.Freed)
+	fmt.Println("      per-op-kind throughput:")
+	for kind := workload.OpKind(0); kind < workload.NumOpKinds; kind++ {
+		n := kindOps[kind].Load()
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("        %-7s %12d ops  %12.0f ops/s\n", kind, n, float64(n)/dur.Seconds())
+	}
 	if sh != nil {
 		fmt.Println("      shard balance (routed ops / pairs / height):")
 		for _, ss := range sh.ShardStats() {
-			routed := ss.Searches + ss.Inserts + ss.Deletes + ss.Scans
+			routed := ss.Searches + ss.Inserts + ss.Deletes + ss.Upserts +
+				ss.Updates + ss.Cas + ss.Scans
 			fmt.Printf("        shard %2d: %9d ops  %7d pairs  height %d\n",
 				ss.Shard, routed, ss.Len, ss.Height)
 		}
 	}
-}
-
-func apply(tr blinktree.Index, op workload.Op) error {
-	switch op.Kind {
-	case workload.OpSearch:
-		_, err := tr.Search(op.Key)
-		if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
-			return err
-		}
-	case workload.OpInsert:
-		err := tr.Insert(op.Key, blinktree.Value(op.Key))
-		if err != nil && !errors.Is(err, blinktree.ErrDuplicate) {
-			return err
-		}
-	case workload.OpDelete:
-		err := tr.Delete(op.Key)
-		if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
-			return err
-		}
-	default:
-		return tr.Range(op.Key, op.Hi, func(blinktree.Key, blinktree.Value) bool { return true })
-	}
-	return nil
 }
 
 func fatal(what string, err error) {

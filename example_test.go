@@ -28,6 +28,81 @@ func Example() {
 	// 7 not found
 }
 
+// Upsert and friends are atomic read-modify-write operations: one
+// descent, with the present/absent decision taken under the single
+// held leaf lock — no racy Search+Insert pairs.
+func ExampleTree_Upsert() {
+	t, _ := blinktree.Open(blinktree.Options{})
+	defer t.Close()
+
+	old, existed, _ := t.Upsert(1, 100)
+	fmt.Println(old, existed)
+	old, existed, _ = t.Upsert(1, 200)
+	fmt.Println(old, existed)
+
+	v, _ := t.Update(1, func(v blinktree.Value) blinktree.Value { return v + 5 })
+	fmt.Println(v)
+
+	swapped, _ := t.CompareAndSwap(1, 205, 300)
+	fmt.Println(swapped)
+	deleted, _ := t.CompareAndDelete(1, 999) // stale expectation
+	fmt.Println(deleted)
+	// Output:
+	// 0 false
+	// 100 true
+	// 205
+	// true
+	// false
+}
+
+// All, Ascend and Descend are range-over-func iterators (Go 1.23).
+func ExampleTree_All() {
+	t, _ := blinktree.Open(blinktree.Options{})
+	defer t.Close()
+	for _, k := range []blinktree.Key{5, 1, 9, 3} {
+		_ = t.Insert(k, blinktree.Value(k*10))
+	}
+	for k, v := range t.All() {
+		fmt.Println(k, v)
+	}
+	// Output:
+	// 1 10
+	// 3 30
+	// 5 50
+	// 9 90
+}
+
+// Descend walks a window in reverse key order.
+func ExampleTree_Descend() {
+	t, _ := blinktree.Open(blinktree.Options{})
+	defer t.Close()
+	for i := 0; i < 10; i++ {
+		_ = t.Insert(blinktree.Key(i), blinktree.Value(i))
+	}
+	for k := range t.Descend(7, 4) {
+		fmt.Println(k)
+	}
+	// Output:
+	// 7
+	// 6
+	// 5
+	// 4
+}
+
+// GetOrInsert is the cache idiom: one atomic lookup-or-fill.
+func ExampleSharded_GetOrInsert() {
+	s := blinktree.NewSharded(4)
+	defer s.Close()
+
+	v, loaded, _ := s.GetOrInsert(42, 420)
+	fmt.Println(v, loaded)
+	v, loaded, _ = s.GetOrInsert(42, 999)
+	fmt.Println(v, loaded)
+	// Output:
+	// 420 false
+	// 420 true
+}
+
 // Range scans pairs in ascending key order through the leaf links.
 func ExampleTree_Range() {
 	t, _ := blinktree.Open(blinktree.Options{})

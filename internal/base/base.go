@@ -126,8 +126,14 @@ var (
 
 // Tree is the logical-operation interface of the paper (§4): searches,
 // insertions and deletions over (key, record-pointer) pairs, plus a
-// sequential scan over the leaf chain. All implementations are safe for
-// concurrent use unless documented otherwise.
+// sequential scan over the leaf chain — widened with the conditional
+// writes (Upsert, GetOrInsert, Update, CompareAndSwap,
+// CompareAndDelete) real serving workloads are shaped around. Each
+// conditional write is a single atomic logical operation: the
+// present/absent decision and the applied write are indivisible, which
+// an emulation by Search followed by Insert/Delete is not. All
+// implementations are safe for concurrent use unless documented
+// otherwise.
 type Tree interface {
 	// Search returns the value stored under k, or ErrNotFound.
 	Search(k Key) (Value, error)
@@ -135,6 +141,27 @@ type Tree interface {
 	Insert(k Key, v Value) error
 	// Delete removes k. It returns ErrNotFound if k is absent.
 	Delete(k Key) error
+	// Upsert stores v under k unconditionally, returning the previously
+	// stored value and whether one existed.
+	Upsert(k Key, v Value) (old Value, existed bool, err error)
+	// GetOrInsert returns the value stored under k, inserting v first
+	// when k is absent. loaded reports whether the value was already
+	// present.
+	GetOrInsert(k Key, v Value) (actual Value, loaded bool, err error)
+	// Update atomically replaces the value under k with fn(current) and
+	// returns the new value, or ErrNotFound when k is absent. fn runs
+	// under the implementation's write lock and may be re-invoked after
+	// internal restarts; it must be fast and side-effect free.
+	Update(k Key, fn func(Value) Value) (Value, error)
+	// CompareAndSwap replaces the value under k with new only when the
+	// stored value equals old, reporting whether it swapped. A missing
+	// key is ErrNotFound; a present key with a different value is
+	// (false, nil).
+	CompareAndSwap(k Key, old, new Value) (swapped bool, err error)
+	// CompareAndDelete removes k only when the stored value equals old,
+	// reporting whether it deleted, with the same error convention as
+	// CompareAndSwap.
+	CompareAndDelete(k Key, old Value) (deleted bool, err error)
 	// Range calls fn for each pair with lo ≤ key ≤ hi in ascending order,
 	// stopping early if fn returns false.
 	Range(lo, hi Key, fn func(Key, Value) bool) error

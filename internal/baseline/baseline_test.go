@@ -8,6 +8,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"blinktree/internal/base"
@@ -166,6 +167,69 @@ func TestAllTreesConcurrentStress(t *testing.T) {
 			if c, ok := tr.(checker); ok {
 				if err := c.Check(); err != nil {
 					t.Fatalf("Check after stress: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestAllTreesConcurrentCASHotKey hammers one hot key with CAS
+// increments from every implementation: conditional writes must be
+// atomic under each locking protocol, so the final value equals the
+// number of successful swaps — no lost updates, ever.
+func TestAllTreesConcurrentCASHotKey(t *testing.T) {
+	for name, tr := range trees(t) {
+		t.Run(name, func(t *testing.T) {
+			const hot = base.Key(400)
+			if err := tr.Insert(hot, 0); err != nil {
+				t.Fatal(err)
+			}
+			const workers, attempts = 6, 1500
+			var swaps atomic.Uint64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w) * 31))
+					for i := 0; i < attempts; i++ {
+						cur, err := tr.Search(hot)
+						if err != nil {
+							t.Errorf("search: %v", err)
+							return
+						}
+						ok, err := tr.CompareAndSwap(hot, cur, cur+1)
+						if err != nil {
+							t.Errorf("cas: %v", err)
+							return
+						}
+						if ok {
+							swaps.Add(1)
+						}
+						// Neighbour churn keeps the hot leaf splitting.
+						k := hot + 1 + base.Key(rng.Intn(64))
+						if i%2 == 0 {
+							_, _, _ = tr.Upsert(k, base.Value(k))
+						} else {
+							_, _ = tr.CompareAndDelete(k, base.Value(k))
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			final, err := tr.Search(hot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if uint64(final) != swaps.Load() {
+				t.Fatalf("final %d != %d successful swaps: lost updates", final, swaps.Load())
+			}
+			if swaps.Load() == 0 {
+				t.Fatal("no swap ever succeeded")
+			}
+			if c, ok := tr.(checker); ok {
+				if err := c.Check(); err != nil {
+					t.Fatalf("Check after CAS stress: %v", err)
 				}
 			}
 		})

@@ -58,6 +58,56 @@ func (c *Tree) Delete(k base.Key) error {
 	return c.t.Delete(k)
 }
 
+// Upsert implements base.Tree.
+func (c *Tree) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, false, base.ErrClosed
+	}
+	return c.t.Upsert(k, v)
+}
+
+// GetOrInsert implements base.Tree.
+func (c *Tree) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, false, base.ErrClosed
+	}
+	return c.t.GetOrInsert(k, v)
+}
+
+// Update implements base.Tree.
+func (c *Tree) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, base.ErrClosed
+	}
+	return c.t.Update(k, fn)
+}
+
+// CompareAndSwap implements base.Tree.
+func (c *Tree) CompareAndSwap(k base.Key, old, new base.Value) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false, base.ErrClosed
+	}
+	return c.t.CompareAndSwap(k, old, new)
+}
+
+// CompareAndDelete implements base.Tree.
+func (c *Tree) CompareAndDelete(k base.Key, old base.Value) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false, base.ErrClosed
+	}
+	return c.t.CompareAndDelete(k, old)
+}
+
 // Range implements base.Tree.
 func (c *Tree) Range(lo, hi base.Key, fn func(base.Key, base.Value) bool) error {
 	c.mu.RLock()

@@ -17,9 +17,13 @@ type outcome struct {
 }
 
 func doOp(tr base.Tree, kind uint8, k base.Key) (outcome, error) {
-	switch kind % 3 {
+	// Values are derived deterministically from kind and key so that
+	// all implementations receive identical sequences and upserted
+	// values vary across repeated visits to the same key.
+	v := base.Value(k)*3 + base.Value(kind) + 1
+	switch kind % 8 {
 	case 0:
-		err := tr.Insert(k, base.Value(k)*3+1)
+		err := tr.Insert(k, v)
 		switch {
 		case err == nil:
 			return outcome{kind: "inserted"}, nil
@@ -38,6 +42,56 @@ func doOp(tr base.Tree, kind uint8, k base.Key) (outcome, error) {
 		default:
 			return outcome{}, err
 		}
+	case 2:
+		old, existed, err := tr.Upsert(k, v)
+		if err != nil {
+			return outcome{}, err
+		}
+		if existed {
+			return outcome{kind: "upserted-over", value: old}, nil
+		}
+		return outcome{kind: "upserted-new"}, nil
+	case 3:
+		got, loaded, err := tr.GetOrInsert(k, v)
+		if err != nil {
+			return outcome{}, err
+		}
+		if loaded {
+			return outcome{kind: "loaded", value: got}, nil
+		}
+		return outcome{kind: "stored", value: got}, nil
+	case 4:
+		got, err := tr.Update(k, func(cur base.Value) base.Value { return cur + 7 })
+		switch {
+		case err == nil:
+			return outcome{kind: "updated", value: got}, nil
+		case errors.Is(err, base.ErrNotFound):
+			return outcome{kind: "update-missing"}, nil
+		default:
+			return outcome{}, err
+		}
+	case 5:
+		// Expected value right half the time (whenever the key's value
+		// was last written by an op that stored v for this kind-class).
+		ok, err := tr.CompareAndSwap(k, v, v+1)
+		switch {
+		case err == nil:
+			return outcome{kind: fmt.Sprintf("cas=%v", ok)}, nil
+		case errors.Is(err, base.ErrNotFound):
+			return outcome{kind: "cas-missing"}, nil
+		default:
+			return outcome{}, err
+		}
+	case 6:
+		ok, err := tr.CompareAndDelete(k, v)
+		switch {
+		case err == nil:
+			return outcome{kind: fmt.Sprintf("cad=%v", ok)}, nil
+		case errors.Is(err, base.ErrNotFound):
+			return outcome{kind: "cad-missing"}, nil
+		default:
+			return outcome{}, err
+		}
 	default:
 		v, err := tr.Search(k)
 		switch {
@@ -51,8 +105,9 @@ func doOp(tr base.Tree, kind uint8, k base.Key) (outcome, error) {
 	}
 }
 
-// TestDifferentialAllTrees applies identical random op sequences to all
-// four implementations and demands bit-identical outcomes — Theorem 1's
+// TestDifferentialAllTrees applies identical random op sequences — the
+// paper's three operations plus every conditional write — to all four
+// implementations and demands bit-identical outcomes — Theorem 1's
 // data equivalence checked across independent codebases.
 func TestDifferentialAllTrees(t *testing.T) {
 	type op struct {
@@ -72,25 +127,26 @@ func TestDifferentialAllTrees(t *testing.T) {
 				got, err := doOp(impls[name], o.Kind, k)
 				if err != nil || got != ref {
 					fmt.Printf("divergence at op %d (%v on %d): %s=%v vs %s=%v\n",
-						i, o.Kind%3, k, names[0], ref, name, got)
+						i, o.Kind%8, k, names[0], ref, name, got)
 					return false
 				}
 			}
 		}
-		// Final state identical: lengths and full scans agree.
+		// Final state identical: lengths and full scans (pairs, not
+		// just keys — upserted values must agree too).
 		refLen := impls[names[0]].Len()
-		var refScan []base.Key
+		var refScan []base.Item
 		_ = impls[names[0]].Range(0, 1000, func(k base.Key, v base.Value) bool {
-			refScan = append(refScan, k)
+			refScan = append(refScan, base.Item{Key: k, Value: v})
 			return true
 		})
 		for _, name := range names[1:] {
 			if impls[name].Len() != refLen {
 				return false
 			}
-			var scan []base.Key
+			var scan []base.Item
 			_ = impls[name].Range(0, 1000, func(k base.Key, v base.Value) bool {
-				scan = append(scan, k)
+				scan = append(scan, base.Item{Key: k, Value: v})
 				return true
 			})
 			if len(scan) != len(refScan) {

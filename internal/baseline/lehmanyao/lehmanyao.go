@@ -47,6 +47,7 @@ type Tree struct {
 	closed atomic.Bool
 
 	searches, inserts, deletes atomic.Uint64
+	conds                      atomic.Uint64 // conditional writes
 	splits, linkHops           atomic.Uint64
 	insertFP, deleteFP         locks.FootprintStats
 }
@@ -196,6 +197,20 @@ func (t *Tree) lockedMoveright(h *locks.Holder, n *node.Node, k base.Key) (*node
 	return n, nil
 }
 
+// lockedLeaf descends to k's leaf, locks it, re-reads it and moves
+// right under lock coupling, returning the locked current snapshot.
+func (t *Tree) lockedLeaf(h *locks.Holder, k base.Key, stack *[]base.PageID) (*node.Node, error) {
+	n, err := t.descend(k, stack)
+	if err != nil {
+		return nil, err
+	}
+	h.Lock(n.ID)
+	if n, err = t.store.Get(n.ID); err != nil {
+		return nil, err
+	}
+	return t.lockedMoveright(h, n, k)
+}
+
 // Insert stores v under k using the original Lehman–Yao protocol: on a
 // split, the child's lock is retained while the parent is locked and
 // moved-right, holding 2–3 locks simultaneously during the upward pass.
@@ -211,23 +226,21 @@ func (t *Tree) Insert(k base.Key, v base.Value) error {
 	}()
 
 	var stack []base.PageID
-	n, err := t.descend(k, &stack)
+	n, err := t.lockedLeaf(h, k, &stack)
 	if err != nil {
-		return err
-	}
-	// Lock the leaf, re-read, and move right under lock coupling.
-	h.Lock(n.ID)
-	if n, err = t.store.Get(n.ID); err != nil {
-		return err
-	}
-	if n, err = t.lockedMoveright(h, n, k); err != nil {
 		return err
 	}
 	if _, dup := n.LeafFind(k); dup {
 		h.Unlock(n.ID)
 		return base.ErrDuplicate
 	}
+	return t.placeFrom(h, n, k, v, stack)
+}
 
+// placeFrom performs the upward placement half of an insertion,
+// starting from the locked leaf n with the key known to be absent.
+func (t *Tree) placeFrom(h *locks.Holder, n *node.Node, k base.Key, v base.Value, stack []base.PageID) error {
+	var err error
 	pendKey, pendVal, pendChild := k, v, base.NilPage
 	level := 0
 	for {
@@ -403,15 +416,8 @@ func (t *Tree) Delete(k base.Key) error {
 		t.deleteFP.Record(h)
 	}()
 
-	n, err := t.descend(k, nil)
+	n, err := t.lockedLeaf(h, k, nil)
 	if err != nil {
-		return err
-	}
-	h.Lock(n.ID)
-	if n, err = t.store.Get(n.ID); err != nil {
-		return err
-	}
-	if n, err = t.lockedMoveright(h, n, k); err != nil {
 		return err
 	}
 	n2 := n.DeleteLeafPair(k)
@@ -425,6 +431,150 @@ func (t *Tree) Delete(k base.Key) error {
 	h.Unlock(n.ID)
 	t.length.Add(-1)
 	return nil
+}
+
+// Upsert stores v under k, returning the previous value and whether
+// one existed. The decision happens under the held leaf lock; an
+// absent key continues as an ordinary Lehman–Yao insertion.
+func (t *Tree) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	if err := t.checkOpen(); err != nil {
+		return 0, false, err
+	}
+	t.conds.Add(1)
+	h := locks.NewHolder(t.lt)
+	defer func() {
+		h.UnlockAll()
+		t.insertFP.Record(h)
+	}()
+	var stack []base.PageID
+	n, err := t.lockedLeaf(h, k, &stack)
+	if err != nil {
+		return 0, false, err
+	}
+	if old, ok := n.LeafFind(k); ok {
+		if err := t.store.Put(n.SetLeafValue(k, v)); err != nil {
+			return 0, false, err
+		}
+		h.Unlock(n.ID)
+		return old, true, nil
+	}
+	return 0, false, t.placeFrom(h, n, k, v, stack)
+}
+
+// GetOrInsert returns the value under k, inserting v first when absent.
+func (t *Tree) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	if err := t.checkOpen(); err != nil {
+		return 0, false, err
+	}
+	t.conds.Add(1)
+	h := locks.NewHolder(t.lt)
+	defer func() {
+		h.UnlockAll()
+		t.insertFP.Record(h)
+	}()
+	var stack []base.PageID
+	n, err := t.lockedLeaf(h, k, &stack)
+	if err != nil {
+		return 0, false, err
+	}
+	if old, ok := n.LeafFind(k); ok {
+		h.Unlock(n.ID)
+		return old, true, nil
+	}
+	return v, false, t.placeFrom(h, n, k, v, stack)
+}
+
+// Update replaces the value under k with fn(current), or ErrNotFound.
+func (t *Tree) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
+	if err := t.checkOpen(); err != nil {
+		return 0, err
+	}
+	t.conds.Add(1)
+	h := locks.NewHolder(t.lt)
+	defer func() {
+		h.UnlockAll()
+		t.deleteFP.Record(h)
+	}()
+	n, err := t.lockedLeaf(h, k, nil)
+	if err != nil {
+		return 0, err
+	}
+	old, ok := n.LeafFind(k)
+	if !ok {
+		h.Unlock(n.ID)
+		return 0, base.ErrNotFound
+	}
+	v := fn(old)
+	if err := t.store.Put(n.SetLeafValue(k, v)); err != nil {
+		return 0, err
+	}
+	h.Unlock(n.ID)
+	return v, nil
+}
+
+// CompareAndSwap replaces the value under k with new when it equals
+// old. A missing key is ErrNotFound; a mismatch is (false, nil).
+func (t *Tree) CompareAndSwap(k base.Key, old, new base.Value) (bool, error) {
+	if err := t.checkOpen(); err != nil {
+		return false, err
+	}
+	t.conds.Add(1)
+	h := locks.NewHolder(t.lt)
+	defer func() {
+		h.UnlockAll()
+		t.deleteFP.Record(h)
+	}()
+	n, err := t.lockedLeaf(h, k, nil)
+	if err != nil {
+		return false, err
+	}
+	cur, ok := n.LeafFind(k)
+	if !ok {
+		h.Unlock(n.ID)
+		return false, base.ErrNotFound
+	}
+	if cur != old {
+		h.Unlock(n.ID)
+		return false, nil
+	}
+	if err := t.store.Put(n.SetLeafValue(k, new)); err != nil {
+		return false, err
+	}
+	h.Unlock(n.ID)
+	return true, nil
+}
+
+// CompareAndDelete removes k when its value equals old, with the same
+// convention as CompareAndSwap.
+func (t *Tree) CompareAndDelete(k base.Key, old base.Value) (bool, error) {
+	if err := t.checkOpen(); err != nil {
+		return false, err
+	}
+	t.conds.Add(1)
+	h := locks.NewHolder(t.lt)
+	defer func() {
+		h.UnlockAll()
+		t.deleteFP.Record(h)
+	}()
+	n, err := t.lockedLeaf(h, k, nil)
+	if err != nil {
+		return false, err
+	}
+	cur, ok := n.LeafFind(k)
+	if !ok {
+		h.Unlock(n.ID)
+		return false, base.ErrNotFound
+	}
+	if cur != old {
+		h.Unlock(n.ID)
+		return false, nil
+	}
+	if err := t.store.Put(n.DeleteLeafPair(k)); err != nil {
+		return false, err
+	}
+	h.Unlock(n.ID)
+	t.length.Add(-1)
+	return true, nil
 }
 
 // Range scans [lo, hi] through the leaf chain.
@@ -468,14 +618,18 @@ func (t *Tree) Range(lo, hi base.Key, fn func(base.Key, base.Value) bool) error 
 // LYStats is a snapshot of operation counters.
 type LYStats struct {
 	Searches, Inserts, Deletes uint64
-	Splits, LinkHops           uint64
-	InsertLocks, DeleteLocks   locks.Footprint
+	// Conds counts the conditional writes (Upsert, GetOrInsert, Update,
+	// CompareAndSwap, CompareAndDelete).
+	Conds                    uint64
+	Splits, LinkHops         uint64
+	InsertLocks, DeleteLocks locks.Footprint
 }
 
 // Stats returns the counters.
 func (t *Tree) Stats() LYStats {
 	return LYStats{
 		Searches: t.searches.Load(), Inserts: t.inserts.Load(), Deletes: t.deletes.Load(),
+		Conds:  t.conds.Load(),
 		Splits: t.splits.Load(), LinkHops: t.linkHops.Load(),
 		InsertLocks: t.insertFP.Snapshot(), DeleteLocks: t.deleteFP.Snapshot(),
 	}

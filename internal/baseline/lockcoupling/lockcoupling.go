@@ -38,6 +38,7 @@ type Tree struct {
 	closed atomic.Bool
 
 	searches, inserts, deletes atomic.Uint64
+	conds                      atomic.Uint64 // conditional writes
 	splits, merges, borrows    atomic.Uint64
 
 	searchFP, insertFP, deleteFP locks.FootprintStats
@@ -141,6 +142,31 @@ func (t *Tree) Insert(k base.Key, v base.Value) error {
 	var tk tracker
 	defer func() { t.insertFP.RecordCounts(tk.maxHeld, tk.acquires) }()
 
+	n := t.descendInsert(k, &tk)
+	defer func() { n.mu.Unlock(); tk.unlock() }()
+	i, dup := n.findKey(k)
+	if dup {
+		return base.ErrDuplicate
+	}
+	n.insertAt(i, k, v)
+	t.length.Add(1)
+	return nil
+}
+
+// insertAt places (k, v) at position i of an exclusively locked leaf.
+func (n *cnode) insertAt(i int, k base.Key, v base.Value) {
+	n.keys = append(n.keys, 0)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = k
+	n.vals = append(n.vals, 0)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = v
+}
+
+// descendInsert performs the insert-discipline descent — exclusive
+// lock coupling with preemptive splits — and returns the locked leaf
+// that admits k.
+func (t *Tree) descendInsert(k base.Key, tk *tracker) *cnode {
 	t.meta.Lock()
 	n := t.root
 	n.mu.Lock()
@@ -193,20 +219,27 @@ func (t *Tree) Insert(k base.Key, v base.Value) error {
 		tk.unlock()
 		n = child
 	}
+	return n
+}
 
-	defer func() { n.mu.Unlock(); tk.unlock() }()
-	i, dup := n.findKey(k)
-	if dup {
-		return base.ErrDuplicate
+// descendWrite performs a value-only descent — exclusive lock coupling
+// with no structural changes, sufficient for writes that cannot alter
+// any node's pair count — and returns the locked leaf that admits k.
+func (t *Tree) descendWrite(k base.Key, tk *tracker) *cnode {
+	t.meta.RLock()
+	n := t.root
+	n.mu.Lock()
+	tk.lock()
+	t.meta.RUnlock()
+	for !n.leaf {
+		child := n.children[n.childIndex(k)]
+		child.mu.Lock() // coupled: parent still held
+		tk.lock()
+		n.mu.Unlock()
+		tk.unlock()
+		n = child
 	}
-	n.keys = append(n.keys, 0)
-	copy(n.keys[i+1:], n.keys[i:])
-	n.keys[i] = k
-	n.vals = append(n.vals, 0)
-	copy(n.vals[i+1:], n.vals[i:])
-	n.vals[i] = v
-	t.length.Add(1)
-	return nil
+	return n
 }
 
 // splitNode splits a full, exclusively locked node; the caller holds
@@ -248,6 +281,27 @@ func (t *Tree) Delete(k base.Key) error {
 	var tk tracker
 	defer func() { t.deleteFP.RecordCounts(tk.maxHeld, tk.acquires) }()
 
+	n := t.descendDelete(k, &tk)
+	defer func() { n.mu.Unlock(); tk.unlock() }()
+	i, ok := n.findKey(k)
+	if !ok {
+		return base.ErrNotFound
+	}
+	n.removeAt(i)
+	t.length.Add(-1)
+	return nil
+}
+
+// removeAt deletes the pair at position i of an exclusively locked leaf.
+func (n *cnode) removeAt(i int) {
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+}
+
+// descendDelete performs the delete-discipline descent — exclusive
+// lock coupling with preemptive refills — and returns the locked leaf
+// that admits k.
+func (t *Tree) descendDelete(k base.Key, tk *tracker) *cnode {
 	t.meta.Lock()
 	n := t.root
 	n.mu.Lock()
@@ -326,15 +380,112 @@ func (t *Tree) Delete(k base.Key) error {
 		tk.unlock()
 		n = child
 	}
+	return n
+}
+
+// Upsert stores v under k, returning the previous value and whether
+// one existed. It descends with the insert discipline so an absent key
+// can be placed without revisiting any node.
+func (t *Tree) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	if err := t.checkOpen(); err != nil {
+		return 0, false, err
+	}
+	t.conds.Add(1)
+	var tk tracker
+	defer func() { t.insertFP.RecordCounts(tk.maxHeld, tk.acquires) }()
+	n := t.descendInsert(k, &tk)
+	defer func() { n.mu.Unlock(); tk.unlock() }()
+	i, ok := n.findKey(k)
+	if ok {
+		old := n.vals[i]
+		n.vals[i] = v
+		return old, true, nil
+	}
+	n.insertAt(i, k, v)
+	t.length.Add(1)
+	return 0, false, nil
+}
+
+// GetOrInsert returns the value under k, inserting v first when absent.
+func (t *Tree) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	if err := t.checkOpen(); err != nil {
+		return 0, false, err
+	}
+	t.conds.Add(1)
+	var tk tracker
+	defer func() { t.insertFP.RecordCounts(tk.maxHeld, tk.acquires) }()
+	n := t.descendInsert(k, &tk)
+	defer func() { n.mu.Unlock(); tk.unlock() }()
+	i, ok := n.findKey(k)
+	if ok {
+		return n.vals[i], true, nil
+	}
+	n.insertAt(i, k, v)
+	t.length.Add(1)
+	return v, false, nil
+}
+
+// Update replaces the value under k with fn(current), or ErrNotFound.
+func (t *Tree) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
+	if err := t.checkOpen(); err != nil {
+		return 0, err
+	}
+	t.conds.Add(1)
+	var tk tracker
+	defer func() { t.deleteFP.RecordCounts(tk.maxHeld, tk.acquires) }()
+	n := t.descendWrite(k, &tk)
 	defer func() { n.mu.Unlock(); tk.unlock() }()
 	i, ok := n.findKey(k)
 	if !ok {
-		return base.ErrNotFound
+		return 0, base.ErrNotFound
 	}
-	n.keys = append(n.keys[:i], n.keys[i+1:]...)
-	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.vals[i] = fn(n.vals[i])
+	return n.vals[i], nil
+}
+
+// CompareAndSwap replaces the value under k with new when it equals
+// old. A missing key is ErrNotFound; a mismatch is (false, nil).
+func (t *Tree) CompareAndSwap(k base.Key, old, new base.Value) (bool, error) {
+	if err := t.checkOpen(); err != nil {
+		return false, err
+	}
+	t.conds.Add(1)
+	var tk tracker
+	defer func() { t.deleteFP.RecordCounts(tk.maxHeld, tk.acquires) }()
+	n := t.descendWrite(k, &tk)
+	defer func() { n.mu.Unlock(); tk.unlock() }()
+	i, ok := n.findKey(k)
+	if !ok {
+		return false, base.ErrNotFound
+	}
+	if n.vals[i] != old {
+		return false, nil
+	}
+	n.vals[i] = new
+	return true, nil
+}
+
+// CompareAndDelete removes k when its value equals old, descending
+// with the delete discipline since a removal may underfill the leaf.
+func (t *Tree) CompareAndDelete(k base.Key, old base.Value) (bool, error) {
+	if err := t.checkOpen(); err != nil {
+		return false, err
+	}
+	t.conds.Add(1)
+	var tk tracker
+	defer func() { t.deleteFP.RecordCounts(tk.maxHeld, tk.acquires) }()
+	n := t.descendDelete(k, &tk)
+	defer func() { n.mu.Unlock(); tk.unlock() }()
+	i, ok := n.findKey(k)
+	if !ok {
+		return false, base.ErrNotFound
+	}
+	if n.vals[i] != old {
+		return false, nil
+	}
+	n.removeAt(i)
 	t.length.Add(-1)
-	return nil
+	return true, nil
 }
 
 func (t *Tree) borrowFromLeft(n *cnode, i int, left, child *cnode) {
@@ -432,15 +583,19 @@ func (t *Tree) Range(lo, hi base.Key, fn func(base.Key, base.Value) bool) error 
 // LCStats is a snapshot of counters.
 type LCStats struct {
 	Searches, Inserts, Deletes uint64
-	Splits, Merges, Borrows    uint64
-	SearchLocks                locks.Footprint
-	InsertLocks, DeleteLocks   locks.Footprint
+	// Conds counts the conditional writes (Upsert, GetOrInsert, Update,
+	// CompareAndSwap, CompareAndDelete).
+	Conds                    uint64
+	Splits, Merges, Borrows  uint64
+	SearchLocks              locks.Footprint
+	InsertLocks, DeleteLocks locks.Footprint
 }
 
 // Stats returns the counters.
 func (t *Tree) Stats() LCStats {
 	return LCStats{
 		Searches: t.searches.Load(), Inserts: t.inserts.Load(), Deletes: t.deletes.Load(),
+		Conds:  t.conds.Load(),
 		Splits: t.splits.Load(), Merges: t.merges.Load(), Borrows: t.borrows.Load(),
 		SearchLocks: t.searchFP.Snapshot(),
 		InsertLocks: t.insertFP.Snapshot(), DeleteLocks: t.deleteFP.Snapshot(),

@@ -1,0 +1,327 @@
+package blink
+
+import (
+	"blinktree/internal/base"
+	"blinktree/internal/locks"
+)
+
+// Conditional writes — Upsert, GetOrInsert, Update, CompareAndSwap,
+// CompareAndDelete — are the read-modify-write surface of the tree.
+// Each is a single logical operation under the paper's protocol: one
+// descent (Fig. 4/5), one leaf lock, and the decision taken while that
+// lock is held, so the observed value and the applied write are
+// indivisible. This is exactly an insertion or deletion with one extra
+// decision spliced between "lock and re-read the leaf" and "rewrite
+// it"; the lock footprint therefore stays at the paper's bound of one,
+// and a split triggered by an upsert propagates upward through the
+// ordinary insertStep machinery (§3.1 overtaking included).
+
+// condAction is what a conditional write decides to do with the leaf
+// once its current state is known.
+type condAction uint8
+
+const (
+	// condNoop leaves the leaf unchanged.
+	condNoop condAction = iota
+	// condPut stores the outcome's value under the key, inserting the
+	// pair when absent and rewriting the value in place when present.
+	condPut
+	// condDelete removes the pair; valid only when the key is present.
+	condDelete
+)
+
+// condOutcome is a probe's decision.
+type condOutcome struct {
+	action condAction
+	value  base.Value // meaningful for condPut
+}
+
+// condProbe inspects the leaf state under the held lock and decides
+// the write. It may be invoked more than once when wrong-node restarts
+// force the descent to be redone (§5.2), but the returned action is
+// applied at most once — always against the state it was shown.
+type condProbe func(cur base.Value, present bool) condOutcome
+
+// condResult reports what a conditional write observed and did.
+type condResult struct {
+	old     base.Value // value stored before the write; valid when existed
+	existed bool
+	applied condAction
+}
+
+// condStatus is condStep's verdict.
+type condStatus uint8
+
+const (
+	condDone   condStatus = iota // operation complete
+	condChase                    // key beyond this leaf: retry at next
+	condAscend                   // leaf split: place pend one level up, starting at next
+)
+
+// condWrite is the shared engine: find the leaf, lock it, probe, apply.
+// It mirrors Insert's loop (Fig. 5) at the leaf level and hands any
+// split separator to the same upward propagation Insert uses.
+func (t *Tree) condWrite(k base.Key, probe condProbe) (condResult, error) {
+	if err := t.checkOpen(); err != nil {
+		return condResult{}, err
+	}
+	g, withEpoch := t.enter()
+	defer t.exit(g, withEpoch)
+
+	h := locks.NewHolder(t.lt)
+	defer func() {
+		h.UnlockAll() // error-path safety; no-op on clean paths
+		t.stats.condFP.Record(h)
+	}()
+
+	var stack []base.PageID
+	cur, _, err := t.descendRetry(k, &stack)
+	if err != nil {
+		return condResult{}, err
+	}
+
+	// Leaf phase: reach the covering leaf and apply the probe under its
+	// lock, restarting the search on wrong nodes exactly as Insert does.
+	var res condResult
+	var pend pending
+	restarts := 0
+	for {
+		status, next, r, err := t.condStep(h, k, probe, cur, &stack, &pend)
+		if err == nil {
+			switch status {
+			case condDone:
+				return r, nil
+			case condChase:
+				cur = next
+				continue
+			case condAscend:
+				res = r
+				cur = next
+			}
+			break
+		}
+		if !isRestart(err) {
+			return condResult{}, err
+		}
+		t.stats.restarts.Add(1)
+		if restarts++; restarts > maxRestarts {
+			return condResult{}, ErrLivelock
+		}
+		stack = stack[:0]
+		if cur, _, err = t.descendRetry(k, &stack); err != nil {
+			return condResult{}, err
+		}
+	}
+
+	// Upward phase: the leaf write is committed; what remains is the
+	// ordinary separator propagation of an unsafe insertion.
+	for restarts = 0; ; {
+		done, next, err := t.insertStep(h, &pend, cur, &stack)
+		if err == nil {
+			if done {
+				return res, nil
+			}
+			cur = next
+			continue
+		}
+		if !isRestart(err) {
+			return res, err
+		}
+		t.stats.restarts.Add(1)
+		if restarts++; restarts > maxRestarts {
+			return res, ErrLivelock
+		}
+		if cur, err = t.descendToLevel(pend.key, pend.level); err != nil {
+			return res, err
+		}
+	}
+}
+
+// condStep makes one locked attempt at leaf cur: the lock-and-recheck
+// discipline of insertStep/deleteStep with the probe's decision spliced
+// in while the single lock is held.
+func (t *Tree) condStep(h *locks.Holder, k base.Key, probe condProbe, cur base.PageID, stack *[]base.PageID, pend *pending) (condStatus, base.PageID, condResult, error) {
+	var res condResult
+	h.Lock(cur)
+	n, err := t.store.Get(cur)
+	if err != nil {
+		h.Unlock(cur)
+		return condDone, base.NilPage, res, err
+	}
+	switch {
+	case n.Deleted:
+		h.Unlock(cur)
+		if n.OutLink != base.NilPage {
+			t.stats.outlinkHops.Add(1)
+			return condChase, n.OutLink, res, nil
+		}
+		return condDone, base.NilPage, res, errRestart{}
+	case !n.Low.Less(k):
+		h.Unlock(cur)
+		return condDone, base.NilPage, res, errRestart{}
+	case n.HighLess(k):
+		h.Unlock(cur)
+		next, err := t.chaseRight(n, k)
+		return condChase, next, res, err
+	}
+
+	res.old, res.existed = n.LeafFind(k)
+	out := probe(res.old, res.existed)
+	if out.action == condDelete && !res.existed {
+		out.action = condNoop // deleting an absent key is a no-op
+	}
+	res.applied = out.action
+	switch out.action {
+	case condNoop:
+		h.Unlock(cur)
+		return condDone, base.NilPage, res, nil
+
+	case condDelete:
+		n2 := n.DeleteLeafPair(k)
+		if err := t.store.Put(n2); err != nil {
+			h.Unlock(cur)
+			return condDone, base.NilPage, res, err
+		}
+		// Underfull hook under the held lock, as in deleteStep (§5.4).
+		if fn := t.onUnderfull.Load(); fn != nil && !n2.Root && n2.Pairs() < t.k {
+			t.stats.underfullEvents.Add(1)
+			(*fn)(UnderfullEvent{
+				ID:    cur,
+				Level: 0,
+				High:  n2.High,
+				Stack: append([]base.PageID(nil), *stack...),
+			})
+		}
+		h.Unlock(cur)
+		t.length.Add(-1)
+		return condDone, base.NilPage, res, nil
+	}
+
+	// condPut.
+	if res.existed {
+		n2 := n.SetLeafValue(k, out.value)
+		err := t.store.Put(n2)
+		h.Unlock(cur)
+		return condDone, base.NilPage, res, err
+	}
+	// Absent: an ordinary insertion of (k, value) — Fig. 6 verbatim.
+	*pend = pending{key: k, val: out.value, level: 0}
+	if n.Pairs() < t.capacity() {
+		err := t.insertIntoSafe(n, pend)
+		h.Unlock(cur)
+		if err == nil {
+			t.length.Add(1)
+		}
+		return condDone, base.NilPage, res, err
+	}
+	if n.Root {
+		err := t.insertIntoUnsafeRoot(n, pend)
+		h.Unlock(cur)
+		if err == nil {
+			t.length.Add(1)
+		}
+		return condDone, base.NilPage, res, err
+	}
+	next, err := t.insertIntoUnsafe(n, pend, stack)
+	h.Unlock(cur)
+	if err != nil {
+		return condDone, base.NilPage, res, err
+	}
+	t.length.Add(1) // the pair is live; only the separator remains
+	return condAscend, next, res, nil
+}
+
+// Upsert stores v under k unconditionally, returning the value that
+// was stored before (and whether one existed). Unlike Search+Insert it
+// is atomic and pays a single descent: the present/absent decision is
+// taken under the one held leaf lock.
+func (t *Tree) Upsert(k base.Key, v base.Value) (old base.Value, existed bool, err error) {
+	t.stats.upserts.Add(1)
+	res, err := t.condWrite(k, func(base.Value, bool) condOutcome {
+		return condOutcome{action: condPut, value: v}
+	})
+	return res.old, res.existed, err
+}
+
+// GetOrInsert returns the value stored under k, inserting v first if k
+// is absent. loaded reports whether the value was already present.
+func (t *Tree) GetOrInsert(k base.Key, v base.Value) (actual base.Value, loaded bool, err error) {
+	t.stats.upserts.Add(1)
+	res, err := t.condWrite(k, func(_ base.Value, present bool) condOutcome {
+		if present {
+			return condOutcome{}
+		}
+		return condOutcome{action: condPut, value: v}
+	})
+	if err != nil {
+		return 0, false, err
+	}
+	if res.existed {
+		return res.old, true, nil
+	}
+	return v, false, nil
+}
+
+// Update atomically replaces the value under k with fn(current),
+// returning the new value, or ErrNotFound when k is absent. fn runs
+// under the held leaf lock: keep it fast and side-effect free — it may
+// be re-invoked (with a fresh current value) if a wrong-node restart
+// forces the descent to be redone before the write lands.
+func (t *Tree) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
+	t.stats.updates.Add(1)
+	var newV base.Value
+	res, err := t.condWrite(k, func(cur base.Value, present bool) condOutcome {
+		if !present {
+			return condOutcome{}
+		}
+		newV = fn(cur)
+		return condOutcome{action: condPut, value: newV}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !res.existed {
+		return 0, base.ErrNotFound
+	}
+	return newV, nil
+}
+
+// CompareAndSwap replaces the value under k with new only if the
+// stored value equals old. It returns whether the swap happened;
+// ErrNotFound when k is absent (swapped false, no error, when present
+// with a different value).
+func (t *Tree) CompareAndSwap(k base.Key, old, new base.Value) (swapped bool, err error) {
+	t.stats.cas.Add(1)
+	res, err := t.condWrite(k, func(cur base.Value, present bool) condOutcome {
+		if !present || cur != old {
+			return condOutcome{}
+		}
+		return condOutcome{action: condPut, value: new}
+	})
+	if err != nil {
+		return false, err
+	}
+	if !res.existed {
+		return false, base.ErrNotFound
+	}
+	return res.applied == condPut, nil
+}
+
+// CompareAndDelete removes k only if the stored value equals old. It
+// returns whether the deletion happened; ErrNotFound when k is absent.
+func (t *Tree) CompareAndDelete(k base.Key, old base.Value) (deleted bool, err error) {
+	t.stats.cas.Add(1)
+	res, err := t.condWrite(k, func(cur base.Value, present bool) condOutcome {
+		if !present || cur != old {
+			return condOutcome{}
+		}
+		return condOutcome{action: condDelete}
+	})
+	if err != nil {
+		return false, err
+	}
+	if !res.existed {
+		return false, base.ErrNotFound
+	}
+	return res.applied == condDelete, nil
+}

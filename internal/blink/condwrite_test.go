@@ -1,0 +1,333 @@
+package blink
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"blinktree/internal/base"
+)
+
+func TestUpsertBasics(t *testing.T) {
+	tr := newTestTree(t, 2)
+	// Insert path: key absent.
+	old, existed, err := tr.Upsert(10, 100)
+	if err != nil || existed || old != 0 {
+		t.Fatalf("upsert absent = (%d, %v, %v)", old, existed, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Replace path: key present.
+	old, existed, err = tr.Upsert(10, 200)
+	if err != nil || !existed || old != 100 {
+		t.Fatalf("upsert present = (%d, %v, %v)", old, existed, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	if v, err := tr.Search(10); err != nil || v != 200 {
+		t.Fatalf("search after upsert = (%d, %v)", v, err)
+	}
+	mustCheck(t, tr)
+}
+
+// TestUpsertSplitsLikeInsert drives upserts through node splits and
+// root splits: the insert half of an upsert must be a full Fig. 6
+// insertion, not a leaf-only shortcut.
+func TestUpsertSplitsLikeInsert(t *testing.T) {
+	tr := newTestTree(t, 2)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, existed, err := tr.Upsert(base.Key(i*7), base.Value(i)); err != nil || existed {
+			t.Fatalf("upsert %d = (%v, %v)", i, existed, err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d: splits did not propagate", tr.Height())
+	}
+	if tr.Stats().CondLocks.MaxHeld > 1 {
+		t.Fatalf("conditional write held %d locks", tr.Stats().CondLocks.MaxHeld)
+	}
+	for i := 0; i < n; i++ {
+		if v, err := tr.Search(base.Key(i * 7)); err != nil || v != base.Value(i) {
+			t.Fatalf("search(%d) = (%d, %v)", i*7, v, err)
+		}
+	}
+	mustCheck(t, tr)
+}
+
+func TestGetOrInsert(t *testing.T) {
+	tr := newTestTree(t, 2)
+	v, loaded, err := tr.GetOrInsert(5, 50)
+	if err != nil || loaded || v != 50 {
+		t.Fatalf("getorinsert absent = (%d, %v, %v)", v, loaded, err)
+	}
+	v, loaded, err = tr.GetOrInsert(5, 999)
+	if err != nil || !loaded || v != 50 {
+		t.Fatalf("getorinsert present = (%d, %v, %v)", v, loaded, err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tr := newTestTree(t, 2)
+	if _, err := tr.Update(1, func(v base.Value) base.Value { return v + 1 }); !errors.Is(err, base.ErrNotFound) {
+		t.Fatalf("update absent = %v", err)
+	}
+	if err := tr.Insert(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tr.Update(1, func(v base.Value) base.Value { return v * 3 })
+	if err != nil || v != 30 {
+		t.Fatalf("update = (%d, %v)", v, err)
+	}
+	if got, _ := tr.Search(1); got != 30 {
+		t.Fatalf("stored %d", got)
+	}
+}
+
+func TestCompareAndSwapAndDelete(t *testing.T) {
+	tr := newTestTree(t, 2)
+	if _, err := tr.CompareAndSwap(7, 0, 1); !errors.Is(err, base.ErrNotFound) {
+		t.Fatalf("cas absent = %v", err)
+	}
+	if _, err := tr.CompareAndDelete(7, 0); !errors.Is(err, base.ErrNotFound) {
+		t.Fatalf("cad absent = %v", err)
+	}
+	if err := tr.Insert(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tr.CompareAndSwap(7, 99, 100); err != nil || ok {
+		t.Fatalf("cas mismatch = (%v, %v)", ok, err)
+	}
+	if ok, err := tr.CompareAndSwap(7, 70, 71); err != nil || !ok {
+		t.Fatalf("cas match = (%v, %v)", ok, err)
+	}
+	if v, _ := tr.Search(7); v != 71 {
+		t.Fatalf("stored %d after cas", v)
+	}
+	if ok, err := tr.CompareAndDelete(7, 70); err != nil || ok {
+		t.Fatalf("cad mismatch = (%v, %v)", ok, err)
+	}
+	if ok, err := tr.CompareAndDelete(7, 71); err != nil || !ok {
+		t.Fatalf("cad match = (%v, %v)", ok, err)
+	}
+	if _, err := tr.Search(7); !errors.Is(err, base.ErrNotFound) {
+		t.Fatalf("key survived cad: %v", err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	mustCheck(t, tr)
+}
+
+// TestConcurrentCASHotKeyCounts is the linearizability smoke test for
+// conditional writes: goroutines racing CAS increments on one hot key
+// must serialize so that exactly one swap wins per value, making the
+// final value equal the number of successful swaps.
+func TestConcurrentCASHotKeyCounts(t *testing.T) {
+	tr := newTestTree(t, 2)
+	const hot = base.Key(42)
+	if err := tr.Insert(hot, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Surround the hot key with churn so its leaf keeps splitting and
+	// merging under the CAS traffic.
+	const workers = 8
+	const attempts = 2000
+	var swaps atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < attempts; i++ {
+				cur, err := tr.Search(hot)
+				if err != nil {
+					t.Errorf("search hot: %v", err)
+					return
+				}
+				ok, err := tr.CompareAndSwap(hot, cur, cur+1)
+				if err != nil {
+					t.Errorf("cas hot: %v", err)
+					return
+				}
+				if ok {
+					swaps.Add(1)
+				}
+				k := hot + base.Key(1+(w*attempts+i)%64)
+				if i%2 == 0 {
+					_ = tr.Insert(k, base.Value(k))
+				} else {
+					_ = tr.Delete(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	final, err := tr.Search(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(final) != swaps.Load() {
+		t.Fatalf("final value %d != %d successful swaps: lost updates", final, swaps.Load())
+	}
+	if swaps.Load() == 0 {
+		t.Fatal("no swap ever succeeded")
+	}
+	if fp := tr.Stats().CondLocks; fp.MaxHeld > 1 {
+		t.Fatalf("conditional write held %d locks", fp.MaxHeld)
+	}
+	mustCheck(t, tr)
+}
+
+// TestConcurrentUpsertUpdateCounts: Update increments from many
+// goroutines are atomic read-modify-writes — none may be lost.
+func TestConcurrentUpsertUpdateCounts(t *testing.T) {
+	tr := newTestTree(t, 2)
+	const key = base.Key(7)
+	if _, _, err := tr.Upsert(key, 0); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := tr.Update(key, func(v base.Value) base.Value { return v + 1 }); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if v, err := tr.Search(key); err != nil || v != workers*perWorker {
+		t.Fatalf("final = (%d, %v), want %d", v, err, workers*perWorker)
+	}
+	mustCheck(t, tr)
+}
+
+// TestConditionalMixAgainstModel runs a sequential mixed conditional
+// workload against a map model.
+func TestConditionalMixAgainstModel(t *testing.T) {
+	tr := newTestTree(t, 2)
+	model := map[base.Key]base.Value{}
+	nextVal := base.Value(1)
+	for i := 0; i < 20000; i++ {
+		k := base.Key(i * 2654435761 % 700)
+		nextVal++
+		switch i % 5 {
+		case 0:
+			old, existed, err := tr.Upsert(k, nextVal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, present := model[k]
+			if existed != present || (present && old != want) {
+				t.Fatalf("upsert(%d) = (%d, %v), model (%d, %v)", k, old, existed, want, present)
+			}
+			model[k] = nextVal
+		case 1:
+			v, loaded, err := tr.GetOrInsert(k, nextVal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want, present := model[k]; present {
+				if !loaded || v != want {
+					t.Fatalf("getorinsert(%d) = (%d, %v), model (%d, present)", k, v, loaded, want)
+				}
+			} else {
+				if loaded || v != nextVal {
+					t.Fatalf("getorinsert(%d) = (%d, %v), model absent", k, v, loaded)
+				}
+				model[k] = nextVal
+			}
+		case 2:
+			v, err := tr.Update(k, func(v base.Value) base.Value { return v + 10 })
+			if want, present := model[k]; present {
+				if err != nil || v != want+10 {
+					t.Fatalf("update(%d) = (%d, %v), model %d", k, v, err, want)
+				}
+				model[k] = want + 10
+			} else if !errors.Is(err, base.ErrNotFound) {
+				t.Fatalf("update absent(%d) = %v", k, err)
+			}
+		case 3:
+			want, present := model[k]
+			ok, err := tr.CompareAndSwap(k, want, want+1)
+			if present {
+				if err != nil || !ok {
+					t.Fatalf("cas(%d) = (%v, %v)", k, ok, err)
+				}
+				model[k] = want + 1
+			} else if !errors.Is(err, base.ErrNotFound) {
+				t.Fatalf("cas absent(%d) = %v", k, err)
+			}
+		default:
+			want, present := model[k]
+			ok, err := tr.CompareAndDelete(k, want)
+			if present {
+				if err != nil || !ok {
+					t.Fatalf("cad(%d) = (%v, %v)", k, ok, err)
+				}
+				delete(model, k)
+			} else if !errors.Is(err, base.ErrNotFound) {
+				t.Fatalf("cad absent(%d) = %v", k, err)
+			}
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len %d != model %d", tr.Len(), len(model))
+	}
+	mustCheck(t, tr)
+}
+
+// TestCompareAndDeleteFiresUnderfullHook: a CAD that thins a leaf below
+// k must enqueue it exactly like a plain deletion (§5.4).
+func TestCompareAndDeleteFiresUnderfullHook(t *testing.T) {
+	tr := newTestTree(t, 4)
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fired := 0
+	tr.SetUnderfullHandler(func(UnderfullEvent) { fired++ })
+	for i := 0; i < n; i++ {
+		if i%8 != 0 {
+			if ok, err := tr.CompareAndDelete(base.Key(i), base.Value(i)); err != nil || !ok {
+				t.Fatalf("cad(%d) = (%v, %v)", i, ok, err)
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("mass CompareAndDelete never fired the underfull hook")
+	}
+	mustCheck(t, tr)
+}
+
+func TestCondWriteOnClosedTree(t *testing.T) {
+	tr := newTestTree(t, 2)
+	_ = tr.Close()
+	if _, _, err := tr.Upsert(1, 1); !errors.Is(err, base.ErrClosed) {
+		t.Fatalf("upsert on closed = %v", err)
+	}
+	if _, err := tr.Update(1, func(v base.Value) base.Value { return v }); !errors.Is(err, base.ErrClosed) {
+		t.Fatalf("update on closed = %v", err)
+	}
+	if _, err := tr.CompareAndSwap(1, 0, 1); !errors.Is(err, base.ErrClosed) {
+		t.Fatalf("cas on closed = %v", err)
+	}
+}

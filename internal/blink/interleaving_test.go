@@ -247,6 +247,85 @@ func TestWaitForLevelWakesUp(t *testing.T) {
 	}
 }
 
+// TestCondWriteIntoDeletedLeafRecovers: a conditional write whose
+// target leaf is merged away between descent and lock must follow the
+// outlink (§5.2 case 1) exactly like insertions and deletions do, and
+// must still apply its decision against the survivor's state.
+func TestCondWriteIntoDeletedLeafRecovers(t *testing.T) {
+	tr, st := buildSurgeryTree(t, 2, 20)
+	p, _ := st.ReadPrime()
+	a := mustGet(t, st, p.Leftmost[0])
+	b := mustGet(t, st, a.Link)
+	for _, k := range a.Keys[1:] {
+		if err := tr.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range b.Keys[1:] {
+		if err := tr.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a = mustGet(t, st, a.ID)
+	b = mustGet(t, st, b.ID)
+	survivorKey := b.Keys[0]
+
+	// Merge B into A by surgery (as in TestDeletedNodeForwarding).
+	a2 := a.Clone()
+	a2.Keys = append(a2.Keys, b.Keys...)
+	a2.Vals = append(a2.Vals, b.Vals...)
+	a2.High = b.High
+	a2.Link = b.Link
+	parent := mustGet(t, st, p.Leftmost[1])
+	idx := parent.FindChild(a.ID)
+	if idx < 0 || parent.Children[idx+1] != b.ID {
+		t.Fatalf("surgery precondition failed: %v", parent)
+	}
+	if err := st.Put(a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(parent.RemoveSeparator(idx)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(&node.Node{ID: b.ID, Leaf: true, Deleted: true, OutLink: a.ID, Low: b.Low, High: b.High}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive condStep directly at the deleted node: it must redirect
+	// through the outlink without applying the probe.
+	h := locks.NewHolder(tr.lt)
+	probed := false
+	var pend pending
+	var stack []base.PageID
+	status, next, _, err := tr.condStep(h, survivorKey, func(base.Value, bool) condOutcome {
+		probed = true
+		return condOutcome{action: condPut, value: 123}
+	}, b.ID, &stack, &pend)
+	if err != nil && !isRestart(err) {
+		t.Fatalf("condStep on deleted node: %v", err)
+	}
+	if probed {
+		t.Fatal("probe ran against a deleted node")
+	}
+	if err == nil {
+		if status != condChase || next != a.ID {
+			t.Fatalf("condStep = (%v, %d), want chase to outlink target %d", status, next, a.ID)
+		}
+	}
+	h.UnlockAll()
+
+	// The public path applies against the survivor: the upsert must see
+	// the merged-in pair and replace its value.
+	old, existed, err := tr.Upsert(survivorKey, 777)
+	if err != nil || !existed || old != base.Value(survivorKey) {
+		t.Fatalf("upsert after merge = (%d, %v, %v)", old, existed, err)
+	}
+	if v, err := tr.Search(survivorKey); err != nil || v != 777 {
+		t.Fatalf("search after upsert = (%d, %v)", v, err)
+	}
+	mustCheck(t, tr)
+}
+
 // TestInsertIntoDeletedLeafRecovers: an insert whose target leaf is
 // merged away between descent and lock must follow the outlink and
 // succeed.

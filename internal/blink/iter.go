@@ -1,0 +1,66 @@
+package blink
+
+import (
+	"iter"
+
+	"blinktree/internal/base"
+)
+
+// Range-over-func iteration. All, Ascend and Descend adapt the
+// cursors to iter.Seq2, so callers write
+//
+//	for k, v := range t.Ascend(lo, hi) { ... }
+//
+// with the cursors' concurrent-mutation semantics: no locks held, keys
+// strictly monotonic, each key at most once, concurrent insertions or
+// deletions may or may not be observed. A sequence that terminates
+// early because of an internal error (closed tree, corrupt structure)
+// simply stops; use the cursor API directly when the distinction
+// between exhaustion and failure matters.
+
+// All returns an iterator over every pair in ascending key order.
+func (t *Tree) All() iter.Seq2[base.Key, base.Value] {
+	return t.Ascend(0, base.Key(^uint64(0)))
+}
+
+// Ascend returns an iterator over the pairs with lo ≤ key ≤ hi in
+// ascending key order. An inverted range (hi < lo) is empty.
+func (t *Tree) Ascend(lo, hi base.Key) iter.Seq2[base.Key, base.Value] {
+	return func(yield func(base.Key, base.Value) bool) {
+		if hi < lo {
+			return
+		}
+		c := t.NewCursor(lo)
+		for {
+			k, v, ok := c.Next()
+			if !ok || k > hi {
+				return
+			}
+			if !yield(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// Descend returns an iterator over the pairs with lo ≤ key ≤ hi in
+// descending key order, from hi down to lo. An inverted range
+// (hi < lo) is empty. Reverse order pays one descent per leaf visited;
+// see ReverseCursor.
+func (t *Tree) Descend(hi, lo base.Key) iter.Seq2[base.Key, base.Value] {
+	return func(yield func(base.Key, base.Value) bool) {
+		if hi < lo {
+			return
+		}
+		c := t.NewReverseCursor(hi)
+		for {
+			k, v, ok := c.Next()
+			if !ok || k < lo {
+				return
+			}
+			if !yield(k, v) {
+				return
+			}
+		}
+	}
+}

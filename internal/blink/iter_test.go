@@ -1,0 +1,311 @@
+package blink
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"blinktree/internal/base"
+)
+
+// collectRange gathers [lo, hi] via the callback Range.
+func collectRange(t *testing.T, tr *Tree, lo, hi base.Key) []base.Key {
+	t.Helper()
+	var out []base.Key
+	if err := tr.Range(lo, hi, func(k base.Key, _ base.Value) bool {
+		out = append(out, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestAscendDescendAgreeWithRange: on randomized trees, All/Ascend
+// agree exactly with callback Range, and Descend is its exact
+// reversal, for arbitrary windows — the iteration-equivalence
+// acceptance criterion.
+func TestAscendDescendAgreeWithRange(t *testing.T) {
+	f := func(keys []uint16, lo16, hi16 uint16) bool {
+		tr, err := New(Config{MinPairs: 2})
+		if err != nil {
+			return false
+		}
+		for _, raw := range keys {
+			k := base.Key(raw % 900)
+			if _, _, err := tr.Upsert(k, base.Value(k)*7); err != nil {
+				return false
+			}
+		}
+		lo, hi := base.Key(lo16%1000), base.Key(hi16%1000)
+		want := collectRangeQuick(tr, lo, hi)
+
+		var asc []base.Key
+		for k, v := range tr.Ascend(lo, hi) {
+			if v != base.Value(k)*7 {
+				return false
+			}
+			asc = append(asc, k)
+		}
+		if !keysEqual(asc, want) {
+			return false
+		}
+
+		var desc []base.Key
+		for k, v := range tr.Descend(hi, lo) {
+			if v != base.Value(k)*7 {
+				return false
+			}
+			desc = append(desc, k)
+		}
+		reverse(desc)
+		if !keysEqual(desc, want) {
+			return false
+		}
+
+		// All == Range over the full keyspace.
+		full := collectRangeQuick(tr, 0, base.Key(^uint64(0)))
+		var all []base.Key
+		for k := range tr.All() {
+			all = append(all, k)
+		}
+		return keysEqual(all, full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collectRangeQuick(tr *Tree, lo, hi base.Key) []base.Key {
+	var out []base.Key
+	_ = tr.Range(lo, hi, func(k base.Key, _ base.Value) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+func keysEqual(a, b []base.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func reverse(ks []base.Key) {
+	for i, j := 0, len(ks)-1; i < j; i, j = i+1, j-1 {
+		ks[i], ks[j] = ks[j], ks[i]
+	}
+}
+
+func TestReverseCursorBasics(t *testing.T) {
+	tr, err := New(Config{MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty tree: nothing to yield.
+	if _, _, ok := tr.NewReverseCursor(base.Key(^uint64(0))).Next(); ok {
+		t.Fatal("reverse cursor on empty tree yielded a pair")
+	}
+	keys := []base.Key{3, 9, 27, 81, 243, 729}
+	for _, k := range keys {
+		if err := tr.Insert(k, base.Value(k)+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// From above the top: everything, descending.
+	c := tr.NewReverseCursor(1000)
+	for i := len(keys) - 1; i >= 0; i-- {
+		k, v, ok := c.Next()
+		if !ok || k != keys[i] || v != base.Value(keys[i])+1 {
+			t.Fatalf("reverse[%d] = (%d, %d, %v), want %d", i, k, v, ok, keys[i])
+		}
+	}
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("reverse cursor ran past the start")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Start exactly on a key (inclusive) and between keys.
+	c.Seek(27)
+	if k, _, ok := c.Next(); !ok || k != 27 {
+		t.Fatalf("seek(27) -> %d", k)
+	}
+	c.Seek(26)
+	if k, _, ok := c.Next(); !ok || k != 9 {
+		t.Fatalf("seek(26) -> %d", k)
+	}
+	// Key 0 terminates cleanly.
+	if err := tr.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	c.Seek(2)
+	if k, _, ok := c.Next(); !ok || k != 0 {
+		t.Fatalf("seek(2) -> %d", k)
+	}
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("cursor continued below key 0")
+	}
+}
+
+// TestReverseCursorLargeTree walks a multi-level tree backwards and
+// must see every key exactly once in exact descending order.
+func TestReverseCursorLargeTree(t *testing.T) {
+	tr, err := New(Config{MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	model := map[base.Key]bool{}
+	for i := 0; i < 5000; i++ {
+		k := base.Key(rng.Uint64() % 100000)
+		if !model[k] {
+			if err := tr.Insert(k, base.Value(k)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = true
+		}
+	}
+	sorted := make([]base.Key, 0, len(model))
+	for k := range model {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+
+	c := tr.NewReverseCursor(base.Key(^uint64(0)))
+	i := 0
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		if i >= len(sorted) || k != sorted[i] {
+			t.Fatalf("reverse[%d] = %d, want %d", i, k, sorted[i])
+		}
+		i++
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(sorted) {
+		t.Fatalf("reverse walk saw %d of %d keys", i, len(sorted))
+	}
+}
+
+// TestReverseCursorUnderMutation: stable keys must all be observed in
+// strictly descending order while adjacent keys churn (the mirrored
+// analog of the forward-cursor stability test).
+func TestReverseCursorUnderMutation(t *testing.T) {
+	tr, err := New(Config{MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := make([]base.Key, 0, 200)
+	for i := 0; i < 200; i++ {
+		k := base.Key(i * 100)
+		stable = append(stable, k)
+		if err := tr.Insert(k, base.Value(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := stable[rng.Intn(len(stable))] + 1 + base.Key(rng.Intn(50))
+			if i%2 == 0 {
+				_ = tr.Insert(k, 0)
+			} else {
+				_ = tr.Delete(k)
+			}
+		}
+	}()
+	for iter := 0; iter < 30; iter++ {
+		c := tr.NewReverseCursor(base.Key(^uint64(0)))
+		var prev base.Key
+		first := true
+		seen := 0
+		for {
+			k, _, ok := c.Next()
+			if !ok {
+				break
+			}
+			if !first && k >= prev {
+				t.Fatalf("iter %d: reverse cursor regressed: %d after %d", iter, k, prev)
+			}
+			first = false
+			prev = k
+			if k%100 == 0 {
+				seen++
+			}
+		}
+		if err := c.Err(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if seen != len(stable) {
+			t.Fatalf("iter %d: saw %d of %d stable keys", iter, seen, len(stable))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIterEarlyBreak: breaking out of a range-over-func loop stops the
+// underlying cursor without error.
+func TestIterEarlyBreak(t *testing.T) {
+	tr, err := New(Config{MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for range tr.All() {
+		n++
+		if n == 10 {
+			break
+		}
+	}
+	if n != 10 {
+		t.Fatalf("early break after %d", n)
+	}
+	n = 0
+	for range tr.Descend(base.Key(^uint64(0)), 0) {
+		n++
+		if n == 7 {
+			break
+		}
+	}
+	if n != 7 {
+		t.Fatalf("reverse early break after %d", n)
+	}
+	// Inverted windows yield nothing.
+	for k, v := range tr.Ascend(50, 10) {
+		t.Fatalf("inverted Ascend yielded (%d, %d)", k, v)
+	}
+	for k, v := range tr.Descend(10, 50) {
+		t.Fatalf("inverted Descend yielded (%d, %d)", k, v)
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"blinktree/internal/base"
 )
 
-// TestPropertySequentialOpsMatchModel drives random op sequences
-// against a map model and checks result equivalence plus invariants —
-// the data-equivalence notion of Theorem 1 specialized to one process.
+// TestPropertySequentialOpsMatchModel drives random op sequences —
+// the paper's three plus every conditional write — against a map model
+// and checks result equivalence plus invariants: the data-equivalence
+// notion of Theorem 1 specialized to one process, over the widened
+// operation surface.
 func TestPropertySequentialOpsMatchModel(t *testing.T) {
 	type op struct {
 		Kind uint8
@@ -26,10 +28,11 @@ func TestPropertySequentialOpsMatchModel(t *testing.T) {
 		for _, o := range ops {
 			k := base.Key(o.Key % 512)
 			v := base.Value(o.Val)
-			switch o.Kind % 3 {
+			want, present := model[k]
+			switch o.Kind % 8 {
 			case 0:
 				err := tr.Insert(k, v)
-				if _, present := model[k]; present {
+				if present {
 					if !errors.Is(err, base.ErrDuplicate) {
 						return false
 					}
@@ -41,7 +44,7 @@ func TestPropertySequentialOpsMatchModel(t *testing.T) {
 				}
 			case 1:
 				err := tr.Delete(k)
-				if _, present := model[k]; present {
+				if present {
 					if err != nil {
 						return false
 					}
@@ -49,12 +52,75 @@ func TestPropertySequentialOpsMatchModel(t *testing.T) {
 				} else if !errors.Is(err, base.ErrNotFound) {
 					return false
 				}
-			default:
+			case 2:
 				got, err := tr.Search(k)
-				want, present := model[k]
 				if present {
 					if err != nil || got != want {
 						return false
+					}
+				} else if !errors.Is(err, base.ErrNotFound) {
+					return false
+				}
+			case 3:
+				old, existed, err := tr.Upsert(k, v)
+				if err != nil || existed != present || (present && old != want) {
+					return false
+				}
+				model[k] = v
+			case 4:
+				got, loaded, err := tr.GetOrInsert(k, v)
+				if err != nil || loaded != present {
+					return false
+				}
+				if present {
+					if got != want {
+						return false
+					}
+				} else {
+					if got != v {
+						return false
+					}
+					model[k] = v
+				}
+			case 5:
+				got, err := tr.Update(k, func(cur base.Value) base.Value { return cur + 1 })
+				if present {
+					if err != nil || got != want+1 {
+						return false
+					}
+					model[k] = want + 1
+				} else if !errors.Is(err, base.ErrNotFound) {
+					return false
+				}
+			case 6:
+				// Half the attempts use the right expected value.
+				exp := want
+				if o.Val%2 == 1 {
+					exp = want + 1
+				}
+				ok, err := tr.CompareAndSwap(k, exp, v)
+				if present {
+					if err != nil || ok != (exp == want) {
+						return false
+					}
+					if ok {
+						model[k] = v
+					}
+				} else if !errors.Is(err, base.ErrNotFound) {
+					return false
+				}
+			default:
+				exp := want
+				if o.Val%2 == 1 {
+					exp = want + 1
+				}
+				ok, err := tr.CompareAndDelete(k, exp)
+				if present {
+					if err != nil || ok != (exp == want) {
+						return false
+					}
+					if ok {
+						delete(model, k)
 					}
 				} else if !errors.Is(err, base.ErrNotFound) {
 					return false
@@ -178,9 +244,18 @@ func TestPropertyLockFootprintAlwaysOne(t *testing.T) {
 			if raw%4 == 0 {
 				_ = tr.Delete(base.Key(raw % 100))
 			}
+			switch raw % 3 {
+			case 0:
+				_, _, _ = tr.Upsert(base.Key(raw%150), base.Value(raw))
+			case 1:
+				_, _ = tr.CompareAndSwap(base.Key(raw%150), 0, 1)
+			default:
+				_, _ = tr.CompareAndDelete(base.Key(raw%150), base.Value(raw))
+			}
 		}
 		st := tr.Stats()
-		return st.InsertLocks.MaxHeld <= 1 && st.DeleteLocks.MaxHeld <= 1
+		return st.InsertLocks.MaxHeld <= 1 && st.DeleteLocks.MaxHeld <= 1 &&
+			st.CondLocks.MaxHeld <= 1
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)

@@ -14,6 +14,10 @@ type Stats struct {
 	deletes  atomic.Uint64
 	scans    atomic.Uint64
 
+	upserts atomic.Uint64 // Upsert + GetOrInsert
+	updates atomic.Uint64 // Update
+	cas     atomic.Uint64 // CompareAndSwap + CompareAndDelete attempts
+
 	splits     atomic.Uint64 // node splits, including root splits
 	rootSplits atomic.Uint64 // new roots created
 
@@ -27,11 +31,17 @@ type Stats struct {
 
 	insertFP locks.FootprintStats
 	deleteFP locks.FootprintStats
+	condFP   locks.FootprintStats
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
 type StatsSnapshot struct {
 	Searches, Inserts, Deletes, Scans uint64
+
+	// Upserts counts Upsert + GetOrInsert, Updates counts Update, and
+	// Cas counts CompareAndSwap + CompareAndDelete attempts (successful
+	// or not).
+	Upserts, Updates, Cas uint64
 
 	Splits, RootSplits uint64
 
@@ -39,10 +49,12 @@ type StatsSnapshot struct {
 
 	UnderfullEvents uint64
 
-	// InsertLocks and DeleteLocks summarize the lock footprint of
-	// updates. Searches take no locks by construction.
+	// InsertLocks, DeleteLocks and CondLocks summarize the lock
+	// footprint of updates (CondLocks covers the conditional writes).
+	// Searches take no locks by construction.
 	InsertLocks locks.Footprint
 	DeleteLocks locks.Footprint
+	CondLocks   locks.Footprint
 }
 
 // Stats returns a snapshot of the counters.
@@ -52,6 +64,9 @@ func (t *Tree) Stats() StatsSnapshot {
 		Inserts:         t.stats.inserts.Load(),
 		Deletes:         t.stats.deletes.Load(),
 		Scans:           t.stats.scans.Load(),
+		Upserts:         t.stats.upserts.Load(),
+		Updates:         t.stats.updates.Load(),
+		Cas:             t.stats.cas.Load(),
 		Splits:          t.stats.splits.Load(),
 		RootSplits:      t.stats.rootSplits.Load(),
 		LinkHops:        t.stats.linkHops.Load(),
@@ -62,6 +77,7 @@ func (t *Tree) Stats() StatsSnapshot {
 		UnderfullEvents: t.stats.underfullEvents.Load(),
 		InsertLocks:     t.stats.insertFP.Snapshot(),
 		DeleteLocks:     t.stats.deleteFP.Snapshot(),
+		CondLocks:       t.stats.condFP.Snapshot(),
 	}
 }
 
@@ -71,6 +87,9 @@ func (t *Tree) ResetStats() {
 	t.stats.inserts.Store(0)
 	t.stats.deletes.Store(0)
 	t.stats.scans.Store(0)
+	t.stats.upserts.Store(0)
+	t.stats.updates.Store(0)
+	t.stats.cas.Store(0)
 	t.stats.splits.Store(0)
 	t.stats.rootSplits.Store(0)
 	t.stats.linkHops.Store(0)
@@ -81,4 +100,5 @@ func (t *Tree) ResetStats() {
 	t.stats.underfullEvents.Store(0)
 	t.stats.insertFP.Reset()
 	t.stats.deleteFP.Reset()
+	t.stats.condFP.Reset()
 }

@@ -159,6 +159,76 @@ func (t *Tree) insertNonFull(n *bnode, k base.Key, v base.Value) error {
 	return nil
 }
 
+// leafFor descends to the leaf that would hold k.
+func (t *Tree) leafFor(k base.Key) *bnode {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(k)]
+	}
+	return n
+}
+
+// Upsert stores v under k, returning the previously stored value and
+// whether one existed.
+func (t *Tree) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	n := t.leafFor(k)
+	if i, ok := n.findKey(k); ok {
+		old := n.vals[i]
+		n.vals[i] = v
+		return old, true, nil
+	}
+	return 0, false, t.Insert(k, v)
+}
+
+// GetOrInsert returns the value under k, inserting v first when absent.
+func (t *Tree) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	n := t.leafFor(k)
+	if i, ok := n.findKey(k); ok {
+		return n.vals[i], true, nil
+	}
+	return v, false, t.Insert(k, v)
+}
+
+// Update replaces the value under k with fn(current), or ErrNotFound.
+func (t *Tree) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
+	n := t.leafFor(k)
+	i, ok := n.findKey(k)
+	if !ok {
+		return 0, base.ErrNotFound
+	}
+	n.vals[i] = fn(n.vals[i])
+	return n.vals[i], nil
+}
+
+// CompareAndSwap replaces the value under k with new when it equals
+// old. A missing key is ErrNotFound; a mismatch is (false, nil).
+func (t *Tree) CompareAndSwap(k base.Key, old, new base.Value) (bool, error) {
+	n := t.leafFor(k)
+	i, ok := n.findKey(k)
+	if !ok {
+		return false, base.ErrNotFound
+	}
+	if n.vals[i] != old {
+		return false, nil
+	}
+	n.vals[i] = new
+	return true, nil
+}
+
+// CompareAndDelete removes k when its value equals old, with the same
+// convention as CompareAndSwap.
+func (t *Tree) CompareAndDelete(k base.Key, old base.Value) (bool, error) {
+	n := t.leafFor(k)
+	i, ok := n.findKey(k)
+	if !ok {
+		return false, base.ErrNotFound
+	}
+	if n.vals[i] != old {
+		return false, nil
+	}
+	return true, t.Delete(k)
+}
+
 // Delete removes k, rebalancing so every non-root node keeps ≥ k keys.
 func (t *Tree) Delete(k base.Key) error {
 	if err := t.deleteFrom(t.root, k); err != nil {

@@ -114,6 +114,23 @@ func (n *Node) InsertLeafPair(k base.Key, v base.Value) *Node {
 	return c
 }
 
+// SetLeafValue returns a copy of the leaf with the value stored under k
+// replaced by v. The key must be present — this is the in-place half of
+// an upsert, which rewrites the node exactly like an insertion but
+// cannot change its pair count.
+func (n *Node) SetLeafValue(k base.Key, v base.Value) *Node {
+	if !n.Leaf {
+		panic("node: SetLeafValue on internal node")
+	}
+	i, ok := n.searchKeys(k)
+	if !ok {
+		panic(fmt.Sprintf("node: SetLeafValue of absent key %d", k))
+	}
+	c := n.Clone()
+	c.Vals[i] = v
+	return c
+}
+
 // DeleteLeafPair returns a copy of the leaf with k removed, or nil if k
 // is absent.
 func (n *Node) DeleteLeafPair(k base.Key) *Node {

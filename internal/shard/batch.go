@@ -10,25 +10,37 @@ import (
 // OpKind is one batched operation type.
 type OpKind uint8
 
-// Batched operation kinds.
+// Batched operation kinds. Update is not batchable — it carries a
+// function, which has no place in a value-shaped batch slot; use the
+// point API for read-modify-write closures.
 const (
 	OpSearch OpKind = iota
 	OpInsert
 	OpDelete
+	OpUpsert
+	OpGetOrInsert
+	OpCompareAndSwap
+	OpCompareAndDelete
 )
 
 // Op is one operation in a batch. Value is ignored for searches and
-// deletes.
+// deletes; Old is the expected current value for OpCompareAndSwap and
+// OpCompareAndDelete and ignored otherwise.
 type Op struct {
 	Kind  OpKind
 	Key   base.Key
 	Value base.Value
+	Old   base.Value
 }
 
 // Result is the outcome of one batched operation, in the same position
-// as its Op. Value is set only for successful searches.
+// as its Op. Value carries the searched value (OpSearch), the previous
+// value (OpUpsert) or the resulting value (OpGetOrInsert). OK reports
+// the kind-specific boolean: existed for OpUpsert, loaded for
+// OpGetOrInsert, swapped/deleted for the compare ops.
 type Result struct {
 	Value base.Value
+	OK    bool
 	Err   error
 }
 
@@ -68,6 +80,14 @@ func (r *Router) ApplyBatch(ops []Op) []Result {
 					results[i].Err = tr.Insert(op.Key, op.Value)
 				case OpDelete:
 					results[i].Err = tr.Delete(op.Key)
+				case OpUpsert:
+					results[i].Value, results[i].OK, results[i].Err = tr.Upsert(op.Key, op.Value)
+				case OpGetOrInsert:
+					results[i].Value, results[i].OK, results[i].Err = tr.GetOrInsert(op.Key, op.Value)
+				case OpCompareAndSwap:
+					results[i].OK, results[i].Err = tr.CompareAndSwap(op.Key, op.Old, op.Value)
+				case OpCompareAndDelete:
+					results[i].OK, results[i].Err = tr.CompareAndDelete(op.Key, op.Old)
 				default:
 					results[i].Value, results[i].Err = tr.Search(op.Key)
 				}

@@ -13,24 +13,42 @@ import (
 // keys strictly ascending, each key at most once, concurrent mutations
 // may or may not be observed.
 //
+// Construction routes directly to the shard owning start, exactly as
+// point operations do — a start inside the last shard opens one
+// per-shard cursor and nothing else. When stitching onward, shards
+// that are empty at hop time are skipped without opening a cursor
+// (each open costs a full descent on first use); under concurrent
+// insertion that can skip a pair landing in a just-probed shard, which
+// the may-or-may-not-observe contract already allows.
+//
 // A Cursor is not safe for concurrent use by multiple goroutines.
 type Cursor struct {
 	r   *Router
 	idx int
 	cur *blink.Cursor
 	err error
+	// probes counts per-shard cursors opened, for tests and tuning.
+	probes int
 }
 
 // NewCursor returns a cursor positioned before the smallest key ≥
 // start, in whichever shard owns it.
 func (r *Router) NewCursor(start base.Key) *Cursor {
-	i := r.shardFor(start)
-	return &Cursor{r: r, idx: i, cur: r.engines[i].Tree.NewCursor(start)}
+	c := &Cursor{r: r}
+	c.open(r.shardFor(start), start)
+	return c
 }
 
-// Next advances to the following pair, hopping to the next shard when
-// the current one is exhausted. It returns false at the end of the
-// last shard or on error (check Err).
+// open points the cursor into shard i starting at key k.
+func (c *Cursor) open(i int, k base.Key) {
+	c.idx = i
+	c.cur = c.r.engines[i].Tree.NewCursor(k)
+	c.probes++
+}
+
+// Next advances to the following pair, hopping to the next non-empty
+// shard when the current one is exhausted. It returns false at the end
+// of the last shard or on error (check Err).
 func (c *Cursor) Next() (base.Key, base.Value, bool) {
 	if c.err != nil {
 		return 0, 0, false
@@ -44,21 +62,97 @@ func (c *Cursor) Next() (base.Key, base.Value, bool) {
 			c.err = err
 			return 0, 0, false
 		}
-		if c.idx+1 >= len(c.r.engines) {
+		next := c.idx + 1
+		for next < len(c.r.engines) && c.r.engines[next].Tree.Len() == 0 {
+			next++
+		}
+		if next >= len(c.r.engines) {
 			return 0, 0, false
 		}
-		c.idx++
-		c.cur = c.r.engines[c.idx].Tree.NewCursor(c.r.lowKey(c.idx))
+		c.open(next, c.r.lowKey(next))
 	}
 }
 
 // Seek repositions the cursor before the smallest key ≥ k, switching
 // shards as needed. Seeking backwards is allowed.
 func (c *Cursor) Seek(k base.Key) {
-	c.idx = c.r.shardFor(k)
-	c.cur = c.r.engines[c.idx].Tree.NewCursor(k)
+	c.open(c.r.shardFor(k), k)
 	c.err = nil
 }
 
 // Err returns the error that terminated iteration, if any.
 func (c *Cursor) Err() error { return c.err }
+
+// ReverseCursor iterates all shards in descending key order, stitching
+// per-shard reverse cursors from the owning shard leftward. Same
+// routing and empty-shard-skip behavior as Cursor, mirrored; same
+// snapshot semantics, with keys strictly descending.
+//
+// A ReverseCursor is not safe for concurrent use by multiple
+// goroutines.
+type ReverseCursor struct {
+	r      *Router
+	idx    int
+	cur    *blink.ReverseCursor
+	err    error
+	probes int
+}
+
+// NewReverseCursor returns a cursor positioned before the largest key
+// ≤ start, in whichever shard owns it.
+func (r *Router) NewReverseCursor(start base.Key) *ReverseCursor {
+	c := &ReverseCursor{r: r}
+	c.open(r.shardFor(start), start)
+	return c
+}
+
+func (c *ReverseCursor) open(i int, k base.Key) {
+	c.idx = i
+	c.cur = c.r.engines[i].Tree.NewReverseCursor(k)
+	c.probes++
+}
+
+// highKey returns the largest key shard i can own.
+func (r *Router) highKey(i int) base.Key {
+	if r.stride == 0 || i == len(r.engines)-1 {
+		return base.Key(^uint64(0))
+	}
+	return r.lowKey(i+1) - 1
+}
+
+// Next advances to the preceding pair, hopping to the previous
+// non-empty shard when the current one is exhausted. It returns false
+// below the first shard or on error (check Err).
+func (c *ReverseCursor) Next() (base.Key, base.Value, bool) {
+	if c.err != nil {
+		return 0, 0, false
+	}
+	for {
+		k, v, ok := c.cur.Next()
+		if ok {
+			return k, v, true
+		}
+		if err := c.cur.Err(); err != nil {
+			c.err = err
+			return 0, 0, false
+		}
+		prev := c.idx - 1
+		for prev >= 0 && c.r.engines[prev].Tree.Len() == 0 {
+			prev--
+		}
+		if prev < 0 {
+			return 0, 0, false
+		}
+		c.open(prev, c.r.highKey(prev))
+	}
+}
+
+// Seek repositions the cursor before the largest key ≤ k, switching
+// shards as needed. Seeking in either direction is allowed.
+func (c *ReverseCursor) Seek(k base.Key) {
+	c.open(c.r.shardFor(k), k)
+	c.err = nil
+}
+
+// Err returns the error that terminated iteration, if any.
+func (c *ReverseCursor) Err() error { return c.err }

@@ -19,15 +19,24 @@
 //   - engine.go: Engine, the bundle of one tree plus its compression
 //     and reclamation lifecycle; OpenEngine subsumes what the
 //     public blinktree.Open used to assemble inline.
-//   - router.go: Router, the range partitioner. Point operations
-//     route by key; ordered operations (Range, Min, Max) visit
-//     shards in partition order, which is key order.
-//   - cursor.go: Cursor stitches per-shard cursors into one ascending
-//     iterator with the same at-most-once, no-locks semantics as a
-//     single tree's cursor (§2.1 footnote 3, §5.2).
+//   - router.go: Router, the range partitioner. Point operations —
+//     including the conditional writes Upsert, GetOrInsert, Update,
+//     CompareAndSwap and CompareAndDelete, which stay atomic because
+//     each key lives in exactly one shard — route by key; ordered
+//     operations (Range, Min, Max) visit shards in partition order,
+//     which is key order.
+//   - cursor.go: Cursor and ReverseCursor stitch per-shard cursors
+//     into one ascending (or descending) iterator with the same
+//     at-most-once, no-locks semantics as a single tree's cursor
+//     (§2.1 footnote 3, §5.2), skipping empty shards without paying
+//     a descent to probe them.
+//   - iter.go: All/Ascend/Descend adapt the stitched cursors to Go
+//     1.23 range-over-func iteration.
 //   - batch.go: ApplyBatch groups operations by destination shard and
 //     dispatches each group on its own goroutine — amortizing routing
-//     and letting disjoint shards proceed truly in parallel.
+//     and letting disjoint shards proceed truly in parallel. Every
+//     logical operation except Update (it carries a function) can be
+//     batched.
 //
 // The partition is static: shard i owns keys [i·stride, (i+1)·stride)
 // with stride = ceil(2^64 / N). Static ranges keep routing a single

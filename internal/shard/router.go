@@ -19,6 +19,11 @@ type OpMetrics struct {
 	Inserts  metrics.Counter
 	Deletes  metrics.Counter
 	Scans    metrics.Counter
+	// Upserts counts Upsert + GetOrInsert, Updates counts Update, and
+	// Cas counts CompareAndSwap + CompareAndDelete routed to the shard.
+	Upserts metrics.Counter
+	Updates metrics.Counter
+	Cas     metrics.Counter
 	// Batches and BatchLatency describe ApplyBatch dispatches: one
 	// observation per batch slice routed to this shard.
 	Batches      metrics.Counter
@@ -104,6 +109,44 @@ func (r *Router) Delete(k base.Key) error {
 	i := r.shardFor(k)
 	r.ms[i].Deletes.Inc()
 	return r.engines[i].Tree.Delete(k)
+}
+
+// Upsert stores v under k in k's shard, returning the previous value
+// and whether one existed.
+func (r *Router) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	i := r.shardFor(k)
+	r.ms[i].Upserts.Inc()
+	return r.engines[i].Tree.Upsert(k, v)
+}
+
+// GetOrInsert returns the value under k, inserting v first when k is
+// absent from its shard.
+func (r *Router) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	i := r.shardFor(k)
+	r.ms[i].Upserts.Inc()
+	return r.engines[i].Tree.GetOrInsert(k, v)
+}
+
+// Update atomically replaces the value under k with fn(current), or
+// returns base.ErrNotFound.
+func (r *Router) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
+	i := r.shardFor(k)
+	r.ms[i].Updates.Inc()
+	return r.engines[i].Tree.Update(k, fn)
+}
+
+// CompareAndSwap swaps k's value from old to new in its shard.
+func (r *Router) CompareAndSwap(k base.Key, old, new base.Value) (bool, error) {
+	i := r.shardFor(k)
+	r.ms[i].Cas.Inc()
+	return r.engines[i].Tree.CompareAndSwap(k, old, new)
+}
+
+// CompareAndDelete removes k from its shard when its value equals old.
+func (r *Router) CompareAndDelete(k base.Key, old base.Value) (bool, error) {
+	i := r.shardFor(k)
+	r.ms[i].Cas.Inc()
+	return r.engines[i].Tree.CompareAndDelete(k, old)
 }
 
 // Range calls fn for each pair with lo ≤ key ≤ hi in ascending order
@@ -338,6 +381,9 @@ type ShardStat struct {
 	Searches   uint64 // ops routed by this Router
 	Inserts    uint64
 	Deletes    uint64
+	Upserts    uint64
+	Updates    uint64
+	Cas        uint64
 	Scans      uint64
 	Batches    uint64
 	BatchOps   uint64
@@ -358,6 +404,9 @@ func (r *Router) ShardStats() []ShardStat {
 			Searches:   m.Searches.Load(),
 			Inserts:    m.Inserts.Load(),
 			Deletes:    m.Deletes.Load(),
+			Upserts:    m.Upserts.Load(),
+			Updates:    m.Updates.Load(),
+			Cas:        m.Cas.Load(),
 			Scans:      m.Scans.Load(),
 			Batches:    m.Batches.Load(),
 			BatchOps:   m.BatchOps.Load(),
@@ -373,6 +422,9 @@ func mergeSnapshots(a, b blink.StatsSnapshot) blink.StatsSnapshot {
 	a.Inserts += b.Inserts
 	a.Deletes += b.Deletes
 	a.Scans += b.Scans
+	a.Upserts += b.Upserts
+	a.Updates += b.Updates
+	a.Cas += b.Cas
 	a.Splits += b.Splits
 	a.RootSplits += b.RootSplits
 	a.LinkHops += b.LinkHops
@@ -383,6 +435,7 @@ func mergeSnapshots(a, b blink.StatsSnapshot) blink.StatsSnapshot {
 	a.UnderfullEvents += b.UnderfullEvents
 	a.InsertLocks = mergeFootprints(a.InsertLocks, b.InsertLocks)
 	a.DeleteLocks = mergeFootprints(a.DeleteLocks, b.DeleteLocks)
+	a.CondLocks = mergeFootprints(a.CondLocks, b.CondLocks)
 	return a
 }
 

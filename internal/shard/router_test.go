@@ -320,6 +320,224 @@ func TestConcurrentInsertDuringScan(t *testing.T) {
 	}
 }
 
+func TestConditionalOpsRouteAndReport(t *testing.T) {
+	r := mustRouter(t, 4, Options{MinPairs: 2})
+	keys := spread(16)
+	for _, k := range keys {
+		if old, existed, err := r.Upsert(k, base.Value(k)); err != nil || existed || old != 0 {
+			t.Fatalf("upsert(%d) = (%d, %v, %v)", k, old, existed, err)
+		}
+	}
+	for _, k := range keys {
+		if old, existed, err := r.Upsert(k, base.Value(k)+1); err != nil || !existed || old != base.Value(k) {
+			t.Fatalf("re-upsert(%d) = (%d, %v, %v)", k, old, existed, err)
+		}
+	}
+	if v, loaded, err := r.GetOrInsert(keys[3], 999); err != nil || !loaded || v != base.Value(keys[3])+1 {
+		t.Fatalf("getorinsert = (%d, %v, %v)", v, loaded, err)
+	}
+	if v, err := r.Update(keys[5], func(v base.Value) base.Value { return v * 2 }); err != nil || v != (base.Value(keys[5])+1)*2 {
+		t.Fatalf("update = (%d, %v)", v, err)
+	}
+	if ok, err := r.CompareAndSwap(keys[7], base.Value(keys[7])+1, 42); err != nil || !ok {
+		t.Fatalf("cas = (%v, %v)", ok, err)
+	}
+	if ok, err := r.CompareAndDelete(keys[9], base.Value(keys[9])+1); err != nil || !ok {
+		t.Fatalf("cad = (%v, %v)", ok, err)
+	}
+	if r.Len() != len(keys)-1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	var upserts, updates, cas uint64
+	for _, st := range r.ShardStats() {
+		upserts += st.Upserts
+		updates += st.Updates
+		cas += st.Cas
+	}
+	if upserts != uint64(2*len(keys)+1) || updates != 1 || cas != 2 {
+		t.Fatalf("routed counters: upserts=%d updates=%d cas=%d", upserts, updates, cas)
+	}
+	st, err := r.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tree.Upserts != uint64(2*len(keys)+1) || st.Tree.Updates != 1 || st.Tree.Cas != 2 {
+		t.Fatalf("aggregate tree counters: %+v", st.Tree)
+	}
+	if st.Tree.CondLocks.MaxHeld > 1 {
+		t.Fatalf("cond footprint %d", st.Tree.CondLocks.MaxHeld)
+	}
+}
+
+func TestApplyBatchConditionalKinds(t *testing.T) {
+	r := mustRouter(t, 4, Options{MinPairs: 2})
+	keys := spread(8)
+	if err := r.Insert(keys[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	res := r.ApplyBatch([]Op{
+		{Kind: OpUpsert, Key: keys[0], Value: 11},      // over existing
+		{Kind: OpUpsert, Key: keys[1], Value: 20},      // fresh
+		{Kind: OpGetOrInsert, Key: keys[1], Value: 99}, // loads 20
+		{Kind: OpGetOrInsert, Key: keys[2], Value: 30}, // stores 30
+		{Kind: OpCompareAndSwap, Key: keys[1], Old: 20, Value: 21},
+		{Kind: OpCompareAndSwap, Key: keys[1], Old: 20, Value: 22}, // stale old
+		{Kind: OpCompareAndDelete, Key: keys[2], Old: 30},
+		{Kind: OpCompareAndSwap, Key: keys[3], Old: 0, Value: 1}, // absent
+	})
+	if res[0].Err != nil || !res[0].OK || res[0].Value != 10 {
+		t.Fatalf("batch upsert over = %+v", res[0])
+	}
+	if res[1].Err != nil || res[1].OK {
+		t.Fatalf("batch upsert fresh = %+v", res[1])
+	}
+	if res[2].Err != nil || !res[2].OK || res[2].Value != 20 {
+		t.Fatalf("batch getorinsert load = %+v", res[2])
+	}
+	if res[3].Err != nil || res[3].OK || res[3].Value != 30 {
+		t.Fatalf("batch getorinsert store = %+v", res[3])
+	}
+	if res[4].Err != nil || !res[4].OK {
+		t.Fatalf("batch cas = %+v", res[4])
+	}
+	if res[5].Err != nil || res[5].OK {
+		t.Fatalf("batch stale cas = %+v", res[5])
+	}
+	if res[6].Err != nil || !res[6].OK {
+		t.Fatalf("batch cad = %+v", res[6])
+	}
+	if !errors.Is(res[7].Err, base.ErrNotFound) || res[7].OK {
+		t.Fatalf("batch cas absent = %+v", res[7])
+	}
+	if v, err := r.Search(keys[1]); err != nil || v != 21 {
+		t.Fatalf("after batch, keys[1] = (%d, %v)", v, err)
+	}
+}
+
+func TestReverseCursorStitchesShards(t *testing.T) {
+	r := mustRouter(t, 4, Options{MinPairs: 2})
+	keys := spread(100)
+	for _, k := range keys {
+		if err := r.Insert(k, base.Value(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := r.NewReverseCursor(base.Key(^uint64(0)))
+	for i := len(keys) - 1; i >= 0; i-- {
+		k, v, ok := c.Next()
+		if !ok || k != keys[i] || v != base.Value(keys[i]) {
+			t.Fatalf("reverse[%d] = (%d, %d, %v), want %d", i, k, v, ok, keys[i])
+		}
+	}
+	if _, _, ok := c.Next(); ok {
+		t.Fatal("reverse cursor ran past the start")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Seek across shards, both directions.
+	c.Seek(keys[50])
+	if k, _, ok := c.Next(); !ok || k != keys[50] {
+		t.Fatalf("after Seek: %d", k)
+	}
+	c.Seek(keys[10] + 1)
+	if k, _, ok := c.Next(); !ok || k != keys[10] {
+		t.Fatalf("after Seek down: %d", k)
+	}
+	// Ascend/Descend round trip.
+	var asc, desc []base.Key
+	for k := range r.All() {
+		asc = append(asc, k)
+	}
+	for k := range r.Descend(base.Key(^uint64(0)), 0) {
+		desc = append(desc, k)
+	}
+	if len(asc) != len(keys) || len(desc) != len(keys) {
+		t.Fatalf("All saw %d, Descend saw %d, want %d", len(asc), len(desc), len(keys))
+	}
+	for i := range asc {
+		if asc[i] != keys[i] || desc[i] != keys[len(keys)-1-i] {
+			t.Fatalf("iteration order broken at %d", i)
+		}
+	}
+}
+
+// TestCursorLastShardSkipsStitchProbes is the regression test for the
+// stitch-probe fix: a cursor whose start lies inside the last shard
+// must route directly to it (one per-shard cursor, like a point op)
+// and never probe the others; and stitching over empty shards must
+// skip them without opening per-shard cursors.
+func TestCursorLastShardSkipsStitchProbes(t *testing.T) {
+	r := mustRouter(t, 8, Options{MinPairs: 2})
+	last := len(r.engines) - 1
+	start := r.lowKey(last) + 5
+	for i := 0; i < 10; i++ {
+		if err := r.Insert(start+base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Start inside the last shard: exactly one per-shard cursor.
+	c := r.NewCursor(start)
+	n := 0
+	for {
+		if _, _, ok := c.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("cursor from last shard saw %d keys", n)
+	}
+	if c.probes != 1 {
+		t.Fatalf("cursor from last shard opened %d per-shard cursors, want 1", c.probes)
+	}
+	// Start at 0 with seven empty shards before the data: the stitch
+	// must skip them all and open only the populated shard's cursor.
+	c = r.NewCursor(0)
+	n = 0
+	for {
+		if _, _, ok := c.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("cursor over empty shards saw %d keys", n)
+	}
+	if c.probes != 2 { // shard 0 (owner of start) + the last shard
+		t.Fatalf("cursor over empty shards opened %d per-shard cursors, want 2", c.probes)
+	}
+	// Mirrored for the reverse cursor: start in shard 0.
+	if err := r.engines[0].Tree.Insert(3, 33); err != nil {
+		t.Fatal(err)
+	}
+	rc := r.NewReverseCursor(r.highKey(0))
+	if k, v, ok := rc.Next(); !ok || k != 3 || v != 33 {
+		t.Fatalf("reverse from first shard = (%d, %d, %v)", k, v, ok)
+	}
+	if _, _, ok := rc.Next(); ok {
+		t.Fatal("reverse cursor left shard 0 downward")
+	}
+	if rc.probes != 1 {
+		t.Fatalf("reverse cursor opened %d per-shard cursors, want 1", rc.probes)
+	}
+	// Reverse from the top skips the six empty shards between data.
+	rc = r.NewReverseCursor(base.Key(^uint64(0)))
+	n = 0
+	for {
+		if _, _, ok := rc.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 11 {
+		t.Fatalf("reverse stitch saw %d keys", n)
+	}
+	if rc.probes != 2 { // last shard + shard 0
+		t.Fatalf("reverse stitch opened %d per-shard cursors, want 2", rc.probes)
+	}
+}
+
 func TestBulkLoadAcrossShards(t *testing.T) {
 	r := mustRouter(t, 4, Options{MinPairs: 4})
 	keys := spread(10000)

@@ -14,12 +14,20 @@ import (
 // OpKind is one logical operation type.
 type OpKind uint8
 
-// Operation kinds.
+// Operation kinds. The conditional kinds (OpUpsert, OpUpdate, OpCAS)
+// drive the atomic read-modify-write surface of base.Tree.
 const (
 	OpSearch OpKind = iota
 	OpInsert
 	OpDelete
 	OpScan
+	OpUpsert
+	OpUpdate
+	OpCAS
+
+	// NumOpKinds is the number of operation kinds, for per-kind
+	// counters; keep it last in the block.
+	NumOpKinds
 )
 
 // String names the op kind.
@@ -33,6 +41,12 @@ func (k OpKind) String() string {
 		return "delete"
 	case OpScan:
 		return "scan"
+	case OpUpsert:
+		return "upsert"
+	case OpUpdate:
+		return "update"
+	case OpCAS:
+		return "cas"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}
@@ -152,13 +166,18 @@ func (s Stretch) Name() string {
 // Mix is an operation mix in percent; the parts must sum to 100.
 type Mix struct {
 	SearchPct, InsertPct, DeletePct, ScanPct int
+	// UpsertPct, UpdatePct and CasPct add conditional-write traffic
+	// (Upsert, Update and CompareAndSwap respectively).
+	UpsertPct, UpdatePct, CasPct int
 	// ScanSpan is the key width of generated scans.
 	ScanSpan uint64
 }
 
 // Validate checks the mix sums to 100.
 func (m Mix) Validate() error {
-	if s := m.SearchPct + m.InsertPct + m.DeletePct + m.ScanPct; s != 100 {
+	s := m.SearchPct + m.InsertPct + m.DeletePct + m.ScanPct +
+		m.UpsertPct + m.UpdatePct + m.CasPct
+	if s != 100 {
 		return fmt.Errorf("workload: mix sums to %d, want 100", s)
 	}
 	return nil
@@ -166,7 +185,11 @@ func (m Mix) Validate() error {
 
 // String renders the mix for reports.
 func (m Mix) String() string {
-	return fmt.Sprintf("%ds/%di/%dd/%dsc", m.SearchPct, m.InsertPct, m.DeletePct, m.ScanPct)
+	s := fmt.Sprintf("%ds/%di/%dd/%dsc", m.SearchPct, m.InsertPct, m.DeletePct, m.ScanPct)
+	if m.UpsertPct+m.UpdatePct+m.CasPct > 0 {
+		s += fmt.Sprintf("/%dup/%dmod/%dcas", m.UpsertPct, m.UpdatePct, m.CasPct)
+	}
+	return s
 }
 
 // Common mixes used across experiments.
@@ -177,6 +200,12 @@ var (
 	InsertHeavy = Mix{SearchPct: 20, InsertPct: 80}
 	DeleteHeavy = Mix{SearchPct: 20, InsertPct: 10, DeletePct: 70}
 	WriteOnly   = Mix{InsertPct: 50, DeletePct: 50}
+	// UpsertHeavy is the cache-fill shape: mostly unconditional
+	// upserts with some reads and evictions.
+	UpsertHeavy = Mix{SearchPct: 20, UpsertPct: 60, DeletePct: 20}
+	// RMW is the read-modify-write serving shape: a blend of all the
+	// conditional writes over a read-mostly base.
+	RMW = Mix{SearchPct: 30, UpsertPct: 20, UpdatePct: 20, CasPct: 20, DeletePct: 10}
 )
 
 // Generator produces a deterministic operation stream. Not safe for
@@ -222,24 +251,34 @@ func NewGenerator(seed int64, dist KeyDist, mix Mix) (*Generator, error) {
 func (g *Generator) Next() Op {
 	p := g.rng.Intn(100)
 	k := g.draw()
-	switch {
-	case p < g.mix.SearchPct:
+	cut := g.mix.SearchPct
+	if p < cut {
 		return Op{Kind: OpSearch, Key: k}
-	case p < g.mix.SearchPct+g.mix.InsertPct:
-		return Op{Kind: OpInsert, Key: k}
-	case p < g.mix.SearchPct+g.mix.InsertPct+g.mix.DeletePct:
-		return Op{Kind: OpDelete, Key: k}
-	default:
-		span := g.mix.ScanSpan
-		if span == 0 {
-			span = 100
-		}
-		hi := k + base.Key(span*g.spanScale)
-		if hi < k { // saturate at the top of the keyspace
-			hi = base.Key(^uint64(0))
-		}
-		return Op{Kind: OpScan, Key: k, Hi: hi}
 	}
+	if cut += g.mix.InsertPct; p < cut {
+		return Op{Kind: OpInsert, Key: k}
+	}
+	if cut += g.mix.DeletePct; p < cut {
+		return Op{Kind: OpDelete, Key: k}
+	}
+	if cut += g.mix.UpsertPct; p < cut {
+		return Op{Kind: OpUpsert, Key: k}
+	}
+	if cut += g.mix.UpdatePct; p < cut {
+		return Op{Kind: OpUpdate, Key: k}
+	}
+	if cut += g.mix.CasPct; p < cut {
+		return Op{Kind: OpCAS, Key: k}
+	}
+	span := g.mix.ScanSpan
+	if span == 0 {
+		span = 100
+	}
+	hi := k + base.Key(span*g.spanScale)
+	if hi < k { // saturate at the top of the keyspace
+		hi = base.Key(^uint64(0))
+	}
+	return Op{Kind: OpScan, Key: k, Hi: hi}
 }
 
 // Apply executes op against tr, swallowing the benign ErrNotFound /
@@ -265,6 +304,24 @@ func Apply(tr base.Tree, op Op) (bool, error) {
 			return false, err
 		}
 		return err == nil, nil
+	case OpUpsert:
+		_, _, err := tr.Upsert(op.Key, base.Value(op.Key))
+		return err == nil, err
+	case OpUpdate:
+		// Identity update: exercises the atomic read-modify-write path
+		// while preserving the value==key invariant stress checks rely
+		// on.
+		_, err := tr.Update(op.Key, func(v base.Value) base.Value { return v })
+		if err != nil && !errors.Is(err, base.ErrNotFound) {
+			return false, err
+		}
+		return err == nil, nil
+	case OpCAS:
+		swapped, err := tr.CompareAndSwap(op.Key, base.Value(op.Key), base.Value(op.Key))
+		if err != nil && !errors.Is(err, base.ErrNotFound) {
+			return false, err
+		}
+		return err == nil && swapped, nil
 	default:
 		err := tr.Range(op.Key, op.Hi, func(base.Key, base.Value) bool { return true })
 		return false, err
