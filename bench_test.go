@@ -714,6 +714,63 @@ func BenchmarkE11ConditionalWrites(b *testing.B) {
 	}
 }
 
+// BenchmarkE12Durability: E12 — the durability tax and how group
+// commit amortizes it. Upserts against volatile vs WAL-backed indexes,
+// single tree and sharded; durable runs report the achieved records
+// per fsync. At parallelism the tax shrinks because concurrent
+// appenders share each sync — the table form lives in
+// harness.E12Durability / sagivbench.
+func BenchmarkE12Durability(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		shards  int
+		durable bool
+	}{
+		{"tree/volatile", 1, false},
+		{"tree/durable", 1, true},
+		{"sharded=8/volatile", 8, false},
+		{"sharded=8/durable", 8, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := Options{MinPairs: 16}
+			if cfg.durable {
+				opts.Durable, opts.Dir = true, b.TempDir()
+			}
+			var idx Index
+			var err error
+			if cfg.shards > 1 {
+				idx, err = OpenSharded(cfg.shards, opts)
+			} else {
+				idx, err = Open(opts)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer idx.Close()
+			b.SetParallelism(8)
+			var seed atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := uint64(seed.Add(1))
+				i := uint64(0)
+				for pb.Next() {
+					k := Key((g<<32 | i) * 11400714819323198485)
+					if _, _, err := idx.Upsert(k, Value(i)); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			if cfg.durable {
+				if st, err := idx.Stats(); err == nil {
+					b.ReportMetric(st.WAL.MeanGroup(), "recs/fsync")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCoarseFloor pins the coarse baseline cost for reference.
 func BenchmarkCoarseFloor(b *testing.B) {
 	tr, err := coarse.New(16)

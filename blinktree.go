@@ -43,6 +43,20 @@
 // Descend(hi, lo) on both front-ends, plus explicit Cursor /
 // ReverseCursor types; the callback Range remains.
 //
+// Durability is opt-in: Options{Durable: true, Dir: "..."} gives
+// either front-end a group-commit write-ahead log and crash recovery —
+// every mutation is acknowledged only after its log record is fsynced
+// (batched across concurrent writers into one sync), Open/OpenSharded
+// on the same Dir recovers "checkpoint + log suffix", and Checkpoint()
+// truncates the log without blocking readers or writers:
+//
+//	t, _ := blinktree.Open(blinktree.Options{Durable: true, Dir: "/data/idx"})
+//	_ = t.Insert(42, 420)   // returns after the record is on disk
+//	_ = t.Checkpoint()      // snapshot + log truncation
+//	_ = t.Close()
+//	t, _ = blinktree.Open(blinktree.Options{Durable: true, Dir: "/data/idx"})
+//	// state is back, including after a crash instead of Close
+//
 // By default compression runs in the background: deletions that leave a
 // leaf underfull enqueue it, and worker goroutines compress it
 // concurrently (§5.4 of the paper). Use CompressionManual and Compact
@@ -181,6 +195,10 @@ type Index interface {
 	Snapshot(w io.Writer) error
 	// Restore loads a Snapshot stream into the (fresh) index.
 	Restore(r io.Reader) error
+	// Checkpoint makes the current state durable as a snapshot and
+	// truncates the write-ahead log (no-op on a volatile index). It
+	// runs concurrently with readers and writers.
+	Checkpoint() error
 	// Close releases resources; the index must not be used afterwards.
 	Close() error
 }
@@ -202,8 +220,17 @@ type Tree struct {
 	eng *shard.Engine
 }
 
-// Open creates a Tree per opts.
+// Open creates a Tree per opts. With Options.Durable set, Open
+// recovers any state previously logged under Options.Dir (newest
+// checkpoint plus the surviving log suffix) before returning; a Dir
+// written by a sharded index is rejected (the on-disk layout records
+// its topology).
 func Open(opts Options) (*Tree, error) {
+	if opts.Durable && opts.Dir != "" {
+		if err := shard.EnsureLayout(opts.Dir, 1); err != nil {
+			return nil, err
+		}
+	}
 	eng, err := shard.OpenEngine(opts)
 	if err != nil {
 		return nil, err
@@ -223,24 +250,24 @@ func NewTree() *Tree {
 }
 
 // Insert stores v under k; ErrDuplicate if k is present.
-func (t *Tree) Insert(k Key, v Value) error { return t.eng.Tree.Insert(k, v) }
+func (t *Tree) Insert(k Key, v Value) error { return t.eng.Insert(k, v) }
 
 // Search returns the value stored under k, or ErrNotFound.
 func (t *Tree) Search(k Key) (Value, error) { return t.eng.Tree.Search(k) }
 
 // Delete removes k, or returns ErrNotFound.
-func (t *Tree) Delete(k Key) error { return t.eng.Tree.Delete(k) }
+func (t *Tree) Delete(k Key) error { return t.eng.Delete(k) }
 
 // Upsert stores v under k unconditionally, returning the previous
 // value and whether one existed. It is atomic under the paper's
 // protocol — one descent, the present/absent decision taken while the
 // single leaf lock is held — unlike a Search+Insert emulation.
-func (t *Tree) Upsert(k Key, v Value) (Value, bool, error) { return t.eng.Tree.Upsert(k, v) }
+func (t *Tree) Upsert(k Key, v Value) (Value, bool, error) { return t.eng.Upsert(k, v) }
 
 // GetOrInsert returns the value under k, inserting v first when k is
 // absent; loaded reports whether it was already present.
 func (t *Tree) GetOrInsert(k Key, v Value) (Value, bool, error) {
-	return t.eng.Tree.GetOrInsert(k, v)
+	return t.eng.GetOrInsert(k, v)
 }
 
 // Update atomically replaces the value under k with fn(current) and
@@ -248,19 +275,19 @@ func (t *Tree) GetOrInsert(k Key, v Value) (Value, bool, error) {
 // lock and may be re-invoked after internal restarts; keep it fast and
 // side-effect free.
 func (t *Tree) Update(k Key, fn func(Value) Value) (Value, error) {
-	return t.eng.Tree.Update(k, fn)
+	return t.eng.Update(k, fn)
 }
 
 // CompareAndSwap replaces k's value with new only when it equals old.
 // A missing key is ErrNotFound; a mismatch is (false, nil).
 func (t *Tree) CompareAndSwap(k Key, old, new Value) (bool, error) {
-	return t.eng.Tree.CompareAndSwap(k, old, new)
+	return t.eng.CompareAndSwap(k, old, new)
 }
 
 // CompareAndDelete removes k only when its value equals old, with the
 // same convention as CompareAndSwap.
 func (t *Tree) CompareAndDelete(k Key, old Value) (bool, error) {
-	return t.eng.Tree.CompareAndDelete(k, old)
+	return t.eng.CompareAndDelete(k, old)
 }
 
 // Range calls fn for each pair with lo ≤ key ≤ hi in ascending order,
@@ -316,6 +343,13 @@ func (t *Tree) CollectGarbage() (int, error) { return t.eng.CollectGarbage() }
 // Check validates every structural invariant. Run it quiesced.
 func (t *Tree) Check() error { return t.eng.Tree.Check() }
 
+// Checkpoint writes the tree's current state as a durable snapshot
+// and truncates the write-ahead log to the uncovered suffix, bounding
+// recovery time. It runs concurrently with readers and writers (the
+// snapshot is fuzzy; the kept log suffix replays idempotently on top).
+// No-op on a volatile tree; see Options.Durable.
+func (t *Tree) Checkpoint() error { return t.eng.Checkpoint() }
+
 // Close stops background compression and closes the store. The tree
 // must not be used afterwards.
 func (t *Tree) Close() error { return t.eng.Close() }
@@ -349,7 +383,7 @@ func (t *Tree) NewIterator(start Key) Iterator { return t.NewCursor(start) }
 // It is much faster than repeated Insert and requires exclusive access;
 // the tree is fully concurrent afterwards.
 func (t *Tree) BulkLoad(pairs func() (Key, Value, bool), fill float64) error {
-	return t.eng.Tree.BulkLoad(pairs, fill)
+	return t.eng.BulkLoad(pairs, fill)
 }
 
 // Stats aggregates the counters of a front-end and its compressors.
@@ -375,7 +409,10 @@ type Sharded struct {
 
 // OpenSharded creates a sharded index of n ≥ 1 shards, each configured
 // per opts. With a non-empty Path, shard i persists to
-// "<path>.shard<i>".
+// "<path>.shard<i>". With Options.Durable, shard i logs and recovers
+// independently under "<dir>/shard<i>" — one WAL segment set per
+// shard, so shards group-commit without cross-shard coordination; the
+// shard count must match across reopenings of the same Dir.
 func OpenSharded(n int, opts Options) (*Sharded, error) {
 	r, err := shard.NewRouter(n, opts)
 	if err != nil {
@@ -528,6 +565,11 @@ func (s *Sharded) CollectGarbage() (int, error) { return s.r.CollectGarbage() }
 // Check validates every shard's structural invariants. Run it
 // quiesced.
 func (s *Sharded) Check() error { return s.r.Check() }
+
+// Checkpoint checkpoints every shard independently — each writes its
+// own snapshot and truncates its own log, with no cross-shard barrier.
+// No-op on a volatile index; see Options.Durable.
+func (s *Sharded) Checkpoint() error { return s.r.Checkpoint() }
 
 // Stats aggregates all shards' counters; see Stats for the merge
 // rules. Occupancy walks every shard; avoid calling it in hot loops.

@@ -1,9 +1,12 @@
 // Command blinkcli is an interactive shell over a blinktree.Tree —
 // handy for poking at the data structure and watching compression work.
+// With -dir the tree is durable: mutations are write-ahead logged with
+// group commit, and restarting blinkcli with the same -dir recovers
+// the data (try: insert, quit, reopen, get).
 //
 // Usage:
 //
-//	blinkcli [-k 16] [-path tree.db]
+//	blinkcli [-k 16] [-path tree.db] [-dir walDir]
 //
 // Commands:
 //
@@ -13,6 +16,7 @@
 //	scan <lo> <hi>           list pairs in [lo,hi]
 //	len | height | stats     introspection
 //	compact                  full compression pass
+//	checkpoint               durable snapshot + log truncation (-dir mode)
 //	check                    validate invariants
 //	help | quit
 package main
@@ -32,9 +36,13 @@ import (
 func main() {
 	k := flag.Int("k", 16, "minimum pairs per node (the paper's k)")
 	path := flag.String("path", "", "optional file-backed page store")
+	dir := flag.String("dir", "", "durability directory: WAL + checkpoints, recovered on open")
 	flag.Parse()
 
-	tr, err := blinktree.Open(blinktree.Options{MinPairs: *k, Path: *path})
+	tr, err := blinktree.Open(blinktree.Options{
+		MinPairs: *k, Path: *path,
+		Durable: *dir != "", Dir: *dir,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
 		os.Exit(1)
@@ -69,7 +77,7 @@ func exec(tr *blinktree.Tree, args []string) bool {
 	case "quit", "exit":
 		return true
 	case "help":
-		fmt.Println("insert <k> <v> | get <k> | delete <k> | scan <lo> <hi> | len | height | stats | compact | check | quit")
+		fmt.Println("insert <k> <v> | get <k> | delete <k> | scan <lo> <hi> | len | height | stats | compact | checkpoint | check | quit")
 	case "insert":
 		if len(args) != 3 {
 			fmt.Println("usage: insert <key> <value>")
@@ -159,6 +167,16 @@ func exec(tr *blinktree.Tree, args []string) bool {
 		fmt.Printf("insert maxLocks=%d, compressor maxLocks=%d, queue=%d, pages retired/freed=%d/%d\n",
 			st.Tree.InsertLocks.MaxHeld, st.CompressorMaxLocks, st.QueueDepth,
 			st.Reclaim.Retired, st.Reclaim.Freed)
+		if st.WAL.Syncs > 0 || st.WAL.Replayed > 0 {
+			fmt.Printf("wal: %d records / %d syncs (mean group %.1f), %d replayed at open, %d checkpoints\n",
+				st.WAL.Records, st.WAL.Syncs, st.WAL.MeanGroup(), st.WAL.Replayed, st.Checkpoints)
+		}
+	case "checkpoint":
+		if err := tr.Checkpoint(); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("ok: state snapshotted, log truncated")
+		}
 	case "compact":
 		if err := tr.Compact(); err != nil {
 			fail(err)

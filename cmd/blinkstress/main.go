@@ -8,22 +8,37 @@
 //
 //	blinkstress [-duration 10s] [-workers 8] [-compressors 2]
 //	            [-k 4] [-keys 100000] [-mix balanced] [-shards 1]
+//	            [-durable] [-dir path]
 //
 // With -shards N > 1 the keyspace is range-partitioned across N
 // independent trees (each with its own compression workers) and the
 // stress keys are spread over the full uint64 range so every shard
 // receives traffic; the report then includes per-shard balance.
+//
+// With -durable the workload runs against a WAL-backed index in -dir
+// (a temp dir by default): workers mutate disjoint key sets while
+// recording every acknowledged operation in an oracle, checkpoints run
+// concurrently, and halfway through the run the log committer is
+// killed at a random torn-write offset. The index is then recovered
+// from disk and every surviving key is checked against the oracle —
+// acknowledged operations must all be present, and nothing may appear
+// that was never issued. The recovered index then takes more traffic
+// and a final invariant check.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"blinktree"
+	"blinktree/internal/base"
+	"blinktree/internal/shard"
 	"blinktree/internal/workload"
 )
 
@@ -35,7 +50,14 @@ func main() {
 	keys := flag.Uint64("keys", 100000, "key population size")
 	mixName := flag.String("mix", "balanced", "read-only|read-mostly|balanced|insert-heavy|delete-heavy|write-only|upsert-heavy|rmw")
 	shards := flag.Int("shards", 1, "range partitions (1 = single tree)")
+	durable := flag.Bool("durable", false, "WAL-backed run with mid-run kill, recovery and oracle verification")
+	dirFlag := flag.String("dir", "", "durability directory for -durable (default: a temp dir)")
 	flag.Parse()
+
+	if *durable {
+		runDurable(*dur, *workers, *shards, *k, *compressors, *dirFlag)
+		return
+	}
 
 	mixes := map[string]workload.Mix{
 		"read-only":    workload.ReadOnly,
@@ -221,4 +243,205 @@ loop:
 func fatal(what string, err error) {
 	fmt.Fprintf(os.Stderr, "FAIL (%s): %v\n", what, err)
 	os.Exit(1)
+}
+
+// runDurable is the -durable mode: a WAL-backed mixed workload with an
+// oracle, a mid-run committer kill at a random torn-write offset,
+// recovery, and verification that recovery is prefix-consistent —
+// every acknowledged op present, no phantoms.
+func runDurable(dur time.Duration, workers, shards, k, compressors int, dir string) {
+	if shards < 1 {
+		fatal("durable", fmt.Errorf("-shards %d: need at least 1", shards))
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "blinkstress-wal")
+		if err != nil {
+			fatal("tmpdir", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	opts := shard.Options{MinPairs: k, CompressorWorkers: compressors, Durable: true, Dir: dir}
+	open := func() *shard.Router {
+		r, err := shard.NewRouter(shards, opts)
+		if err != nil {
+			fatal("open", err)
+		}
+		return r
+	}
+	r := open()
+	fmt.Printf("blinkstress durable: %d workers, shards=%d, k=%d, dir=%s, %v\n",
+		workers, shards, k, dir, dur)
+
+	// Each worker owns a disjoint key slice, so per-key histories are
+	// sequential and the oracle is exact: lastAcked is the state after
+	// the newest acknowledged op; attempt is the single in-flight op a
+	// crash may or may not have persisted.
+	const keysPer = 512
+	type state struct {
+		val     base.Value
+		present bool
+	}
+	lastAcked := make([]map[uint64]state, workers)
+	attempt := make([]map[uint64]state, workers)
+	stride := ^uint64(0)/uint64(workers*keysPer) + 1
+	key := func(raw uint64) base.Key { return base.Key(raw * stride) }
+
+	var ops atomic.Uint64
+	var killed atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lastAcked[w] = make(map[uint64]state)
+		attempt[w] = make(map[uint64]state)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw := uint64(w*keysPer) + uint64(rng.Intn(keysPer))
+				cur := lastAcked[w][raw]
+				var next state
+				var err error
+				switch {
+				case cur.present && rng.Intn(4) == 0:
+					next = state{}
+					err = r.Delete(key(raw))
+				case cur.present && rng.Intn(3) == 0:
+					next = state{val: cur.val + 1, present: true}
+					_, err = r.Update(key(raw), func(v base.Value) base.Value { return v + 1 })
+				default:
+					next = state{val: base.Value(rng.Uint64() | 1), present: true}
+					_, _, err = r.Upsert(key(raw), next.val)
+				}
+				if err != nil {
+					if !killed.Load() {
+						fatal("durable workload", err)
+					}
+					attempt[w][raw] = next
+					return
+				}
+				lastAcked[w][raw] = next
+				ops.Add(1)
+			}
+		}(w)
+	}
+	// Checkpoint under load: the fuzzy snapshot + idempotent log suffix
+	// must hold up while the kill can land at any moment.
+	ckpts := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		period := dur / 8
+		if period < 100*time.Millisecond {
+			period = 100 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if err := r.Checkpoint(); err != nil {
+					if !killed.Load() {
+						fatal("checkpoint", err)
+					}
+					return
+				}
+				ckpts++
+			}
+		}
+	}()
+
+	time.Sleep(dur / 2)
+	partial := rand.Intn(64)
+	killed.Store(true)
+	r.CrashWAL(partial)
+	close(stop)
+	wg.Wait()
+	ackedOps := ops.Load()
+	fmt.Printf("      killed committer mid-group (torn write: %d bytes) after %d acked ops, %d checkpoints\n",
+		partial, ackedOps, ckpts)
+	if pre, err := r.Stats(); err == nil {
+		fmt.Printf("      pre-crash wal: %d records / %d syncs (mean group %.1f, max %d)\n",
+			pre.WAL.Records, pre.WAL.Syncs, pre.WAL.MeanGroup(), pre.WAL.MaxGroup)
+	}
+
+	// Recover from disk and verify against the oracle.
+	r2 := open()
+	defer r2.Close()
+	verified := 0
+	for w := 0; w < workers; w++ {
+		for raw, want := range lastAcked[w] {
+			v, err := r2.Search(key(raw))
+			if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
+				fatal("verify", err)
+			}
+			got := state{val: v, present: err == nil}
+			if got == want {
+				verified++
+				continue
+			}
+			if alt, ok := attempt[w][raw]; ok && got == alt {
+				verified++ // the in-flight op's record survived the tear
+				continue
+			}
+			fatal("verify", fmt.Errorf("key %d: recovered %+v, acked %+v, attempt %+v",
+				raw, got, want, attempt[w][raw]))
+		}
+	}
+	// No phantoms: every recovered pair must map back to an oracle entry.
+	phantoms := 0
+	err := r2.Range(0, base.Key(^uint64(0)), func(kk base.Key, v base.Value) bool {
+		raw := uint64(kk) / stride
+		w := int(raw) / keysPer
+		if w < 0 || w >= workers || uint64(kk)%stride != 0 {
+			phantoms++
+			return false
+		}
+		got := state{val: v, present: true}
+		if got != lastAcked[w][raw] {
+			if alt, ok := attempt[w][raw]; !ok || got != alt {
+				phantoms++
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		fatal("verify scan", err)
+	}
+	if phantoms > 0 {
+		fatal("verify", fmt.Errorf("%d phantom pairs survived recovery", phantoms))
+	}
+
+	// The recovered index must be fully live: more traffic, then the
+	// structural invariants.
+	for i := uint64(0); i < 5000; i++ {
+		raw := i % uint64(workers*keysPer)
+		if _, _, err := r2.Upsert(key(raw), base.Value(i)); err != nil {
+			fatal("post-recovery traffic", err)
+		}
+	}
+	if err := r2.Checkpoint(); err != nil {
+		fatal("post-recovery checkpoint", err)
+	}
+	if err := r2.Check(); err != nil {
+		fatal("post-recovery check", err)
+	}
+	st, err := r2.Stats()
+	if err != nil {
+		fatal("stats", err)
+	}
+	fmt.Printf("PASS: %d oracle keys verified, 0 phantoms; recovery replayed %d records\n",
+		verified, st.WAL.Replayed)
+	fmt.Printf("      wal: %d records / %d syncs (mean group %.1f, max %d), %d bytes, %d rotations, %d checkpoints\n",
+		st.WAL.Records, st.WAL.Syncs, st.WAL.MeanGroup(), st.WAL.MaxGroup,
+		st.WAL.Bytes, st.WAL.Rotations, st.Checkpoints)
 }

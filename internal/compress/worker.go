@@ -31,6 +31,14 @@ type Compressor struct {
 	queue *Queue
 	wg    sync.WaitGroup
 
+	// gate lets Pause quiesce the background workers: each worker holds
+	// it shared around one compression, Pause takes it exclusively — so
+	// Pause returns only once no rearrangement is in flight and blocks
+	// new ones until Resume. Durable checkpoints need this: a fuzzy
+	// snapshot scan must not race pair movement to the left, which only
+	// compression produces.
+	gate sync.RWMutex
+
 	stats CompressorStats
 }
 
@@ -75,7 +83,9 @@ func (c *Compressor) Start(n int) {
 				if !ok {
 					return
 				}
+				c.gate.RLock()
 				_ = c.compressOne(ev) // errors are counted, not fatal
+				c.gate.RUnlock()
 			}
 		}()
 	}
@@ -86,6 +96,15 @@ func (c *Compressor) Stop() {
 	c.queue.Close()
 	c.wg.Wait()
 }
+
+// Pause blocks until no background compression is in flight and keeps
+// the workers from starting more until Resume. Deletions keep
+// enqueueing underfull nodes meanwhile — nothing is lost, repair just
+// waits. Pause/Resume pairs must not be nested.
+func (c *Compressor) Pause() { c.gate.Lock() }
+
+// Resume lets the background workers drain the queue again.
+func (c *Compressor) Resume() { c.gate.Unlock() }
 
 // DrainOnce synchronously processes queue entries until the queue is
 // empty or no further progress is possible (entries that only requeue

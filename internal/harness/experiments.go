@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"blinktree/internal/locks"
 	"blinktree/internal/node"
 	"blinktree/internal/reclaim"
+	"blinktree/internal/shard"
 	"blinktree/internal/storage"
 	"blinktree/internal/workload"
 )
@@ -502,6 +504,106 @@ func E7LinkChase(w io.Writer, s Scale) error {
 	}
 	tbl.Render(w)
 	return nil
+}
+
+// E12Durability measures what crash safety costs: upsert throughput of
+// WAL-backed (group-commit fsync per acknowledged op) versus volatile
+// configurations across writer counts, single tree and 8-way sharded.
+// The durability tax is the ratio within a column; the group-commit
+// story is the trend across columns — as concurrent writers grow, more
+// records share each fsync (the reported mean group size) and durable
+// throughput closes on volatile, the same amortization ApplyBatch
+// performs for descents.
+func E12Durability(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E12: durable vs volatile upsert throughput (ops/s) by concurrent writers",
+		Headers: []string{"config", "w=1", "w=8", "w=64", "group@64"},
+		Notes: []string{
+			"durable = group-commit WAL, every op acked after fsync; group@64 is the",
+			"mean records per fsync at 64 writers — the amortization factor",
+		},
+	}
+	for _, cfg := range []struct {
+		name    string
+		shards  int
+		durable bool
+	}{
+		{"tree/volatile", 1, false},
+		{"tree/durable", 1, true},
+		{"sharded8/volatile", 8, false},
+		{"sharded8/durable", 8, true},
+	} {
+		row := []any{cfg.name}
+		var group float64
+		for _, workers := range []int{1, 8, 64} {
+			tput, g, err := e12Cell(cfg.shards, cfg.durable, workers, s.n(60000))
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.0f", tput))
+			group = g
+		}
+		if cfg.durable {
+			row = append(row, fmt.Sprintf("%.1f", group))
+		} else {
+			row = append(row, "-")
+		}
+		tbl.Add(row...)
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// e12Cell runs one E12 cell: workers goroutines upserting totalOps
+// golden-ratio-scattered keys into a fresh router, volatile or
+// WAL-backed, returning throughput and the achieved mean group size.
+func e12Cell(shards int, durable bool, workers, totalOps int) (float64, float64, error) {
+	opts := shard.Options{MinPairs: 16}
+	if durable {
+		dir, err := os.MkdirTemp("", "blinktree-e12")
+		if err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		opts.Durable, opts.Dir = true, dir
+	}
+	r, err := shard.NewRouter(shards, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.Close()
+	opsPer := totalOps / workers
+	if opsPer < 1 {
+		opsPer = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := base.Key(uint64(i*workers+wk) * 11400714819323198485)
+				if _, _, err := r.Upsert(k, base.Value(i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, 0, err
+	default:
+	}
+	st, err := r.Stats()
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(opsPer*workers) / elapsed.Seconds(), st.WAL.MeanGroup(), nil
 }
 
 // E8Reclamation measures retired/freed page flow under churn with

@@ -110,6 +110,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"E6", func() error { return E6Deadlock(&buf, s) }},
 		{"E7", func() error { return E7LinkChase(&buf, s) }},
 		{"E8", func() error { return E8Reclamation(&buf, s) }},
+		{"E12", func() error { return E12Durability(&buf, s) }},
 	}
 	for _, st := range steps {
 		if err := st.fn(); err != nil {

@@ -36,7 +36,21 @@
 //     dispatches each group on its own goroutine — amortizing routing
 //     and letting disjoint shards proceed truly in parallel. Every
 //     logical operation except Update (it carries a function) can be
-//     batched.
+//     batched. On a durable engine a shard group appends all its log
+//     records first and waits for one group commit, so a batch pays
+//     ~one fsync per touched shard, not one per operation.
+//   - ops.go: the Engine operation surface the Router and facade call.
+//     Volatile engines pass straight through to the tree; durable ones
+//     (Options.Durable + Dir) wrap each mutation in apply-under-stripe-
+//     lock + append-to-WAL + wait-for-group-commit, normalizing every
+//     outcome to a put/del record of its resolved value. Recovery
+//     (openDurable) and Checkpoint live in engine.go; the log itself
+//     is internal/wal.
+//
+// Durability is per shard: each engine logs to its own segment set
+// under Dir/shard<i> and checkpoints independently, so group commit
+// never coordinates across shards — the same independence the locks,
+// queues and epochs already have.
 //
 // The partition is static: shard i owns keys [i·stride, (i+1)·stride)
 // with stride = ceil(2^64 / N). Static ranges keep routing a single

@@ -1,14 +1,22 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 
+	"blinktree/internal/base"
 	"blinktree/internal/blink"
 	"blinktree/internal/compress"
 	"blinktree/internal/locks"
 	"blinktree/internal/node"
 	"blinktree/internal/reclaim"
+	"blinktree/internal/snap"
 	"blinktree/internal/storage"
+	"blinktree/internal/wal"
 )
 
 // CompressionMode selects how underfull nodes are repaired.
@@ -50,6 +58,26 @@ type Options struct {
 	// wrong-node restarts (§5.2); restarts then always begin at the
 	// root.
 	RestartFromRoot bool
+	// Durable, with a non-empty Dir, makes the engine crash-recoverable:
+	// every mutating operation appends a logical record to a group-
+	// commit write-ahead log in Dir and is acknowledged only after its
+	// group's fsync, and opening the same Dir again recovers the state
+	// "checkpoint + log suffix". For a sharded index, shard i logs
+	// independently under Dir/shard<i>.
+	Durable bool
+	// Dir is the durability directory (segments + checkpoints).
+	Dir string
+	// WALSegmentBytes is the log segment rotation threshold. Default
+	// wal.DefaultSegmentBytes.
+	WALSegmentBytes int
+	// WALNoSync skips the fsync in group commits (crash durability then
+	// depends on the OS). For measuring logging cost apart from sync
+	// cost; never for production.
+	WALNoSync bool
+	// SyncPageWrites makes a file-backed page store (Path) fsync every
+	// page write. Independent of the WAL — it hardens the paged
+	// substrate itself, at a large cost; see storage.FileStore.
+	SyncPageWrites bool
 }
 
 // Engine bundles one blink.Tree with the private substrate the paper's
@@ -67,6 +95,26 @@ type Engine struct {
 	mode    CompressionMode
 	workers int
 	pool    *storage.BufferPool
+
+	// Durability (nil wal = volatile engine). stripes order the
+	// apply+append pair of racing mutations on the same key, so the
+	// log's per-key record order always matches the apply order; ckptMu
+	// serializes checkpoints.
+	wal         *wal.Log
+	dir         string
+	stripes     []sync.Mutex
+	ckptMu      sync.Mutex
+	checkpoints atomic.Uint64
+}
+
+// walStripes is the number of key stripes ordering apply+append pairs.
+const walStripes = 128
+
+// stripe returns the stripe lock for k. Only used when the engine is
+// durable.
+func (e *Engine) stripe(k base.Key) *sync.Mutex {
+	// Fibonacci hashing spreads adjacent keys across stripes.
+	return &e.stripes[(uint64(k)*11400714819323198485)>>57&(walStripes-1)]
 }
 
 // Stats aggregates the counters of an engine's tree and compressors.
@@ -81,6 +129,14 @@ type Stats struct {
 	// CompressorMaxLocks is the high-water of simultaneous locks held
 	// by compression (≤ 3 per the paper).
 	CompressorMaxLocks uint64
+	// WAL reports the durability counters (zero when volatile):
+	// records appended/committed, group-commit syncs — Records/Syncs is
+	// the achieved group size — bytes, rotations and records replayed
+	// at recovery. For a sharded index the counters sum across shards
+	// and MaxGroup takes the maximum.
+	WAL wal.Stats
+	// Checkpoints counts completed Checkpoint calls.
+	Checkpoints uint64
 }
 
 // OpenEngine assembles a complete engine per opts: store (memory or
@@ -105,6 +161,7 @@ func OpenEngine(opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		fs.SetSyncWrites(opts.SyncPageWrites)
 		var under storage.Store = fs
 		cache := opts.CachePages
 		if cache == 0 {
@@ -159,14 +216,166 @@ func OpenEngine(opts Options) (*Engine, error) {
 			e.comp.Start(e.workers)
 		}
 	}
+	if opts.Durable {
+		if err := e.openDurable(opts); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// openDurable recovers the engine's state from opts.Dir — newest
+// checkpoint first, then the surviving log suffix — and readies the
+// write-ahead log for appends.
+func (e *Engine) openDurable(opts Options) error {
+	if opts.Dir == "" {
+		return fmt.Errorf("blinktree: Options.Durable requires Options.Dir")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return fmt.Errorf("blinktree: durability dir: %w", err)
+	}
+	e.dir = opts.Dir
+	e.stripes = make([]sync.Mutex, walStripes)
+	startSeg := uint64(0)
+	seg, path, ok, err := wal.LatestCheckpoint(e.dir)
+	if err != nil {
+		return err
+	}
+	if ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = snap.Read(f, func(k base.Key, v base.Value) error {
+			return e.Tree.Insert(k, v)
+		})
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("blinktree: checkpoint %s: %w", filepath.Base(path), err)
+		}
+		startSeg = seg
+	}
+	lg, err := wal.Open(e.dir, wal.Options{
+		SegmentBytes: opts.WALSegmentBytes,
+		NoSync:       opts.WALNoSync,
+	}, startSeg, e.applyRecord)
+	if err != nil {
+		return err
+	}
+	e.wal = lg
+	return nil
+}
+
+// applyRecord replays one log record onto the tree. Puts replay as
+// Upsert and dels as Delete-ignoring-absence, so replaying a record
+// whose effect the checkpoint already captured is a no-op — the
+// idempotence recovery relies on.
+func (e *Engine) applyRecord(r wal.Record) error {
+	switch r.Kind {
+	case wal.KindPut:
+		_, _, err := e.Tree.Upsert(r.Key, r.Value)
+		return err
+	case wal.KindDel:
+		if err := e.Tree.Delete(r.Key); err != nil && !errors.Is(err, base.ErrNotFound) {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("blinktree: unknown wal record kind %d", r.Kind)
+	}
+}
+
+// Checkpoint writes the engine's current state as a durable snapshot
+// and truncates the log to the suffix the snapshot does not cover. It
+// runs concurrently with readers AND writers: the log first rotates to
+// a fresh segment, so every operation whose record landed in an older
+// segment was fully applied before the state scan began and is
+// captured by it, while operations racing the scan land in the kept
+// suffix and replay idempotently on top. No-op on a volatile engine.
+//
+// Compression, however, IS quiesced for the duration of the scan
+// (background workers pause; Compact/DrainCompression serialize on
+// the same lock): a merge or redistribution can move a pair leftward
+// across the scan cursor, and a pair the fuzzy snapshot misses that
+// way has no record in the kept log suffix — truncation would destroy
+// the only durable copy of an acknowledged write. Searches, inserts,
+// deletes and conditional writes never move pairs left, so they stay
+// unblocked; deletions keep enqueueing underfull nodes for repair
+// after Resume.
+//
+// Crash-safety: the snapshot is written to a temp file, fsynced, and
+// renamed into place before anything is deleted; a crash between any
+// two steps recovers from the previous checkpoint plus the full log.
+func (e *Engine) Checkpoint() error {
+	if e.wal == nil {
+		return nil
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	seg, err := e.wal.Rotate()
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(e.dir, "checkpoint.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if e.comp != nil && e.mode == CompressionBackground {
+		e.comp.Pause()
+	}
+	err = snap.Write(f, e.Tree.Len(), func(fn func(base.Key, base.Value) bool) error {
+		return e.Tree.Range(0, base.Key(^uint64(0)), fn)
+	})
+	if e.comp != nil && e.mode == CompressionBackground {
+		e.comp.Resume()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, wal.CheckpointPath(e.dir, seg)); err != nil {
+		return err
+	}
+	if err := wal.SyncDir(e.dir); err != nil {
+		return err
+	}
+	if err := e.wal.RemoveBelow(seg); err != nil {
+		return err
+	}
+	if err := wal.RemoveCheckpointsBelow(e.dir, seg); err != nil {
+		return err
+	}
+	e.checkpoints.Add(1)
+	return nil
+}
+
+// CrashWAL simulates a crash for durability testing: at most partial
+// bytes of the pending commit group reach disk, unacknowledged
+// operations fail, and the engine's log becomes unusable. The engine
+// must be abandoned afterwards (not Closed and reused); recovery is
+// exercised by opening the same Dir again.
+func (e *Engine) CrashWAL(partial int) {
+	if e.wal != nil {
+		e.wal.Crash(partial)
+	}
 }
 
 // Compact fully compresses the engine's tree: it drains the underfull
 // queue, runs scan passes (§5.1) until every non-root node holds at
 // least MinPairs pairs and the height is minimal, then frees retired
-// pages.
+// pages. On a durable engine it serializes with Checkpoint — a
+// checkpoint's state scan must not race pair movement to the left.
 func (e *Engine) Compact() error {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
 	if e.comp != nil {
 		if err := e.comp.DrainOnce(); err != nil {
 			return err
@@ -180,11 +389,14 @@ func (e *Engine) Compact() error {
 }
 
 // DrainCompression processes the pending underfull queue once without
-// running full scan passes. No-op when compression is off.
+// running full scan passes. No-op when compression is off; serializes
+// with Checkpoint like Compact.
 func (e *Engine) DrainCompression() error {
 	if e.comp == nil {
 		return nil
 	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
 	if err := e.comp.DrainOnce(); err != nil {
 		return err
 	}
@@ -235,17 +447,29 @@ func (e *Engine) Stats() (Stats, error) {
 			s.CompressorMaxLocks = fp.MaxHeld
 		}
 	}
+	if e.wal != nil {
+		s.WAL = e.wal.Stats()
+		s.Checkpoints = e.checkpoints.Load()
+	}
 	return s, nil
 }
 
-// Close stops background compression and closes the store. The engine
-// must not be used afterwards.
+// Close stops background compression, flushes and closes the write-
+// ahead log, and closes the store. The engine must not be used
+// afterwards.
 func (e *Engine) Close() error {
 	if e.comp != nil && e.mode == CompressionBackground {
 		e.comp.Stop()
 	}
+	var werr error
+	if e.wal != nil {
+		werr = e.wal.Close()
+	}
 	if err := e.Tree.Close(); err != nil {
 		return err
 	}
-	return e.store.Close()
+	if err := e.store.Close(); err != nil {
+		return err
+	}
+	return werr
 }

@@ -1,0 +1,51 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"blinktree/internal/wal"
+)
+
+// layoutFile records a durability directory's topology so a mismatched
+// reopen fails loudly instead of silently hiding acknowledged data: a
+// single tree logs directly into Dir, while an n-shard index logs into
+// Dir/shard<i> with a stride of 2^64/n — recover with the wrong shape
+// and fsync-acknowledged keys stop routing to the engine that holds
+// them.
+const layoutFile = "LAYOUT"
+
+// EnsureLayout validates (or, on first use, records) that dir holds a
+// durable index of exactly `shards` partitions. shards == 1 is the
+// single-tree front-end.
+func EnsureLayout(dir string, shards int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("blinktree: durability dir: %w", err)
+	}
+	path := filepath.Join(dir, layoutFile)
+	data, err := os.ReadFile(path)
+	if err == nil {
+		var got int
+		if _, serr := fmt.Sscanf(strings.TrimSpace(string(data)), "blinktree durable layout: shards=%d", &got); serr != nil {
+			return fmt.Errorf("blinktree: %s is not a layout file: %q", path, strings.TrimSpace(string(data)))
+		}
+		if got != shards {
+			return fmt.Errorf("blinktree: durability dir %s was written with shards=%d; reopen with the same front-end and shard count (asked for shards=%d)",
+				dir, got, shards)
+		}
+		return nil
+	}
+	if !os.IsNotExist(err) {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("blinktree durable layout: shards=%d\n", shards)), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return wal.SyncDir(dir)
+}

@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"blinktree/internal/base"
+	"blinktree/internal/wal"
+)
+
+// Engine operation surface. The Router and the public facade route
+// every logical operation through these methods rather than the inner
+// tree, so one code path covers both regimes:
+//
+//   - Volatile (no WAL): a method is exactly its tree call.
+//   - Durable: the tree apply and the log append happen under a
+//     per-key stripe lock — so racing mutations of the same key
+//     append in apply order and replay converges to the live state —
+//     and the operation returns only after its group commit fsyncs.
+//     Failed operations (duplicate insert, missing delete, CAS
+//     mismatch) log nothing.
+//
+// Every logical mutation is normalized to its resolved outcome before
+// logging: Update logs the computed value, not the closure; CAS logs
+// the new value only when it swapped. The ...T variants return the
+// commit Ticket instead of waiting, which lets ApplyBatch append a
+// whole shard group and block once for its last ticket (group commits
+// complete in order, so the last ticket covers the rest).
+
+// Insert stores v under k; base.ErrDuplicate if k is present.
+func (e *Engine) Insert(k base.Key, v base.Value) error {
+	t, err := e.insertT(k, v)
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+func (e *Engine) insertT(k base.Key, v base.Value) (wal.Ticket, error) {
+	if e.wal == nil {
+		return wal.Ticket{}, e.Tree.Insert(k, v)
+	}
+	s := e.stripe(k)
+	s.Lock()
+	err := e.Tree.Insert(k, v)
+	var t wal.Ticket
+	if err == nil {
+		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: v})
+	}
+	s.Unlock()
+	return t, err
+}
+
+// Delete removes k, or returns base.ErrNotFound.
+func (e *Engine) Delete(k base.Key) error {
+	t, err := e.deleteT(k)
+	if err != nil {
+		return err
+	}
+	return t.Wait()
+}
+
+func (e *Engine) deleteT(k base.Key) (wal.Ticket, error) {
+	if e.wal == nil {
+		return wal.Ticket{}, e.Tree.Delete(k)
+	}
+	s := e.stripe(k)
+	s.Lock()
+	err := e.Tree.Delete(k)
+	var t wal.Ticket
+	if err == nil {
+		t = e.wal.Append(wal.Record{Kind: wal.KindDel, Key: k})
+	}
+	s.Unlock()
+	return t, err
+}
+
+// Upsert stores v under k unconditionally, returning the previous
+// value and whether one existed.
+func (e *Engine) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	old, existed, t, err := e.upsertT(k, v)
+	if err == nil {
+		err = t.Wait()
+	}
+	return old, existed, err
+}
+
+func (e *Engine) upsertT(k base.Key, v base.Value) (base.Value, bool, wal.Ticket, error) {
+	if e.wal == nil {
+		old, existed, err := e.Tree.Upsert(k, v)
+		return old, existed, wal.Ticket{}, err
+	}
+	s := e.stripe(k)
+	s.Lock()
+	old, existed, err := e.Tree.Upsert(k, v)
+	var t wal.Ticket
+	if err == nil {
+		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: v})
+	}
+	s.Unlock()
+	return old, existed, t, err
+}
+
+// GetOrInsert returns the value under k, inserting v first when k is
+// absent; loaded reports whether it was already present. Only the
+// inserting outcome mutates, so only it logs.
+func (e *Engine) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error) {
+	actual, loaded, t, err := e.getOrInsertT(k, v)
+	if err == nil {
+		err = t.Wait()
+	}
+	return actual, loaded, err
+}
+
+func (e *Engine) getOrInsertT(k base.Key, v base.Value) (base.Value, bool, wal.Ticket, error) {
+	if e.wal == nil {
+		actual, loaded, err := e.Tree.GetOrInsert(k, v)
+		return actual, loaded, wal.Ticket{}, err
+	}
+	s := e.stripe(k)
+	s.Lock()
+	actual, loaded, err := e.Tree.GetOrInsert(k, v)
+	var t wal.Ticket
+	if err == nil && !loaded {
+		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: actual})
+	}
+	s.Unlock()
+	return actual, loaded, t, err
+}
+
+// Update atomically replaces the value under k with fn(current) and
+// returns the new value, or base.ErrNotFound. The log records the
+// resolved value, never the closure.
+func (e *Engine) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
+	if e.wal == nil {
+		return e.Tree.Update(k, fn)
+	}
+	s := e.stripe(k)
+	s.Lock()
+	v, err := e.Tree.Update(k, fn)
+	var t wal.Ticket
+	if err == nil {
+		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: v})
+	}
+	s.Unlock()
+	if err != nil {
+		return v, err
+	}
+	return v, t.Wait()
+}
+
+// CompareAndSwap replaces k's value with new only when it equals old.
+// Only a successful swap mutates, so only it logs.
+func (e *Engine) CompareAndSwap(k base.Key, old, new base.Value) (bool, error) {
+	swapped, t, err := e.compareAndSwapT(k, old, new)
+	if err == nil {
+		err = t.Wait()
+	}
+	return swapped, err
+}
+
+func (e *Engine) compareAndSwapT(k base.Key, old, new base.Value) (bool, wal.Ticket, error) {
+	if e.wal == nil {
+		swapped, err := e.Tree.CompareAndSwap(k, old, new)
+		return swapped, wal.Ticket{}, err
+	}
+	s := e.stripe(k)
+	s.Lock()
+	swapped, err := e.Tree.CompareAndSwap(k, old, new)
+	var t wal.Ticket
+	if err == nil && swapped {
+		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: new})
+	}
+	s.Unlock()
+	return swapped, t, err
+}
+
+// CompareAndDelete removes k only when its value equals old.
+func (e *Engine) CompareAndDelete(k base.Key, old base.Value) (bool, error) {
+	deleted, t, err := e.compareAndDeleteT(k, old)
+	if err == nil {
+		err = t.Wait()
+	}
+	return deleted, err
+}
+
+func (e *Engine) compareAndDeleteT(k base.Key, old base.Value) (bool, wal.Ticket, error) {
+	if e.wal == nil {
+		deleted, err := e.Tree.CompareAndDelete(k, old)
+		return deleted, wal.Ticket{}, err
+	}
+	s := e.stripe(k)
+	s.Lock()
+	deleted, err := e.Tree.CompareAndDelete(k, old)
+	var t wal.Ticket
+	if err == nil && deleted {
+		t = e.wal.Append(wal.Record{Kind: wal.KindDel, Key: k})
+	}
+	s.Unlock()
+	return deleted, t, err
+}
+
+// BulkLoad builds the empty engine bottom-up from a strictly ascending
+// pair stream. On a durable engine it is followed by an immediate
+// checkpoint, which is how the loaded state becomes durable — bulk
+// loading bypasses the per-operation log by design.
+func (e *Engine) BulkLoad(pairs func() (base.Key, base.Value, bool), fill float64) error {
+	if err := e.Tree.BulkLoad(pairs, fill); err != nil {
+		return err
+	}
+	return e.Checkpoint()
+}

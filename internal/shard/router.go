@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 
 	"blinktree/internal/base"
 	"blinktree/internal/blink"
@@ -49,6 +50,11 @@ func NewRouter(n int, opts Options) (*Router, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shard: %d shards (need ≥ 1)", n)
 	}
+	if opts.Durable && opts.Dir != "" {
+		if err := EnsureLayout(opts.Dir, n); err != nil {
+			return nil, err
+		}
+	}
 	r := &Router{
 		engines: make([]*Engine, n),
 		ms:      make([]OpMetrics, n),
@@ -60,6 +66,11 @@ func NewRouter(n int, opts Options) (*Router, error) {
 		o := opts
 		if opts.Path != "" {
 			o.Path = fmt.Sprintf("%s.shard%d", opts.Path, i)
+		}
+		if opts.Dir != "" {
+			// One WAL segment set (and checkpoint lineage) per shard, so
+			// shards group-commit and truncate independently.
+			o.Dir = filepath.Join(opts.Dir, fmt.Sprintf("shard%d", i))
 		}
 		e, err := OpenEngine(o)
 		if err != nil {
@@ -94,7 +105,15 @@ func (r *Router) Metrics(i int) *OpMetrics { return &r.ms[i] }
 func (r *Router) Insert(k base.Key, v base.Value) error {
 	i := r.shardFor(k)
 	r.ms[i].Inserts.Inc()
-	return r.engines[i].Tree.Insert(k, v)
+	return r.engines[i].Insert(k, v)
+}
+
+// InsertDirect stores v under k in k's shard, bypassing the write-
+// ahead log — the loading path Restore shares with BulkLoad. Callers
+// need exclusive access and must Checkpoint afterwards to make the
+// loaded state durable (no-ops when volatile).
+func (r *Router) InsertDirect(k base.Key, v base.Value) error {
+	return r.engines[r.shardFor(k)].Tree.Insert(k, v)
 }
 
 // Search returns the value stored under k, or base.ErrNotFound.
@@ -108,7 +127,7 @@ func (r *Router) Search(k base.Key) (base.Value, error) {
 func (r *Router) Delete(k base.Key) error {
 	i := r.shardFor(k)
 	r.ms[i].Deletes.Inc()
-	return r.engines[i].Tree.Delete(k)
+	return r.engines[i].Delete(k)
 }
 
 // Upsert stores v under k in k's shard, returning the previous value
@@ -116,7 +135,7 @@ func (r *Router) Delete(k base.Key) error {
 func (r *Router) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
 	i := r.shardFor(k)
 	r.ms[i].Upserts.Inc()
-	return r.engines[i].Tree.Upsert(k, v)
+	return r.engines[i].Upsert(k, v)
 }
 
 // GetOrInsert returns the value under k, inserting v first when k is
@@ -124,7 +143,7 @@ func (r *Router) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
 func (r *Router) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error) {
 	i := r.shardFor(k)
 	r.ms[i].Upserts.Inc()
-	return r.engines[i].Tree.GetOrInsert(k, v)
+	return r.engines[i].GetOrInsert(k, v)
 }
 
 // Update atomically replaces the value under k with fn(current), or
@@ -132,21 +151,21 @@ func (r *Router) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error)
 func (r *Router) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
 	i := r.shardFor(k)
 	r.ms[i].Updates.Inc()
-	return r.engines[i].Tree.Update(k, fn)
+	return r.engines[i].Update(k, fn)
 }
 
 // CompareAndSwap swaps k's value from old to new in its shard.
 func (r *Router) CompareAndSwap(k base.Key, old, new base.Value) (bool, error) {
 	i := r.shardFor(k)
 	r.ms[i].Cas.Inc()
-	return r.engines[i].Tree.CompareAndSwap(k, old, new)
+	return r.engines[i].CompareAndSwap(k, old, new)
 }
 
 // CompareAndDelete removes k from its shard when its value equals old.
 func (r *Router) CompareAndDelete(k base.Key, old base.Value) (bool, error) {
 	i := r.shardFor(k)
 	r.ms[i].Cas.Inc()
-	return r.engines[i].Tree.CompareAndDelete(k, old)
+	return r.engines[i].CompareAndDelete(k, old)
 }
 
 // Range calls fn for each pair with lo ≤ key ≤ hi in ascending order
@@ -265,7 +284,7 @@ func (r *Router) BulkLoad(pairs func() (base.Key, base.Value, bool), fill float6
 			}
 			return k, v, true
 		}
-		if err := e.Tree.BulkLoad(sub, fill); err != nil {
+		if err := e.BulkLoad(sub, fill); err != nil {
 			return err
 		}
 	}
@@ -304,6 +323,33 @@ func (r *Router) CollectGarbage() (int, error) {
 		}
 	}
 	return total, nil
+}
+
+// Checkpoint checkpoints every shard: each writes its state as a
+// durable snapshot and truncates its own log. Shards checkpoint
+// independently — there is no cross-shard barrier, matching the
+// per-shard commit independence of the WAL itself. No-op when the
+// router is volatile.
+func (r *Router) Checkpoint() error {
+	for i, e := range r.engines {
+		if err := e.Checkpoint(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Engine returns shard i's engine — the handle stress and fault-
+// injection tooling uses to reach per-shard durability controls.
+func (r *Router) Engine(i int) *Engine { return r.engines[i] }
+
+// CrashWAL simulates a crash on every shard's log for durability
+// testing; see Engine.CrashWAL. The router must be abandoned
+// afterwards.
+func (r *Router) CrashWAL(partial int) {
+	for _, e := range r.engines {
+		e.CrashWAL(partial)
+	}
 }
 
 // Check validates every shard's structural invariants. Run it quiesced.
@@ -350,6 +396,8 @@ func (r *Router) Stats() (Stats, error) {
 		if s.CompressorMaxLocks > agg.CompressorMaxLocks {
 			agg.CompressorMaxLocks = s.CompressorMaxLocks
 		}
+		agg.WAL.Merge(s.WAL)
+		agg.Checkpoints += s.Checkpoints
 		o := s.Occupancy
 		agg.Occupancy.Nodes += o.Nodes
 		agg.Occupancy.Leaves += o.Leaves

@@ -1,0 +1,125 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"blinktree/internal/base"
+)
+
+func pairs(n int) [][2]uint64 {
+	out := make([][2]uint64, n)
+	for i := range out {
+		out[i] = [2]uint64{uint64(i) * 7, uint64(i) + 100}
+	}
+	return out
+}
+
+func writePairs(t *testing.T, ps [][2]uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := Write(&buf, len(ps), func(fn func(base.Key, base.Value) bool) error {
+		for _, p := range ps {
+			if !fn(base.Key(p[0]), base.Value(p[1])) {
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readPairs(data []byte) ([][2]uint64, error) {
+	var got [][2]uint64
+	err := Read(bytes.NewReader(data), func(k base.Key, v base.Value) error {
+		got = append(got, [2]uint64{uint64(k), uint64(v)})
+		return nil
+	})
+	return got, err
+}
+
+func TestRoundtripV2(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 1000} {
+		ps := pairs(n)
+		got, err := readPairs(writePairs(t, ps))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d pairs", n, len(got))
+		}
+		for i := range got {
+			if got[i] != ps[i] {
+				t.Fatalf("n=%d: pair %d = %v, want %v", n, i, got[i], ps[i])
+			}
+		}
+	}
+}
+
+func TestReadsLegacyV1(t *testing.T) {
+	// Hand-build a v1 stream: magic | version=1 | count | pairs, no footer.
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], VersionLegacy)
+	binary.LittleEndian.PutUint64(hdr[4:], 2)
+	buf.Write(hdr[:])
+	var pair [16]byte
+	for _, p := range [][2]uint64{{5, 50}, {6, 60}} {
+		binary.LittleEndian.PutUint64(pair[0:], p[0])
+		binary.LittleEndian.PutUint64(pair[8:], p[1])
+		buf.Write(pair[:])
+	}
+	got, err := readPairs(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != [2]uint64{5, 50} || got[1] != [2]uint64{6, 60} {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDetectsCorruption(t *testing.T) {
+	data := writePairs(t, pairs(10))
+	// Flip one byte of a pair: CRC must catch it.
+	bad := bytes.Clone(data)
+	bad[headerLen+3*pairLen+2] ^= 0x01
+	if _, err := readPairs(bad); !errors.Is(err, base.ErrCorrupt) {
+		t.Fatalf("bit flip not detected: %v", err)
+	}
+}
+
+func TestDetectsTruncation(t *testing.T) {
+	data := writePairs(t, pairs(10))
+	for cut := headerLen; cut < len(data); cut++ {
+		if _, err := readPairs(data[:cut]); !errors.Is(err, base.ErrCorrupt) {
+			t.Fatalf("truncation at %d not detected: %v", cut, err)
+		}
+	}
+}
+
+func TestDetectsTrailingGarbage(t *testing.T) {
+	data := append(writePairs(t, pairs(4)), 0xde, 0xad)
+	if _, err := readPairs(data); !errors.Is(err, base.ErrCorrupt) {
+		t.Fatalf("trailing bytes not detected: %v", err)
+	}
+}
+
+func TestRejectsBadMagicAndVersion(t *testing.T) {
+	data := writePairs(t, pairs(1))
+	bad := bytes.Clone(data)
+	bad[0] = 'X'
+	if _, err := readPairs(bad); !errors.Is(err, base.ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = bytes.Clone(data)
+	binary.LittleEndian.PutUint32(bad[4:8], 99)
+	if _, err := readPairs(bad); !errors.Is(err, base.ErrCorrupt) {
+		t.Fatalf("bad version: %v", err)
+	}
+}

@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"blinktree/internal/base"
+)
+
+// recorder wraps a Store and records the order of operations reaching
+// it, so tests can assert write-back ordering, not just final content.
+type recorder struct {
+	Store
+	mu     sync.Mutex
+	events []recEvent
+}
+
+type recEvent struct {
+	op string // "read", "write"
+	id base.PageID
+}
+
+func (r *recorder) Read(id base.PageID, buf []byte) error {
+	r.mu.Lock()
+	r.events = append(r.events, recEvent{"read", id})
+	r.mu.Unlock()
+	return r.Store.Read(id, buf)
+}
+
+func (r *recorder) Write(id base.PageID, buf []byte) error {
+	r.mu.Lock()
+	r.events = append(r.events, recEvent{"write", id})
+	r.mu.Unlock()
+	return r.Store.Write(id, buf)
+}
+
+func (r *recorder) log() []recEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]recEvent(nil), r.events...)
+}
+
+func pageContent(t *testing.T, size int, seed uint64) []byte {
+	t.Helper()
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint64(buf, seed)
+	return buf
+}
+
+func allocN(t *testing.T, st Store, n int) []base.PageID {
+	t.Helper()
+	ids := make([]base.PageID, n)
+	for i := range ids {
+		id, err := st.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+// TestBufferPoolWritebackBeforeReuse pins the ordering recovery
+// correctness leans on: a dirty frame's content reaches the underlying
+// store before its frame is reused for another page.
+func TestBufferPoolWritebackBeforeReuse(t *testing.T) {
+	rec := &recorder{Store: NewMemStore(128)}
+	pool := NewBufferPool(rec, 4)
+	ids := allocN(t, pool, 9)
+
+	// Fill the pool: ids[0..3] resident and clean (faulted by Read).
+	buf := make([]byte, pool.PageSize())
+	for _, id := range ids[:4] {
+		if err := pool.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dirty ids[0]; it moves to MRU.
+	dirty := pageContent(t, pool.PageSize(), 0xD1127)
+	if err := pool.Write(ids[0], dirty); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	rec.events = nil // only watch what eviction causes from here on
+	rec.mu.Unlock()
+
+	// Touch three new pages: evicts the clean ids[1..3], no write-back.
+	for _, id := range ids[4:7] {
+		if err := pool.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range rec.log() {
+		if e.op == "write" {
+			t.Fatalf("clean eviction caused write-back of page %d", e.id)
+		}
+	}
+
+	// Two more pages: the first evicts dirty ids[0]. Its write-back
+	// must appear in the event log before the fault-in read that
+	// reuses the frame.
+	for _, id := range ids[7:9] {
+		if err := pool.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := rec.log()
+	wrote, lastRead := -1, -1
+	for i, e := range events {
+		if e.op == "write" && e.id == ids[0] {
+			wrote = i
+		}
+		if e.op == "read" && e.id == ids[8] {
+			lastRead = i
+		}
+	}
+	if wrote < 0 {
+		t.Fatalf("dirty page %d never written back: %v", ids[0], events)
+	}
+	if lastRead < 0 || wrote > lastRead {
+		t.Fatalf("write-back of %d at %d does not precede reuse read at %d: %v",
+			ids[0], wrote, lastRead, events)
+	}
+	// And the content that landed must be the dirty content.
+	got := make([]byte, rec.PageSize())
+	if err := rec.Store.Read(ids[0], got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(dirty) {
+		t.Fatal("written-back content is not the latest write")
+	}
+
+	st := pool.Stats()
+	if st.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", st.Writebacks)
+	}
+	if st.Evictions < 4 {
+		t.Fatalf("evictions = %d, want ≥ 4", st.Evictions)
+	}
+}
+
+// TestBufferPoolOverwriteCoalesces: multiple writes to a resident page
+// produce one write-back carrying the last content.
+func TestBufferPoolOverwriteCoalesces(t *testing.T) {
+	rec := &recorder{Store: NewMemStore(128)}
+	pool := NewBufferPool(rec, 4)
+	ids := allocN(t, pool, 1)
+	var last []byte
+	for i := 0; i < 10; i++ {
+		last = pageContent(t, pool.PageSize(), uint64(i)+7)
+		if err := pool.Write(ids[0], last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.mu.Lock()
+	rec.events = nil
+	rec.mu.Unlock()
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	for _, e := range rec.log() {
+		if e.op == "write" && e.id == ids[0] {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("flush produced %d writes, want 1 (coalesced)", writes)
+	}
+	got := make([]byte, rec.PageSize())
+	if err := rec.Store.Read(ids[0], got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(last) {
+		t.Fatal("flushed content is not the last write")
+	}
+	// A second flush must be a no-op: the frame is clean now.
+	rec.mu.Lock()
+	rec.events = nil
+	rec.mu.Unlock()
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.log()) != 0 {
+		t.Fatal("second flush rewrote clean frames")
+	}
+}
+
+// TestBufferPoolFreeSkipsWriteback: freeing a dirty page drops its
+// frame without writing dead content back.
+func TestBufferPoolFreeSkipsWriteback(t *testing.T) {
+	rec := &recorder{Store: NewMemStore(128)}
+	pool := NewBufferPool(rec, 4)
+	ids := allocN(t, pool, 1)
+	if err := pool.Write(ids[0], pageContent(t, pool.PageSize(), 99)); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	rec.events = nil
+	rec.mu.Unlock()
+	if err := pool.Free(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range rec.log() {
+		if e.op == "write" {
+			t.Fatalf("free caused write-back: %v", e)
+		}
+	}
+}
+
+// TestBufferPoolConcurrentWriteback hammers a tiny pool from many
+// goroutines — every operation evicts — and verifies that after a
+// final flush the underlying store holds each page's last write.
+// Run with -race, this is also the data-race probe for the
+// eviction/write-back path recovery depends on.
+func TestBufferPoolConcurrentWriteback(t *testing.T) {
+	under := NewMemStore(128)
+	pool := NewBufferPool(under, 4)
+	const workers = 8
+	const pagesPer = 8
+	const rounds = 200
+	ids := allocN(t, pool, workers*pagesPer)
+
+	var wg sync.WaitGroup
+	finals := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := ids[w*pagesPer : (w+1)*pagesPer]
+			finals[w] = make([]uint64, pagesPer)
+			buf := make([]byte, pool.PageSize())
+			for r := 0; r < rounds; r++ {
+				p := (r*7 + w) % pagesPer
+				seed := uint64(w)<<32 | uint64(r)
+				binary.LittleEndian.PutUint64(buf, seed)
+				if err := pool.Write(mine[p], buf); err != nil {
+					t.Error(err)
+					return
+				}
+				finals[w][p] = seed
+				// Interleave reads of a neighbour's page to force
+				// cross-goroutine frame churn.
+				other := ids[((w+1)%workers)*pagesPer+p]
+				if err := pool.Read(other, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := pool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, under.PageSize())
+	for w := 0; w < workers; w++ {
+		for p := 0; p < pagesPer; p++ {
+			id := ids[w*pagesPer+p]
+			if err := under.Read(id, buf); err != nil {
+				t.Fatal(err)
+			}
+			if got := binary.LittleEndian.Uint64(buf); got != finals[w][p] {
+				t.Fatalf("page %d: got %#x, want %#x", id, got, finals[w][p])
+			}
+		}
+	}
+	st := pool.Stats()
+	if st.Evictions == 0 || st.Writebacks == 0 {
+		t.Fatalf("expected churn, got %+v", st)
+	}
+	t.Log(fmt.Sprintf("pool churn: %+v", st))
+}

@@ -28,4 +28,25 @@
 // configured. Each shard of a sharded index (internal/shard) owns a
 // disjoint Store — with a file-backed configuration, shard i lives in
 // its own "<path>.shard<i>" file.
+//
+// # Durability contract
+//
+// A Store guarantees indivisible single-page reads and writes, and
+// nothing more — exactly the paper's model. In particular a completed
+// Write is NOT durable: FileStore hands pages to the OS page cache,
+// BufferPool may hold them dirty in memory until eviction or Flush,
+// and a crash can lose or tear any set of unflushed pages in any
+// order. The module's crash-consistency story therefore does not rest
+// on the page store at all; it rests on internal/wal, which logs
+// logical operations with per-record CRCs and group-commit fsync, and
+// rebuilds the page-level state from "checkpoint + log suffix" on
+// recovery. Page files under a durable configuration are rebuilt, not
+// trusted.
+//
+// Two knobs harden the page layer itself when that is what an
+// experiment wants to measure: FileStore.SetSyncWrites makes each
+// page write individually fsynced (its Stats count writes and syncs),
+// and BufferPool.Flush forces dirty frames down. Neither is a
+// substitute for the WAL: without a log, a crash between two related
+// page writes still leaves a torn multi-page structure.
 package storage

@@ -1,89 +1,77 @@
 package blinktree
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
+
+	"blinktree/internal/snap"
 )
 
-// snapshot stream format (little endian):
+// Snapshot stream format (little endian):
 //
-//	magic "BLTS" | version u32 | count u64 | count × (key u64, value u64)
+//	magic "BLTS" | version u32 | count u64 | count′ × (key u64, value u64) | footer
 //
-// The format is front-end agnostic: a snapshot taken from a single
-// tree restores into a sharded index and vice versa, which is also the
-// supported path for re-partitioning (snapshot with N shards, restore
-// with M).
-var snapMagic = [4]byte{'B', 'L', 'T', 'S'}
-
-const snapVersion = 1
+// The codec lives in internal/snap and is shared with the WAL
+// checkpoint writer, so a checkpoint IS a snapshot. Version 2 (current)
+// ends with a pairs-written u64 + CRC-32 footer so corruption and
+// truncation are detected on restore; version 1 streams (no footer)
+// are still read. The format is front-end agnostic: a snapshot taken
+// from a single tree restores into a sharded index and vice versa,
+// which is also the supported path for re-partitioning (snapshot with
+// N shards, restore with M).
 
 // writeSnapshot streams idx's pairs in ascending key order to w.
 func writeSnapshot(idx Index, w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(snapMagic[:]); err != nil {
-		return err
-	}
-	var hdr [12]byte
-	binary.LittleEndian.PutUint32(hdr[0:], snapVersion)
-	binary.LittleEndian.PutUint64(hdr[4:], uint64(idx.Len()))
-	if _, err := bw.Write(hdr[:]); err != nil {
-		return err
-	}
-	var pair [16]byte
-	err := idx.Range(0, Key(^uint64(0)), func(k Key, v Value) bool {
-		binary.LittleEndian.PutUint64(pair[0:], uint64(k))
-		binary.LittleEndian.PutUint64(pair[8:], uint64(v))
-		_, werr := bw.Write(pair[:])
-		return werr == nil
+	err := snap.Write(w, idx.Len(), func(fn func(Key, Value) bool) error {
+		return idx.Range(0, Key(^uint64(0)), fn)
 	})
 	if err != nil {
-		return err
+		return fmt.Errorf("blinktree: %w", err)
 	}
-	// The header count is advisory (it can drift under concurrent
-	// mutation); Restore trusts the pair stream.
-	return bw.Flush()
+	return nil
 }
 
-// readSnapshot loads a snapshot stream into idx via Insert.
+// readSnapshot loads a snapshot stream into idx. On a durable index it
+// follows the BulkLoad pattern — pairs load without per-operation
+// logging, then a single checkpoint makes the whole load durable —
+// instead of paying one group commit per pair; Restore already
+// requires a fresh index with exclusive access.
 func readSnapshot(idx Index, r io.Reader) error {
-	br := bufio.NewReader(r)
-	var head [16]byte
-	if _, err := io.ReadFull(br, head[:]); err != nil {
-		return fmt.Errorf("blinktree: snapshot header: %w", err)
+	insert := idx.Insert
+	finalize := func() error { return nil }
+	switch v := idx.(type) {
+	case *Tree:
+		insert = v.eng.Tree.Insert
+		finalize = v.eng.Checkpoint
+	case *Sharded:
+		insert = v.r.InsertDirect
+		finalize = v.r.Checkpoint
 	}
-	if [4]byte(head[0:4]) != snapMagic {
-		return fmt.Errorf("blinktree: %w: bad snapshot magic", ErrCorrupt)
+	err := snap.Read(r, func(k Key, v Value) error {
+		return insert(k, v)
+	})
+	if err != nil {
+		return fmt.Errorf("blinktree: %w", err)
 	}
-	if v := binary.LittleEndian.Uint32(head[4:8]); v != snapVersion {
-		return fmt.Errorf("blinktree: %w: snapshot version %d", ErrCorrupt, v)
+	if err := finalize(); err != nil {
+		return fmt.Errorf("blinktree: %w", err)
 	}
-	var pair [16]byte
-	for {
-		if _, err := io.ReadFull(br, pair[:]); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return fmt.Errorf("blinktree: snapshot body: %w", err)
-		}
-		k := Key(binary.LittleEndian.Uint64(pair[0:]))
-		v := Value(binary.LittleEndian.Uint64(pair[8:]))
-		if err := idx.Insert(k, v); err != nil {
-			return err
-		}
-	}
+	return nil
 }
 
 // Snapshot writes a point-in-time copy of the logical data (all
-// key/value pairs in ascending key order) to w. Run it quiesced for an
-// exact snapshot; under concurrent mutation it degrades to the scan
-// semantics of Range.
+// key/value pairs in ascending key order) to w, ending with a CRC
+// footer that Restore verifies. Run it quiesced for an exact snapshot;
+// under concurrent mutation it degrades to the scan semantics of
+// Range.
 func (t *Tree) Snapshot(w io.Writer) error { return writeSnapshot(t, w) }
 
-// Restore loads a snapshot produced by Snapshot into the tree. The tree
-// should be freshly opened (existing keys colliding with snapshot keys
-// cause ErrDuplicate).
+// Restore loads a snapshot produced by Snapshot into the tree,
+// verifying its integrity footer (legacy footerless streams are
+// accepted). The tree must be freshly opened with exclusive access
+// (existing keys colliding with snapshot keys cause ErrDuplicate). On
+// a durable tree the load bypasses the per-operation log and ends
+// with one checkpoint, like BulkLoad.
 func (t *Tree) Restore(r io.Reader) error { return readSnapshot(t, r) }
 
 // Snapshot writes a point-in-time copy of all shards' data, in global
