@@ -8,11 +8,13 @@
 package blinktree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
 
+	"blinktree/client"
 	"blinktree/internal/base"
 	"blinktree/internal/baseline/coarse"
 	"blinktree/internal/baseline/lehmanyao"
@@ -23,6 +25,8 @@ import (
 	"blinktree/internal/locks"
 	"blinktree/internal/node"
 	"blinktree/internal/reclaim"
+	"blinktree/internal/server"
+	"blinktree/internal/shard"
 	"blinktree/internal/storage"
 	"blinktree/internal/workload"
 )
@@ -766,6 +770,55 @@ func BenchmarkE12Durability(b *testing.B) {
 				if st, err := idx.Stats(); err == nil {
 					b.ReportMetric(st.WAL.MeanGroup(), "recs/fsync")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13NetPipeline: E13 — point Upserts over TCP loopback
+// through the pipelining client, by concurrent-caller depth. The
+// client multiplexes the callers onto pipelined bursts and the server
+// coalesces each burst into one shard-parallel ApplyBatch; throughput
+// should rise steeply with depth (the table form with the in-process
+// ceiling lives in harness.E13NetPipeline / sagivbench).
+func BenchmarkE13NetPipeline(b *testing.B) {
+	for _, depth := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			r, err := shard.NewRouter(8, shard.Options{MinPairs: 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			srv := server.New(r, server.Config{Addr: "127.0.0.1:0", Logf: func(string, ...any) {}})
+			if err := srv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			cl, err := client.Dial(srv.Addr().String(), client.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			ctx := context.Background()
+			var seed atomic.Int64
+			b.SetParallelism(depth) // RunParallel spawns depth×GOMAXPROCS callers
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := uint64(seed.Add(1))
+				i := uint64(0)
+				for pb.Next() {
+					k := client.Key((g<<32 | i) * 11400714819323198485)
+					if _, _, err := cl.Upsert(ctx, k, client.Value(i)); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			polls, reqs := srv.Metrics.Polls.Load(), srv.Metrics.Requests.Load()
+			if polls > 0 {
+				b.ReportMetric(float64(reqs)/float64(polls), "reqs/poll")
 			}
 		})
 	}

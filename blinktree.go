@@ -62,6 +62,12 @@
 // concurrently (§5.4 of the paper). Use CompressionManual and Compact
 // for explicit control, or CompressionOff for the bare Lehman–Yao-style
 // deletion regime.
+//
+// To serve an index over the network instead of in-process, run
+// cmd/blinkserver and connect with the client package — the same
+// operation surface, sentinel errors included, over a pipelined
+// binary protocol (docs/protocol.md). See ARCHITECTURE.md for how
+// the layers fit together.
 package blinktree
 
 import (

@@ -1,0 +1,754 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree/internal/base"
+	"blinktree/internal/wire"
+)
+
+// Key is the 64-bit search key (identical to blinktree.Key).
+type Key = base.Key
+
+// Value is the 64-bit payload (identical to blinktree.Value).
+type Value = base.Value
+
+// Sentinel errors, shared with the blinktree package so errors.Is
+// works the same against a remote index as against a local one.
+var (
+	ErrNotFound  = base.ErrNotFound
+	ErrDuplicate = base.ErrDuplicate
+	ErrClosed    = base.ErrClosed
+)
+
+// ErrClientClosed is returned by calls made after Close.
+var ErrClientClosed = errors.New("client: closed")
+
+// Options tunes Dial. The zero value works.
+type Options struct {
+	// Conns is the connection pool size. More connections spread
+	// pipelined load over more server-side poll loops; fewer coalesce
+	// harder. Default 2.
+	Conns int
+	// DialTimeout bounds each dial (including the hello exchange).
+	// Default 5s.
+	DialTimeout time.Duration
+	// RetryReads is how many times an idempotent read (Search, Scan,
+	// Len, Stats, Ping) is retried on a fresh connection after a
+	// network failure. Mutations are never retried — a lost response
+	// does not prove a lost write. Default 1; negative disables.
+	RetryReads int
+	// ReadBuffer / WriteBuffer size each connection's bufio layers.
+	// Default 64 KiB.
+	ReadBuffer, WriteBuffer int
+}
+
+func (o *Options) fill() {
+	if o.Conns <= 0 {
+		o.Conns = 2
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RetryReads == 0 {
+		o.RetryReads = 1
+	}
+	if o.RetryReads < 0 {
+		o.RetryReads = 0
+	}
+	if o.ReadBuffer <= 0 {
+		o.ReadBuffer = 64 << 10
+	}
+	if o.WriteBuffer <= 0 {
+		o.WriteBuffer = 64 << 10
+	}
+}
+
+// Client is a pooled, pipelining client for a blinkserver. All methods
+// are safe for concurrent use by any number of goroutines; concurrent
+// calls through the same connection are multiplexed onto one wire
+// stream (each call is one pipelined request), which is what lets the
+// server coalesce them into shard-parallel batches.
+type Client struct {
+	addr   string
+	opt    Options
+	slots  []slot
+	next   atomic.Uint64
+	closed atomic.Bool
+}
+
+// slot holds one pooled connection, redialed lazily after failures.
+type slot struct {
+	mu sync.Mutex
+	cn *conn
+}
+
+// Dial connects to a blinkserver at addr (host:port). The first
+// connection is established eagerly so configuration errors surface
+// here; the rest of the pool dials on demand.
+func Dial(addr string, opt Options) (*Client, error) {
+	opt.fill()
+	c := &Client{addr: addr, opt: opt, slots: make([]slot, opt.Conns)}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.slots[0].cn = cn
+	return c, nil
+}
+
+// Close tears the pool down. In-flight calls fail with ErrClientClosed.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.Lock()
+		if s.cn != nil {
+			s.cn.fail(ErrClientClosed)
+			s.cn = nil
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// --- public operation surface ---
+
+// Ping round-trips an empty frame. Idempotent (retried on reconnect).
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, wire.OpPing, nil, true)
+	return err
+}
+
+// Search returns the value stored under k, or ErrNotFound. Idempotent.
+func (c *Client) Search(ctx context.Context, k Key) (Value, error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	pl, err := c.do(ctx, wire.OpSearch, b.B, true)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.Dec{B: pl}
+	v := Value(d.U64())
+	return v, d.Err
+}
+
+// Insert stores v under k; ErrDuplicate if k is present.
+func (c *Client) Insert(ctx context.Context, k Key, v Value) error {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(v))
+	_, err := c.do(ctx, wire.OpInsert, b.B, false)
+	return err
+}
+
+// Delete removes k, or returns ErrNotFound.
+func (c *Client) Delete(ctx context.Context, k Key) error {
+	var b wire.Buf
+	b.U64(uint64(k))
+	_, err := c.do(ctx, wire.OpDelete, b.B, false)
+	return err
+}
+
+// Upsert stores v under k unconditionally, returning the previous
+// value and whether one existed.
+func (c *Client) Upsert(ctx context.Context, k Key, v Value) (old Value, existed bool, err error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(v))
+	pl, err := c.do(ctx, wire.OpUpsert, b.B, false)
+	if err != nil {
+		return 0, false, err
+	}
+	d := wire.Dec{B: pl}
+	old, existed = Value(d.U64()), d.U8() != 0
+	return old, existed, d.Err
+}
+
+// GetOrInsert returns the value under k, inserting v first when k is
+// absent; loaded reports whether it was already present.
+func (c *Client) GetOrInsert(ctx context.Context, k Key, v Value) (actual Value, loaded bool, err error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(v))
+	pl, err := c.do(ctx, wire.OpGetOrInsert, b.B, false)
+	if err != nil {
+		return 0, false, err
+	}
+	d := wire.Dec{B: pl}
+	actual, loaded = Value(d.U64()), d.U8() != 0
+	return actual, loaded, d.Err
+}
+
+// CompareAndSwap replaces k's value with new only when it equals old.
+// A missing key is ErrNotFound; a mismatch is (false, nil).
+func (c *Client) CompareAndSwap(ctx context.Context, k Key, old, new Value) (bool, error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(old))
+	b.U64(uint64(new))
+	pl, err := c.do(ctx, wire.OpCompareAndSwap, b.B, false)
+	if err != nil {
+		return false, err
+	}
+	d := wire.Dec{B: pl}
+	swapped := d.U8() != 0
+	return swapped, d.Err
+}
+
+// CompareAndDelete removes k only when its value equals old, with the
+// same convention as CompareAndSwap.
+func (c *Client) CompareAndDelete(ctx context.Context, k Key, old Value) (bool, error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(old))
+	pl, err := c.do(ctx, wire.OpCompareAndDelete, b.B, false)
+	if err != nil {
+		return false, err
+	}
+	d := wire.Dec{B: pl}
+	deleted := d.U8() != 0
+	return deleted, d.Err
+}
+
+// Pair is one key/value of a scan page.
+type Pair struct {
+	Key   Key
+	Value Value
+}
+
+// Scan fetches one bounded page of lo ≤ key ≤ hi in ascending order.
+// limit 0 asks for the server default; the server caps it at
+// wire.MaxScanLimit. more reports that the page filled before hi —
+// resume with lo = last key + 1. Idempotent.
+func (c *Client) Scan(ctx context.Context, lo, hi Key, limit int) (pairs []Pair, more bool, err error) {
+	var b wire.Buf
+	b.U64(uint64(lo))
+	b.U64(uint64(hi))
+	b.U32(uint32(limit))
+	pl, err := c.do(ctx, wire.OpScan, b.B, true)
+	if err != nil {
+		return nil, false, err
+	}
+	d := wire.Dec{B: pl}
+	more = d.U8() != 0
+	n := int(d.U32())
+	if n > (len(pl)-5)/16 {
+		// Never trust a wire-supplied count beyond what the payload
+		// can actually hold — a corrupt response must not drive a
+		// giant allocation.
+		return nil, false, errors.New("client: malformed scan response")
+	}
+	pairs = make([]Pair, 0, n)
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, Pair{Key(d.U64()), Value(d.U64())})
+	}
+	if !d.Done() {
+		return nil, false, errors.New("client: malformed scan response")
+	}
+	return pairs, more, nil
+}
+
+// Range calls fn for each pair with lo ≤ key ≤ hi in ascending order,
+// fetching pages of pageSize (0 = server default) until done or fn
+// returns false. Pages are independent requests: concurrent mutations
+// between pages may or may not be observed, exactly like a local
+// cursor.
+func (c *Client) Range(ctx context.Context, lo, hi Key, pageSize int, fn func(Key, Value) bool) error {
+	for {
+		pairs, more, err := c.Scan(ctx, lo, hi, pageSize)
+		if err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			if !fn(p.Key, p.Value) {
+				return nil
+			}
+		}
+		if !more || len(pairs) == 0 {
+			return nil
+		}
+		last := pairs[len(pairs)-1].Key
+		if last == Key(^uint64(0)) || last >= hi {
+			return nil
+		}
+		lo = last + 1
+	}
+}
+
+// OpKind selects what a batch slot does. The values are the wire op
+// codes of the corresponding point operations.
+type OpKind uint8
+
+// Batchable operation kinds.
+const (
+	OpSearch           = OpKind(wire.OpSearch)
+	OpInsert           = OpKind(wire.OpInsert)
+	OpDelete           = OpKind(wire.OpDelete)
+	OpUpsert           = OpKind(wire.OpUpsert)
+	OpGetOrInsert      = OpKind(wire.OpGetOrInsert)
+	OpCompareAndSwap   = OpKind(wire.OpCompareAndSwap)
+	OpCompareAndDelete = OpKind(wire.OpCompareAndDelete)
+)
+
+// Op is one operation of a Batch call. Old is the expected value for
+// the compare kinds; Value is ignored for searches and deletes.
+type Op struct {
+	Kind  OpKind
+	Key   Key
+	Value Value
+	Old   Value
+}
+
+// Result is the outcome of one batched operation, positionally aligned
+// with its Op: Value carries the searched/previous/actual value, OK
+// the kind-specific boolean, Err the per-slot error.
+type Result struct {
+	Value Value
+	OK    bool
+	Err   error
+}
+
+// Batch executes ops as one wire request and one shard-parallel batch
+// on the server, returning per-slot results. Errors are per slot: a
+// failed op does not stop the batch. At most wire.MaxBatchOps slots.
+func (c *Client) Batch(ctx context.Context, ops []Op) ([]Result, error) {
+	if len(ops) > wire.MaxBatchOps {
+		return nil, fmt.Errorf("client: batch of %d exceeds %d", len(ops), wire.MaxBatchOps)
+	}
+	var b wire.Buf
+	b.U32(uint32(len(ops)))
+	for _, op := range ops {
+		b.U8(uint8(op.Kind))
+		b.U64(uint64(op.Key))
+		b.U64(uint64(op.Value))
+		b.U64(uint64(op.Old))
+	}
+	pl, err := c.do(ctx, wire.OpBatch, b.B, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(pl) != 10*len(ops) {
+		return nil, errors.New("client: malformed batch response")
+	}
+	d := wire.Dec{B: pl}
+	results := make([]Result, len(ops))
+	for i := range results {
+		status := d.U8()
+		results[i].Value = Value(d.U64())
+		results[i].OK = d.U8() != 0
+		results[i].Err = wire.StatusError(status, "")
+	}
+	return results, nil
+}
+
+// Len returns the number of stored pairs. Idempotent.
+func (c *Client) Len(ctx context.Context) (int, error) {
+	pl, err := c.do(ctx, wire.OpLen, nil, true)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.Dec{B: pl}
+	n := int(d.U64())
+	return n, d.Err
+}
+
+// Checkpoint asks the server to write a durable snapshot and truncate
+// its write-ahead log (a no-op on a volatile server).
+func (c *Client) Checkpoint(ctx context.Context) error {
+	_, err := c.do(ctx, wire.OpCheckpoint, nil, false)
+	return err
+}
+
+// Stats is the index-level counter snapshot a server reports.
+type Stats struct {
+	Shards   int
+	Len      uint64
+	Height   uint64
+	Searches uint64
+	Inserts  uint64
+	Deletes  uint64
+	Upserts  uint64
+	Updates  uint64
+	Cas      uint64
+	Scans    uint64
+	Batches  uint64
+	BatchOps uint64
+}
+
+// Stats fetches the server's cheap index counters. Idempotent.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	pl, err := c.do(ctx, wire.OpStats, nil, true)
+	if err != nil {
+		return Stats{}, err
+	}
+	d := wire.Dec{B: pl}
+	n := int(d.U32())
+	if n > (len(pl)-4)/8 {
+		return Stats{}, errors.New("client: malformed stats response")
+	}
+	f := make([]uint64, n)
+	for i := range f {
+		f[i] = d.U64()
+	}
+	if d.Err != nil {
+		return Stats{}, d.Err
+	}
+	get := func(i int) uint64 {
+		if i < len(f) {
+			return f[i]
+		}
+		return 0
+	}
+	return Stats{
+		Shards: int(get(0)), Len: get(1), Height: get(2),
+		Searches: get(3), Inserts: get(4), Deletes: get(5),
+		Upserts: get(6), Updates: get(7), Cas: get(8),
+		Scans: get(9), Batches: get(10), BatchOps: get(11),
+	}, nil
+}
+
+// --- transport ---
+
+// do runs one round trip: pick a pooled connection (redialing a dead
+// slot), send the request, wait for the id-matched response. On a
+// network failure, idempotent requests are retried Options.RetryReads
+// times on a fresh connection; mutations surface the failure.
+func (c *Client) do(ctx context.Context, op uint8, payload []byte, idempotent bool) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	attempts := 1
+	if idempotent {
+		attempts += c.opt.RetryReads
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		cn, err := c.conn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pl, err := cn.roundtrip(ctx, op, payload)
+		if err == nil {
+			return pl, nil
+		}
+		var ne *netError
+		if !errors.As(err, &ne) {
+			return nil, err // server status or ctx error: no retry
+		}
+		lastErr = ne.err
+	}
+	return nil, fmt.Errorf("client: %s failed after %d attempt(s): %w", opName(op), attempts, lastErr)
+}
+
+// conn returns a live pooled connection, round-robin, dialing if the
+// slot is empty or its connection died.
+func (c *Client) conn() (*conn, error) {
+	s := &c.slots[c.next.Add(1)%uint64(len(c.slots))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if s.cn != nil && !s.cn.isDead() {
+		return s.cn, nil
+	}
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	s.cn = cn
+	return cn, nil
+}
+
+// dial establishes one connection: TCP connect, hello exchange, then
+// the writer and reader goroutines.
+func (c *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	nc.SetDeadline(time.Now().Add(c.opt.DialTimeout))
+	if err := wire.WriteHello(nc); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(nc, c.opt.ReadBuffer)
+	if _, err := wire.ReadHello(br); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	nc.SetDeadline(time.Time{})
+	cn := &conn{
+		nc:      nc,
+		br:      br,
+		bw:      bufio.NewWriterSize(nc, c.opt.WriteBuffer),
+		wake:    make(chan struct{}, 1),
+		dead:    make(chan struct{}),
+		pending: make(map[uint64]*call),
+	}
+	go cn.writeLoop()
+	go cn.readLoop()
+	return cn, nil
+}
+
+// netError wraps transport failures so do can distinguish them from
+// server-reported statuses.
+type netError struct{ err error }
+
+func (e *netError) Error() string { return e.err.Error() }
+func (e *netError) Unwrap() error { return e.err }
+
+// wreq is one frame queued for the writer goroutine.
+type wreq struct {
+	id      uint64
+	op      uint8
+	payload []byte
+}
+
+// call is one in-flight request. Calls are pooled: the done channel is
+// reused across requests, so the per-op cost is map traffic and one
+// channel send/receive, no allocation.
+type call struct {
+	done    chan struct{}
+	payload []byte // response payload (owned by the receiver)
+	status  uint8
+	err     error // transport-level failure
+}
+
+var callPool = sync.Pool{
+	New: func() any { return &call{done: make(chan struct{}, 1)} },
+}
+
+// conn is one pooled connection. Calls from any number of goroutines
+// are pipelined: enqueue appends to a queue under one mutex (the same
+// acquisition registers the pending call), the writer goroutine swaps
+// the whole queue out and writes it as one burst with a single flush,
+// and the reader goroutine dispatches responses by id.
+type conn struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	ids atomic.Uint64
+
+	mu      sync.Mutex
+	queue   []wreq
+	pending map[uint64]*call
+	failed  bool
+	failErr error
+
+	wake     chan struct{} // 1-buffered; nudges the writer
+	dead     chan struct{}
+	failOnce sync.Once
+}
+
+func (cn *conn) isDead() bool {
+	select {
+	case <-cn.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail poisons the connection: every pending and future call errors.
+func (cn *conn) fail(err error) {
+	cn.failOnce.Do(func() {
+		cn.mu.Lock()
+		cn.failed = true
+		cn.failErr = err
+		calls := cn.pending
+		cn.pending = nil
+		cn.queue = nil
+		cn.mu.Unlock()
+		close(cn.dead)
+		cn.nc.Close()
+		for _, cl := range calls {
+			cl.err = &netError{err}
+			cl.done <- struct{}{}
+		}
+	})
+}
+
+// enqueue registers the call and queues its frame in one lock
+// acquisition, then nudges the writer.
+func (cn *conn) enqueue(id uint64, op uint8, payload []byte, cl *call) error {
+	cn.mu.Lock()
+	if cn.failed {
+		err := cn.failErr
+		cn.mu.Unlock()
+		return err
+	}
+	cn.pending[id] = cl
+	cn.queue = append(cn.queue, wreq{id: id, op: op, payload: payload})
+	cn.mu.Unlock()
+	select {
+	case cn.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// takePending removes and returns the call for id (nil if cancelled
+// or already delivered).
+func (cn *conn) takePending(id uint64) *call {
+	cn.mu.Lock()
+	cl := cn.pending[id]
+	delete(cn.pending, id)
+	cn.mu.Unlock()
+	return cl
+}
+
+// roundtrip sends one request and waits for its response.
+func (cn *conn) roundtrip(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	id := cn.ids.Add(1)
+	cl := callPool.Get().(*call)
+	cl.payload, cl.status, cl.err = nil, 0, nil
+	if err := cn.enqueue(id, op, payload, cl); err != nil {
+		callPool.Put(cl)
+		return nil, &netError{err}
+	}
+	if ctx.Done() == nil {
+		// No cancellation possible: skip the select machinery.
+		<-cl.done
+		payload, status, err := cl.payload, cl.status, cl.err
+		callPool.Put(cl)
+		if err != nil {
+			return nil, err
+		}
+		if status != wire.StatusOK {
+			return nil, wire.StatusError(status, string(payload))
+		}
+		return payload, nil
+	}
+	select {
+	case <-cl.done:
+	case <-ctx.Done():
+		if cn.takePending(id) != nil {
+			// Abandoned before delivery: the reader can no longer see
+			// this call, so it is ours to reuse; its response (if it
+			// ever arrives) is dropped by the id lookup missing.
+			callPool.Put(cl)
+			return nil, ctx.Err()
+		}
+		// The reader already took the call: the result is in flight.
+		<-cl.done
+	}
+	payload, status, err := cl.payload, cl.status, cl.err
+	callPool.Put(cl)
+	if err != nil {
+		return nil, err
+	}
+	if status != wire.StatusOK {
+		return nil, wire.StatusError(status, string(payload))
+	}
+	return payload, nil
+}
+
+// writeLoop writes queued frames in bursts: swap the whole queue out
+// under the lock, write every frame, flush once when the queue runs
+// dry. This is what turns N concurrent callers into one pipelined
+// burst — which the server's coalescing loop then turns into one
+// ApplyBatch.
+func (cn *conn) writeLoop() {
+	var spare []wreq
+	for {
+		select {
+		case <-cn.wake:
+		case <-cn.dead:
+			return
+		}
+		wrote := 0
+		for {
+			cn.mu.Lock()
+			batch := cn.queue
+			if len(batch) == 0 {
+				cn.mu.Unlock()
+				break
+			}
+			cn.queue = spare[:0]
+			cn.mu.Unlock()
+			for i := range batch {
+				if err := wire.WriteFrame(cn.bw, batch[i].id, batch[i].op, batch[i].payload); err != nil {
+					cn.fail(err)
+					return
+				}
+				batch[i].payload = nil
+			}
+			wrote += len(batch)
+			spare = batch
+		}
+		if wrote > 0 {
+			if err := cn.bw.Flush(); err != nil {
+				cn.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// readLoop dispatches responses to their pending calls by id.
+func (cn *conn) readLoop() {
+	for {
+		id, status, payload, err := wire.ReadFrame(cn.br, nil)
+		if err != nil {
+			cn.fail(err)
+			return
+		}
+		cl := cn.takePending(id)
+		if cl == nil {
+			continue // cancelled call; drop its response
+		}
+		// ReadFrame(nil) allocates the payload, so handing it to the
+		// waiter is safe.
+		cl.payload, cl.status = payload, status
+		cl.done <- struct{}{}
+	}
+}
+
+// opName names an op code for error messages.
+func opName(op uint8) string {
+	switch op {
+	case wire.OpPing:
+		return "ping"
+	case wire.OpSearch:
+		return "search"
+	case wire.OpInsert:
+		return "insert"
+	case wire.OpDelete:
+		return "delete"
+	case wire.OpUpsert:
+		return "upsert"
+	case wire.OpGetOrInsert:
+		return "get-or-insert"
+	case wire.OpCompareAndSwap:
+		return "compare-and-swap"
+	case wire.OpCompareAndDelete:
+		return "compare-and-delete"
+	case wire.OpScan:
+		return "scan"
+	case wire.OpBatch:
+		return "batch"
+	case wire.OpLen:
+		return "len"
+	case wire.OpCheckpoint:
+		return "checkpoint"
+	case wire.OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}

@@ -1,0 +1,188 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"blinktree/client"
+	"blinktree/internal/server"
+	"blinktree/internal/shard"
+)
+
+// startServer binds a fresh server+router on addr ("127.0.0.1:0" for
+// ephemeral) and registers cleanup.
+func startServer(t *testing.T, addr string, shards int) (*server.Server, *shard.Router) {
+	t.Helper()
+	r, err := shard.NewRouter(shards, shard.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(r, server.Config{Addr: addr, Logf: func(string, ...any) {}})
+	if err := s.Start(); err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		s.Close()
+		r.Close()
+	})
+	return s, r
+}
+
+func TestDialErrors(t *testing.T) {
+	// Nothing listening.
+	if _, err := client.Dial("127.0.0.1:1", client.Options{DialTimeout: time.Second}); err == nil {
+		t.Fatal("dial to closed port should fail")
+	}
+	// Listening, but not speaking the protocol.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fmt.Fprint(c, "HTTP/1.1 400 Bad Request\r\n\r\n")
+			c.Close()
+		}
+	}()
+	if _, err := client.Dial(ln.Addr().String(), client.Options{DialTimeout: time.Second}); err == nil {
+		t.Fatal("dial to non-blinkserver should fail the hello")
+	}
+}
+
+func TestRetryOnReconnectForReads(t *testing.T) {
+	s, r := startServer(t, "127.0.0.1:0", 2)
+	addr := s.Addr().String()
+	ctx := context.Background()
+	c, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Insert(ctx, 7, 70); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server, restart on the SAME port with the same router:
+	// the next idempotent read must transparently reconnect and succeed.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := server.New(r, server.Config{Addr: addr, Logf: func(string, ...any) {}})
+	if err := s2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	v, err := c.Search(ctx, 7)
+	if err != nil || v != 70 {
+		t.Fatalf("search after reconnect: %d %v", v, err)
+	}
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping after reconnect: %v", err)
+	}
+}
+
+func TestMutationsAreNotRetried(t *testing.T) {
+	s, _ := startServer(t, "127.0.0.1:0", 1)
+	ctx := context.Background()
+	c, err := client.Dial(s.Addr().String(), client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Insert(ctx, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // no restart: the write path has nowhere to go
+	err = c.Insert(ctx, 2, 2)
+	if err == nil {
+		t.Fatal("insert against a dead server should fail")
+	}
+	if errors.Is(err, client.ErrDuplicate) || errors.Is(err, client.ErrNotFound) {
+		t.Fatalf("expected a transport error, got %v", err)
+	}
+}
+
+func TestConcurrentCancellation(t *testing.T) {
+	s, _ := startServer(t, "127.0.0.1:0", 4)
+	c, err := client.Dial(s.Addr().String(), client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Half the goroutines run with an already-cancelled context, half
+	// work normally; the connection must survive all of it.
+	var wg sync.WaitGroup
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	live := context.Background()
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if w%2 == 0 {
+					if _, _, err := c.Upsert(live, client.Key(w*100+i), 1); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if err := c.Ping(cancelled); !errors.Is(err, context.Canceled) {
+					t.Errorf("cancelled ping: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	n, err := c.Len(context.Background())
+	if err != nil || n != 8*100 {
+		t.Fatalf("len after cancellation storm: %d %v", n, err)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	s, _ := startServer(t, "127.0.0.1:0", 1)
+	c, err := client.Dial(s.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(context.Background()); !errors.Is(err, client.ErrClientClosed) {
+		t.Fatalf("ping after close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestBatchTooLarge(t *testing.T) {
+	s, _ := startServer(t, "127.0.0.1:0", 1)
+	c, err := client.Dial(s.Addr().String(), client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ops := make([]client.Op, 10000)
+	for i := range ops {
+		ops[i] = client.Op{Kind: client.OpSearch, Key: client.Key(i)}
+	}
+	if _, err := c.Batch(context.Background(), ops); err == nil {
+		t.Fatal("oversized batch should be rejected client-side")
+	}
+}

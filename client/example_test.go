@@ -1,0 +1,112 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"blinktree/client"
+	"blinktree/internal/server"
+	"blinktree/internal/shard"
+)
+
+// Example walks the full client surface against an in-process server:
+// point ops, conditional writes, a batch, and a paged scan.
+func Example() {
+	// Serve a 4-shard in-memory index on an ephemeral port.
+	r, err := shard.NewRouter(4, shard.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer r.Close()
+	srv := server.New(r, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	c, err := client.Dial(srv.Addr().String(), client.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	_ = c.Insert(ctx, 42, 420)
+	v, _ := c.Search(ctx, 42)
+	fmt.Println("search 42:", v)
+
+	old, existed, _ := c.Upsert(ctx, 42, 421)
+	fmt.Println("upsert 42:", old, existed)
+
+	swapped, _ := c.CompareAndSwap(ctx, 42, 421, 1000)
+	fmt.Println("cas 42:", swapped)
+
+	if _, err := c.Search(ctx, 7); errors.Is(err, client.ErrNotFound) {
+		fmt.Println("search 7: not found")
+	}
+
+	// One wire request, executed shard-parallel on the server.
+	results, _ := c.Batch(ctx, []client.Op{
+		{Kind: client.OpInsert, Key: 1, Value: 10},
+		{Kind: client.OpInsert, Key: 2, Value: 20},
+		{Kind: client.OpSearch, Key: 42},
+	})
+	fmt.Println("batch search 42:", results[2].Value)
+
+	// Paged iteration over the whole keyspace.
+	var pairs int
+	_ = c.Range(ctx, 0, client.Key(^uint64(0)), 0, func(k client.Key, v client.Value) bool {
+		pairs++
+		return true
+	})
+	fmt.Println("pairs:", pairs)
+
+	// Output:
+	// search 42: 420
+	// upsert 42: 420 true
+	// cas 42: true
+	// search 7: not found
+	// batch search 42: 1000
+	// pairs: 3
+}
+
+// Example_pipelining shows the property the client is built around:
+// concurrent goroutines sharing one client are automatically batched
+// into pipelined bursts, which the server coalesces into
+// shard-parallel batches.
+func Example_pipelining() {
+	r, _ := shard.NewRouter(8, shard.Options{})
+	defer r.Close()
+	srv := server.New(r, server.Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	c, err := client.Dial(srv.Addr().String(), client.Options{Conns: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 64; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := client.Key(uint64(w*50+i) * 0x9E3779B97F4A7C15)
+				if _, _, err := c.Upsert(ctx, k, client.Value(i)); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	n, _ := c.Len(ctx)
+	fmt.Println("stored:", n)
+	// Output:
+	// stored: 3200
+}

@@ -1,0 +1,116 @@
+// Command blinkserver serves a blinktree index — single tree or
+// sharded fleet, volatile or WAL-backed — over the wire protocol of
+// docs/protocol.md, with an HTTP /healthz + /metrics sidecar.
+//
+// Usage:
+//
+//	blinkserver [-addr 127.0.0.1:4640] [-http 127.0.0.1:4641]
+//	            [-shards 8] [-k 16] [-compressors 1]
+//	            [-durable] [-dir /data/idx]
+//	            [-coalesce 200us] [-max-batch 1024] [-max-inflight 1048576]
+//
+// With -durable, every acknowledged mutation is on disk (group-commit
+// WAL under -dir, one segment set per shard) before its response is
+// sent, and restarting the server on the same -dir recovers
+// "checkpoint + log suffix". Clients can force a checkpoint over the
+// wire (client.Checkpoint); a periodic checkpoint loop is enabled with
+// -checkpoint-every.
+//
+// Shutdown is graceful: SIGINT/SIGTERM stop accepting, let in-flight
+// polls finish, then close the index (flushing the WAL).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blinktree/internal/server"
+	"blinktree/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4640", "TCP listen address for the wire protocol")
+	httpAddr := flag.String("http", "", "HTTP listen address for /healthz and /metrics (empty = off)")
+	shards := flag.Int("shards", 8, "range partitions (1 = single tree)")
+	k := flag.Int("k", 16, "minimum pairs per node")
+	compressors := flag.Int("compressors", 1, "background compression workers per shard")
+	durable := flag.Bool("durable", false, "group-commit WAL + crash recovery under -dir")
+	dir := flag.String("dir", "", "durability directory (required with -durable)")
+	coalesce := flag.Duration("coalesce", 200*time.Microsecond, "pipelining coalesce window per poll")
+	maxBatch := flag.Int("max-batch", 1024, "max requests gathered per poll")
+	maxInflight := flag.Int("max-inflight", 1<<20, "per-connection in-flight request bytes (backpressure)")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand)")
+	flag.Parse()
+
+	if *durable && *dir == "" {
+		log.Fatal("blinkserver: -durable requires -dir")
+	}
+	opts := shard.Options{
+		MinPairs:          *k,
+		CompressorWorkers: *compressors,
+		Durable:           *durable,
+		Dir:               *dir,
+	}
+	r, err := shard.NewRouter(*shards, opts)
+	if err != nil {
+		log.Fatalf("blinkserver: open index: %v", err)
+	}
+	s := server.New(r, server.Config{
+		Addr:        *addr,
+		HTTPAddr:    *httpAddr,
+		Coalesce:    *coalesce,
+		MaxBatch:    *maxBatch,
+		MaxInflight: *maxInflight,
+	})
+	if err := s.Start(); err != nil {
+		log.Fatalf("blinkserver: listen: %v", err)
+	}
+	fmt.Printf("blinkserver: serving %d shard(s) on %s", *shards, s.Addr())
+	if *httpAddr != "" {
+		fmt.Printf(", http on %s", s.HTTPAddr())
+	}
+	if *durable {
+		fmt.Printf(", durable in %s (%d pairs recovered)", *dir, r.Len())
+	}
+	fmt.Println()
+
+	stopCkpt := make(chan struct{})
+	if *ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					if err := r.Checkpoint(); err != nil {
+						log.Printf("blinkserver: checkpoint: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("blinkserver: draining...")
+	close(stopCkpt)
+	if err := s.Close(); err != nil {
+		log.Printf("blinkserver: close listener: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		log.Printf("blinkserver: close index: %v", err)
+	}
+	m := &s.Metrics
+	fmt.Printf("blinkserver: served %d requests over %d polls (%.1f req/poll), %d connections\n",
+		m.Requests.Load(), m.Polls.Load(),
+		float64(m.Requests.Load())/float64(max(m.Polls.Load(), 1)),
+		m.Accepted.Load())
+}

@@ -8,7 +8,7 @@
 //
 //	blinkstress [-duration 10s] [-workers 8] [-compressors 2]
 //	            [-k 4] [-keys 100000] [-mix balanced] [-shards 1]
-//	            [-durable] [-dir path]
+//	            [-durable] [-dir path] [-net] [-addr host:port]
 //
 // With -shards N > 1 the keyspace is range-partitioned across N
 // independent trees (each with its own compression workers) and the
@@ -24,6 +24,17 @@
 // acknowledged operations must all be present, and nothing may appear
 // that was never issued. The recovered index then takes more traffic
 // and a final invariant check.
+//
+// With -net the stress runs over TCP: blinkstress spawns a real
+// server process (itself, re-executed in a hidden serve mode, so the
+// parent can kill -9 it), drives it through the client package with
+// per-worker exact oracles, and verifies every read against the
+// oracle plus a final full-scan phantom check. -net -durable adds the
+// crash: the server process is SIGKILLed mid-run, restarted on the
+// same directory, and recovery is verified over the wire — every
+// acknowledged write present, zero phantoms. -addr targets an
+// already-running server instead of spawning one (volatile mode
+// only).
 package main
 
 import (
@@ -52,8 +63,19 @@ func main() {
 	shards := flag.Int("shards", 1, "range partitions (1 = single tree)")
 	durable := flag.Bool("durable", false, "WAL-backed run with mid-run kill, recovery and oracle verification")
 	dirFlag := flag.String("dir", "", "durability directory for -durable (default: a temp dir)")
+	netMode := flag.Bool("net", false, "stress a spawned blinkserver over TCP (with -durable: kill -9 + recovery)")
+	addrFlag := flag.String("addr", "", "with -net: target this already-running server instead of spawning one")
+	netServe := flag.Bool("net-serve", false, "internal: run as the spawned server child of a -net parent")
 	flag.Parse()
 
+	if *netServe {
+		runNetServe(*shards, *k, *compressors, *durable, *dirFlag)
+		return
+	}
+	if *netMode {
+		runNet(*dur, *workers, *shards, *k, *compressors, *durable, *dirFlag, *addrFlag)
+		return
+	}
 	if *durable {
 		runDurable(*dur, *workers, *shards, *k, *compressors, *dirFlag)
 		return

@@ -1,0 +1,460 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"blinktree"
+	"blinktree/client"
+	"blinktree/internal/server"
+	"blinktree/internal/shard"
+)
+
+// runNetServe is the hidden child mode behind -net: blinkstress
+// re-executes itself as a real blinkserver process so the parent can
+// kill -9 it — an actual process death, not a simulated one. It
+// listens on an ephemeral port, announces it on stdout as
+// "LISTENING <addr>", and serves until SIGTERM.
+func runNetServe(shards, k, compressors int, durable bool, dir string) {
+	opts := shard.Options{MinPairs: k, CompressorWorkers: compressors, Durable: durable, Dir: dir}
+	r, err := shard.NewRouter(shards, opts)
+	if err != nil {
+		fatal("child open", err)
+	}
+	s := server.New(r, server.Config{Addr: "127.0.0.1:0"})
+	if err := s.Start(); err != nil {
+		fatal("child listen", err)
+	}
+	fmt.Printf("LISTENING %s\n", s.Addr())
+	os.Stdout.Sync()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+	s.Close()
+	r.Close()
+	os.Exit(0)
+}
+
+// child is one spawned server process and the address it serves on.
+type child struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// spawnServer re-executes this binary in -net-serve mode and waits for
+// its LISTENING line.
+func spawnServer(shards, k, compressors int, durable bool, dir string) *child {
+	args := []string{
+		"-net-serve",
+		"-shards", strconv.Itoa(shards),
+		"-k", strconv.Itoa(k),
+		"-compressors", strconv.Itoa(compressors),
+	}
+	if durable {
+		args = append(args, "-durable", "-dir", dir)
+	}
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal("spawn pipe", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal("spawn", err)
+	}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		var addr string
+		if n, _ := fmt.Sscanf(line, "LISTENING %s", &addr); n == 1 {
+			// Keep draining the pipe so the child never blocks on stdout.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return &child{cmd: cmd, addr: addr}
+		}
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	fatal("spawn", fmt.Errorf("server child exited before announcing its address"))
+	return nil
+}
+
+// stop terminates the child gracefully (SIGTERM) and reaps it.
+func (c *child) stop() {
+	c.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { c.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		c.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// kill9 is the crash: SIGKILL, no goodbye, exactly what a power cut
+// looks like to the WAL.
+func (c *child) kill9() {
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+}
+
+// runNet is the -net mode: oracle-checked stress against a spawned
+// blinkserver over TCP. Without -durable it validates that the wire
+// layer preserves the engine's semantics under heavy pipelining;
+// with -durable it additionally kill -9s the server mid-run, restarts
+// it on the same directory, and verifies recovery against the oracle —
+// every acknowledged write present, zero phantoms.
+func runNet(dur time.Duration, workers, shards, k, compressors int, durable bool, dir, addr string) {
+	if durable {
+		runNetDurable(dur, workers, shards, k, compressors, dir)
+		return
+	}
+	var cl *client.Client
+	var err error
+	if addr == "" {
+		ch := spawnServer(shards, k, compressors, false, "")
+		defer ch.stop()
+		addr = ch.addr
+	}
+	cl, err = client.Dial(addr, client.Options{Conns: 2})
+	if err != nil {
+		fatal("dial", err)
+	}
+	defer cl.Close()
+	// The final verification assumes exclusive ownership: every pair
+	// the scan finds must map back to this run's oracle. A target that
+	// already holds data would report its pairs as phantoms — a false
+	// alarm, so refuse it up front.
+	if n, err := cl.Len(context.Background()); err != nil {
+		fatal("len", err)
+	} else if n != 0 {
+		fatal("precondition", fmt.Errorf("target server already holds %d pairs; "+
+			"-net needs an empty, exclusively-owned index for its oracle verification", n))
+	}
+	fmt.Printf("blinkstress net: %d workers, shards=%d, k=%d, server=%s, %v\n",
+		workers, shards, k, addr, dur)
+
+	// Each worker owns a disjoint key slice; ops are synchronous per
+	// worker, so every read can be checked against the worker's oracle
+	// immediately — any wire reordering or batching bug that breaks
+	// read-your-writes shows up as a mismatch.
+	const keysPer = 2048
+	stride := ^uint64(0)/uint64(workers*keysPer) + 1
+	key := func(raw uint64) client.Key { return client.Key(raw * stride) }
+
+	ctx := context.Background()
+	var ops atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	oracle := make([]map[uint64]client.Value, workers)
+	for w := 0; w < workers; w++ {
+		oracle[w] = make(map[uint64]client.Value)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*6271 + 11))
+			mine := oracle[w]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw := uint64(w*keysPer) + uint64(rng.Intn(keysPer))
+				cur, present := mine[raw]
+				switch {
+				case present && rng.Intn(5) == 0:
+					if err := cl.Delete(ctx, key(raw)); err != nil {
+						fatal("net delete", err)
+					}
+					delete(mine, raw)
+				case present && rng.Intn(4) == 0:
+					swapped, err := cl.CompareAndSwap(ctx, key(raw), cur, cur+1)
+					if err != nil || !swapped {
+						fatal("net cas", fmt.Errorf("swapped=%v err=%v (oracle says value %d)", swapped, err, cur))
+					}
+					mine[raw] = cur + 1
+				case rng.Intn(3) == 0:
+					v, err := cl.Search(ctx, key(raw))
+					if present && (err != nil || v != cur) {
+						fatal("net search", fmt.Errorf("key %d: got (%d,%v), oracle %d", raw, v, err, cur))
+					}
+					if !present && !errors.Is(err, blinktree.ErrNotFound) {
+						fatal("net search", fmt.Errorf("key %d: got (%d,%v), oracle absent", raw, v, err))
+					}
+				default:
+					next := client.Value(rng.Uint64() | 1)
+					if _, _, err := cl.Upsert(ctx, key(raw), next); err != nil {
+						fatal("net upsert", err)
+					}
+					mine[raw] = next
+				}
+				ops.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+
+	// Full verification: every oracle entry present with its value,
+	// and a full scan finds nothing the oracle doesn't know.
+	total := 0
+	for w := 0; w < workers; w++ {
+		for raw, want := range oracle[w] {
+			v, err := cl.Search(ctx, key(raw))
+			if err != nil || v != want {
+				fatal("verify", fmt.Errorf("key %d: got (%d,%v), want %d", raw, v, err, want))
+			}
+			total++
+		}
+	}
+	phantoms := 0
+	if err := cl.Range(ctx, 0, client.Key(^uint64(0)), 0, func(k client.Key, v client.Value) bool {
+		raw := uint64(k) / stride
+		w := int(raw) / keysPer
+		if uint64(k)%stride != 0 || w < 0 || w >= workers {
+			phantoms++
+			return false
+		}
+		if want, ok := oracle[w][raw]; !ok || want != v {
+			phantoms++
+			return false
+		}
+		return true
+	}); err != nil {
+		fatal("verify scan", err)
+	}
+	if phantoms > 0 {
+		fatal("verify", fmt.Errorf("%d phantom pairs", phantoms))
+	}
+	if n, err := cl.Len(ctx); err != nil || n != total {
+		fatal("verify", fmt.Errorf("Len=%d err=%v, oracle has %d", n, err, total))
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		fatal("stats", err)
+	}
+	rate := float64(ops.Load()) / dur.Seconds()
+	fmt.Printf("PASS: %d ops (%.0f ops/s) over the wire, %d keys verified, 0 phantoms\n",
+		ops.Load(), rate, total)
+	fmt.Printf("      server: %d shards, %d pairs, height %d, %d batch ops\n",
+		st.Shards, st.Len, st.Height, st.BatchOps)
+}
+
+// runNetDurable spawns a durable server, stresses it with an exact
+// oracle, kill -9s it mid-run, restarts it on the same directory and
+// verifies prefix-consistent recovery over the wire.
+func runNetDurable(dur time.Duration, workers, shards, k, compressors int, dir string) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "blinkstress-net")
+		if err != nil {
+			fatal("tmpdir", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	ch := spawnServer(shards, k, compressors, true, dir)
+	cl, err := client.Dial(ch.addr, client.Options{Conns: 2, RetryReads: -1})
+	if err != nil {
+		fatal("dial", err)
+	}
+	fmt.Printf("blinkstress net durable: %d workers, shards=%d, k=%d, dir=%s, server=%s (pid %d), %v\n",
+		workers, shards, k, dir, ch.addr, ch.cmd.Process.Pid, dur)
+
+	// Same oracle discipline as the in-process -durable mode: disjoint
+	// key slices, lastAcked = state after the newest acknowledged op,
+	// attempt = the single in-flight op the kill may or may not have
+	// persisted (applied+fsynced server-side, response never sent).
+	const keysPer = 512
+	type state struct {
+		val     client.Value
+		present bool
+	}
+	lastAcked := make([]map[uint64]state, workers)
+	attempt := make([]map[uint64]state, workers)
+	stride := ^uint64(0)/uint64(workers*keysPer) + 1
+	key := func(raw uint64) client.Key { return client.Key(raw * stride) }
+
+	ctx := context.Background()
+	var ops atomic.Uint64
+	var killed atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lastAcked[w] = make(map[uint64]state)
+		attempt[w] = make(map[uint64]state)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 3))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw := uint64(w*keysPer) + uint64(rng.Intn(keysPer))
+				cur := lastAcked[w][raw]
+				var next state
+				var err error
+				switch {
+				case cur.present && rng.Intn(4) == 0:
+					next = state{}
+					err = cl.Delete(ctx, key(raw))
+				case cur.present && rng.Intn(3) == 0:
+					next = state{val: cur.val + 1, present: true}
+					var swapped bool
+					swapped, err = cl.CompareAndSwap(ctx, key(raw), cur.val, next.val)
+					if err == nil && !swapped {
+						fatal("net cas", fmt.Errorf("key %d: mismatch against exact oracle", raw))
+					}
+				default:
+					next = state{val: client.Value(rng.Uint64() | 1), present: true}
+					_, _, err = cl.Upsert(ctx, key(raw), next.val)
+				}
+				if err != nil {
+					if !killed.Load() {
+						fatal("net durable workload", err)
+					}
+					attempt[w][raw] = next
+					return
+				}
+				lastAcked[w][raw] = next
+				ops.Add(1)
+			}
+		}(w)
+	}
+	// Checkpoints over the wire while traffic flows and the kill looms.
+	ckpts := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		period := dur / 8
+		if period < 200*time.Millisecond {
+			period = 200 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if err := cl.Checkpoint(ctx); err != nil {
+					if !killed.Load() {
+						fatal("net checkpoint", err)
+					}
+					return
+				}
+				ckpts++
+			}
+		}
+	}()
+
+	time.Sleep(dur / 2)
+	killed.Store(true)
+	ch.kill9()
+	close(stop)
+	wg.Wait()
+	cl.Close()
+	ackedOps := ops.Load()
+	fmt.Printf("      kill -9'd server pid %d after %d acked ops, %d checkpoints\n",
+		ch.cmd.Process.Pid, ackedOps, ckpts)
+
+	// Restart on the same directory; recovery must reproduce exactly
+	// the acknowledged (± single in-flight) state.
+	ch2 := spawnServer(shards, k, compressors, true, dir)
+	defer ch2.stop()
+	cl2, err := client.Dial(ch2.addr, client.Options{Conns: 2})
+	if err != nil {
+		fatal("redial", err)
+	}
+	defer cl2.Close()
+	verified := 0
+	for w := 0; w < workers; w++ {
+		for raw, want := range lastAcked[w] {
+			v, err := cl2.Search(ctx, key(raw))
+			if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
+				fatal("verify", err)
+			}
+			got := state{val: v, present: err == nil}
+			if got == want {
+				verified++
+				continue
+			}
+			if alt, ok := attempt[w][raw]; ok && got == alt {
+				verified++ // the in-flight op's record survived the crash
+				continue
+			}
+			fatal("verify", fmt.Errorf("key %d: recovered %+v, acked %+v, attempt %+v",
+				raw, got, want, attempt[w][raw]))
+		}
+	}
+	phantoms := 0
+	if err := cl2.Range(ctx, 0, client.Key(^uint64(0)), 0, func(kk client.Key, v client.Value) bool {
+		raw := uint64(kk) / stride
+		w := int(raw) / keysPer
+		if uint64(kk)%stride != 0 || w < 0 || w >= workers {
+			phantoms++
+			return false
+		}
+		got := state{val: v, present: true}
+		if got != lastAcked[w][raw] {
+			if alt, ok := attempt[w][raw]; !ok || got != alt {
+				phantoms++
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		fatal("verify scan", err)
+	}
+	if phantoms > 0 {
+		fatal("verify", fmt.Errorf("%d phantom pairs survived recovery", phantoms))
+	}
+
+	// The recovered server must be fully live: more traffic, a
+	// checkpoint over the wire, and the invariants (via a local reopen
+	// after graceful shutdown).
+	for i := uint64(0); i < 3000; i++ {
+		raw := i % uint64(workers*keysPer)
+		if _, _, err := cl2.Upsert(ctx, key(raw), client.Value(i)); err != nil {
+			fatal("post-recovery traffic", err)
+		}
+	}
+	if err := cl2.Checkpoint(ctx); err != nil {
+		fatal("post-recovery checkpoint", err)
+	}
+	cl2.Close()
+	ch2.stop()
+	r, err := shard.NewRouter(shards, shard.Options{MinPairs: k, Durable: true, Dir: dir})
+	if err != nil {
+		fatal("local reopen", err)
+	}
+	defer r.Close()
+	if err := r.Check(); err != nil {
+		fatal("post-recovery check", err)
+	}
+	st, err := r.Stats()
+	if err != nil {
+		fatal("stats", err)
+	}
+	fmt.Printf("PASS: %d oracle keys verified over the wire after kill -9, 0 phantoms\n", verified)
+	fmt.Printf("      final state: %d pairs; local reopen replayed %d records above the last checkpoint\n",
+		r.Len(), st.WAL.Replayed)
+}

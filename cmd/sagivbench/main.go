@@ -1,10 +1,10 @@
-// Command sagivbench regenerates the evaluation tables E1–E8 (plus the
-// E12 durability table) described
+// Command sagivbench regenerates the evaluation tables E1–E8 (plus
+// the E12 durability and E13 network-pipelining tables) described
 // in DESIGN.md and recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	sagivbench [-experiment all|E1|E2|...|E8|E12] [-scale 1.0]
+//	sagivbench [-experiment all|E1|E2|...|E8|E12|E13] [-scale 1.0]
 //
 // -scale shrinks run sizes proportionally (e.g. 0.05 for a quick look).
 package main
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (E1..E8, E12) or 'all'")
+	exp := flag.String("experiment", "all", "experiment id (E1..E8, E12, E13) or 'all'")
 	scale := flag.Float64("scale", 1.0, "size multiplier for run lengths")
 	flag.Parse()
 
@@ -41,6 +41,7 @@ func main() {
 		{"E7", harness.E7LinkChase},
 		{"E8", harness.E8Reclamation},
 		{"E12", harness.E12Durability},
+		{"E13", harness.E13NetPipeline},
 	}
 
 	fmt.Printf("sagivbench: Sagiv B*-tree with overtaking — evaluation harness\n")
@@ -61,7 +62,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8, E12 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8, E12, E13 or all)\n", *exp)
 		os.Exit(2)
 	}
 }

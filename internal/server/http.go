@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// startHTTP binds the health/metrics listener and serves it in the
+// background. Endpoints:
+//
+//	/healthz  200 {"status":"ok"} while serving, 503 while draining
+//	/metrics  Prometheus text exposition of the server counters and
+//	          the per-shard routing stats (cheap: no occupancy walk)
+func (s *Server) startHTTP() error {
+	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return err
+	}
+	s.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // ends when the listener closes
+	return nil
+}
+
+// HTTPAddr returns the bound health/metrics address, or nil when
+// Config.HTTPAddr was empty.
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.drain.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	m := &s.Metrics
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP blinkserver_%s %s\n# TYPE blinkserver_%s counter\nblinkserver_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP blinkserver_%s %s\n# TYPE blinkserver_%s gauge\nblinkserver_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("connections_accepted_total", "TCP connections accepted", m.Accepted.Load())
+	gauge("connections_active", "TCP connections currently open", m.Active.Load())
+	counter("polls_total", "gather-execute-respond cycles", m.Polls.Load())
+	counter("requests_total", "requests served", m.Requests.Load())
+	counter("batch_ops_total", "operations executed through ApplyBatch", m.BatchOps.Load())
+	counter("scan_pages_total", "scan pages served", m.Scans.Load())
+	counter("protocol_errors_total", "malformed frames and decode failures", m.Errors.Load())
+	counter("conn_drops_total", "connections ended by error", m.ConnDrops.Load())
+	counter("bytes_in_total", "request bytes read", m.BytesIn.Load())
+	counter("bytes_out_total", "response bytes written", m.BytesOut.Load())
+	fmt.Fprintf(w, "# HELP blinkserver_poll_latency_seconds execute+respond latency per poll\n")
+	fmt.Fprintf(w, "# TYPE blinkserver_poll_latency_seconds summary\n")
+	fmt.Fprintf(w, "blinkserver_poll_latency_seconds{quantile=\"0.5\"} %g\n", m.PollLat.Quantile(0.5).Seconds())
+	fmt.Fprintf(w, "blinkserver_poll_latency_seconds{quantile=\"0.99\"} %g\n", m.PollLat.Quantile(0.99).Seconds())
+	fmt.Fprintf(w, "blinkserver_poll_latency_seconds_count %d\n", m.PollLat.Count())
+
+	// Per-shard routing balance, from the router's cheap stats.
+	fmt.Fprintf(w, "# HELP blinkshard_pairs stored pairs per shard\n# TYPE blinkshard_pairs gauge\n")
+	ss := s.r.ShardStats()
+	for _, st := range ss {
+		fmt.Fprintf(w, "blinkshard_pairs{shard=\"%d\"} %d\n", st.Shard, st.Len)
+	}
+	fmt.Fprintf(w, "# HELP blinkshard_routed_ops_total point+scan ops routed per shard\n# TYPE blinkshard_routed_ops_total counter\n")
+	for _, st := range ss {
+		routed := st.Searches + st.Inserts + st.Deletes + st.Upserts + st.Updates + st.Cas + st.Scans + st.BatchOps
+		fmt.Fprintf(w, "blinkshard_routed_ops_total{shard=\"%d\"} %d\n", st.Shard, routed)
+	}
+}

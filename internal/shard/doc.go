@@ -45,7 +45,12 @@
 //     lock + append-to-WAL + wait-for-group-commit, normalizing every
 //     outcome to a put/del record of its resolved value. Recovery
 //     (openDurable) and Checkpoint live in engine.go; the log itself
-//     is internal/wal.
+//     is internal/wal. Checkpoint's fuzzy scan runs concurrently with
+//     searches and updates but pauses background compression
+//     (Compressor.Pause/Resume) and serializes with Compact and
+//     DrainCompression — a leftward merge could move an acknowledged
+//     pair behind the scan cursor, and truncation would then drop its
+//     only durable record.
 //
 // Durability is per shard: each engine logs to its own segment set
 // under Dir/shard<i> and checkpoints independently, so group commit
@@ -58,4 +63,11 @@
 // shard i precede all keys of shard i+1); the cost is that skewed
 // workloads can load shards unevenly — per-shard metrics (Router.
 // ShardStats) expose that imbalance.
+//
+// Above the Router sit two callers: the public blinktree facade
+// (in-process) and internal/server, the TCP front-end, which
+// coalesces each burst of pipelined network requests into one
+// ApplyBatch. The Router is the integration point deliberately: both
+// callers get shard parallelism and per-shard group commit from the
+// same code path. See ARCHITECTURE.md for the full layer map.
 package shard

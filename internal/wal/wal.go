@@ -28,7 +28,12 @@
 // segments (and older checkpoints) it covers; recovery loads the
 // newest checkpoint and replays only segments at or above its id.
 // Every step is crash-safe: a crash between any two of them leaves a
-// directory that still recovers to a consistent state.
+// directory that still recovers to a consistent state. The snapshot
+// scan runs concurrently with readers and writers, but the engine
+// pauses background compression for its duration (see
+// shard.Engine.Checkpoint): compression can move a pair leftward
+// across the scan cursor, and a pair missed that way would lose its
+// only durable copy when the covered segments are deleted.
 package wal
 
 import (

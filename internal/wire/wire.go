@@ -1,0 +1,358 @@
+// Package wire defines the binary protocol spoken between
+// internal/server and the public client package (and any third-party
+// client; docs/protocol.md is the normative specification). It is the
+// only vocabulary the two sides share, so the server never imports the
+// client and the client never imports the engine.
+//
+// The protocol is length-prefixed binary, little endian throughout:
+//
+//	hello    magic "BLNK" | version u16 | flags u16        (both directions, once)
+//	request  len u32 | id u64 | op u8 | payload            (len counts id..payload)
+//	response len u32 | id u64 | status u8 | payload
+//
+// Requests are pipelined: a client may send any number of requests
+// without waiting, and the server may answer them in any order — the
+// id, chosen by the client, is what matches a response to its request.
+// Out-of-order completion is what lets the server coalesce a burst of
+// pipelined requests into one shard-parallel batch.
+//
+// Payload shapes per op are documented on the Op constants and in
+// docs/protocol.md. Every error travels as a one-byte status code
+// (plus an optional UTF-8 message payload); StatusError and ErrStatus
+// convert between codes and the module's sentinel errors so that
+// errors.Is(err, blinktree.ErrNotFound) works across the wire.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"blinktree/internal/base"
+)
+
+// Magic opens the hello exchange in both directions.
+var Magic = [4]byte{'B', 'L', 'N', 'K'}
+
+// Version is the protocol version this build speaks. Versioning rule:
+// a server accepts exactly the versions it knows; adding ops or status
+// codes is backward compatible (old clients never send the new op),
+// changing a payload shape requires a version bump.
+const Version uint16 = 1
+
+// helloLen is the byte length of a hello in either direction.
+const helloLen = 8
+
+// Op codes. The payload shapes given here are the request → response
+// payloads on StatusOK; error responses carry an optional message.
+const (
+	// OpPing: "" → "". Liveness and pipelining-barrier probe.
+	OpPing uint8 = 1
+	// OpSearch: key u64 → value u64.
+	OpSearch uint8 = 2
+	// OpInsert: key u64 | value u64 → "". StatusDuplicate if present.
+	OpInsert uint8 = 3
+	// OpDelete: key u64 → "". StatusNotFound if absent.
+	OpDelete uint8 = 4
+	// OpUpsert: key u64 | value u64 → old u64 | existed u8.
+	OpUpsert uint8 = 5
+	// OpGetOrInsert: key u64 | value u64 → actual u64 | loaded u8.
+	OpGetOrInsert uint8 = 6
+	// OpCompareAndSwap: key u64 | old u64 | new u64 → swapped u8.
+	// A mismatch is StatusOK with swapped = 0; a missing key is
+	// StatusNotFound.
+	OpCompareAndSwap uint8 = 7
+	// OpCompareAndDelete: key u64 | old u64 → deleted u8.
+	OpCompareAndDelete uint8 = 8
+	// OpScan: lo u64 | hi u64 | limit u32 →
+	// more u8 | count u32 | count × (key u64 | value u64).
+	// One bounded page of lo ≤ key ≤ hi in ascending order; limit 0
+	// means DefaultScanLimit and is capped at MaxScanLimit. more = 1
+	// reports that the page filled before hi was reached — resume with
+	// lo = last returned key + 1.
+	OpScan uint8 = 9
+	// OpBatch: count u32 | count × (kind u8 | key u64 | value u64 | old u64) →
+	// count × (status u8 | value u64 | ok u8).
+	// kind is one of OpSearch..OpCompareAndDelete; slots execute
+	// shard-parallel with per-slot status, positionally aligned.
+	OpBatch uint8 = 10
+	// OpLen: "" → n u64.
+	OpLen uint8 = 11
+	// OpCheckpoint: "" → "". Durable snapshot + WAL truncation; no-op
+	// (still StatusOK) on a volatile server.
+	OpCheckpoint uint8 = 12
+	// OpStats: "" → count u32 | count × u64, the index-level counters
+	// in StatsFields order. Clients must tolerate count greater than
+	// the fields they know (new fields append).
+	OpStats uint8 = 13
+)
+
+// StatsFields is the order of the u64 counters in an OpStats response:
+// shards, len, height, searches, inserts, deletes, upserts, updates,
+// cas, scans, batches, batch-ops. New fields append; old clients
+// ignore the tail, old servers send fewer.
+const StatsFields = 12
+
+// Status codes.
+const (
+	StatusOK         uint8 = 0
+	StatusNotFound   uint8 = 1
+	StatusDuplicate  uint8 = 2
+	StatusClosed     uint8 = 3
+	StatusCorrupt    uint8 = 4
+	StatusBadRequest uint8 = 5
+	StatusTooLarge   uint8 = 6
+	StatusInternal   uint8 = 7
+	// StatusShutdown reports the server is draining; the client should
+	// reconnect (likely to another instance) and retry.
+	StatusShutdown uint8 = 8
+)
+
+// Limits. MaxFrame bounds a single frame's payload in both directions;
+// the scan and batch caps keep any one request's response under it
+// (a full scan page is 5 + 16·MaxScanLimit bytes, a full batch
+// response 10·MaxBatchOps bytes).
+const (
+	MaxFrame         = 1 << 20
+	DefaultScanLimit = 1024
+	MaxScanLimit     = 4096
+	MaxBatchOps      = 8192
+	headerLen        = 13 // len u32 + id u64 + op/status u8
+)
+
+// Protocol-level errors.
+var (
+	// ErrBadMagic reports a hello that did not start with Magic.
+	ErrBadMagic = errors.New("wire: bad magic (not a blinkserver endpoint?)")
+	// ErrVersion reports an unsupported protocol version.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrFrameTooLarge reports a frame exceeding MaxFrame.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+)
+
+// Error is a server-reported failure that does not map to one of the
+// module's sentinel errors.
+type Error struct {
+	Code uint8
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	name := ""
+	switch e.Code {
+	case StatusBadRequest:
+		name = "bad request"
+	case StatusTooLarge:
+		name = "too large"
+	case StatusInternal:
+		name = "internal"
+	case StatusShutdown:
+		name = "shutting down"
+	default:
+		name = fmt.Sprintf("status %d", e.Code)
+	}
+	if e.Msg == "" {
+		return "wire: " + name
+	}
+	return "wire: " + name + ": " + e.Msg
+}
+
+// ErrStatus maps an engine error to its wire status code.
+func ErrStatus(err error) uint8 {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, base.ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, base.ErrDuplicate):
+		return StatusDuplicate
+	case errors.Is(err, base.ErrClosed):
+		return StatusClosed
+	case errors.Is(err, base.ErrCorrupt):
+		return StatusCorrupt
+	default:
+		return StatusInternal
+	}
+}
+
+// StatusError maps a wire status code back to an error. Codes with a
+// module sentinel return it (so errors.Is matches across the wire);
+// the rest return *Error carrying msg.
+func StatusError(code uint8, msg string) error {
+	switch code {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return base.ErrNotFound
+	case StatusDuplicate:
+		return base.ErrDuplicate
+	case StatusClosed:
+		return base.ErrClosed
+	case StatusCorrupt:
+		return base.ErrCorrupt
+	default:
+		return &Error{Code: code, Msg: msg}
+	}
+}
+
+// WriteHello writes the 8-byte hello.
+func WriteHello(w io.Writer) error {
+	var b [helloLen]byte
+	copy(b[:4], Magic[:])
+	binary.LittleEndian.PutUint16(b[4:6], Version)
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadHello reads and validates the peer's hello, returning its
+// version. ErrBadMagic and ErrVersion are the two rejections.
+func ReadHello(r io.Reader) (uint16, error) {
+	var b [helloLen]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(b[:4]) != Magic {
+		return 0, ErrBadMagic
+	}
+	v := binary.LittleEndian.Uint16(b[4:6])
+	if v != Version {
+		return 0, fmt.Errorf("%w: peer speaks %d, this build speaks %d", ErrVersion, v, Version)
+	}
+	return v, nil
+}
+
+// WriteFrame writes one frame — request or response, the shape is the
+// same — with the given id, op-or-status byte and payload.
+func WriteFrame(w io.Writer, id uint64, code uint8, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var h [headerLen]byte
+	binary.LittleEndian.PutUint32(h[0:4], uint32(headerLen-4+len(payload)))
+	binary.LittleEndian.PutUint64(h[4:12], id)
+	h[12] = code
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one complete frame from br. The returned payload
+// reuses buf when it fits (callers that keep a payload across frames
+// must copy it). A frame longer than MaxFrame returns
+// ErrFrameTooLarge with the stream positioned unusably — the
+// connection must be dropped.
+func ReadFrame(br *bufio.Reader, buf []byte) (id uint64, code uint8, payload []byte, err error) {
+	var h [headerLen]byte
+	if _, err = io.ReadFull(br, h[:4]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(h[0:4])
+	if n < headerLen-4 {
+		return 0, 0, nil, fmt.Errorf("wire: frame length %d below header", n)
+	}
+	if n > MaxFrame+headerLen-4 {
+		return 0, 0, nil, ErrFrameTooLarge
+	}
+	if _, err = io.ReadFull(br, h[4:]); err != nil {
+		return 0, 0, nil, unexpectEOF(err)
+	}
+	id = binary.LittleEndian.Uint64(h[4:12])
+	code = h[12]
+	pl := int(n) - (headerLen - 4)
+	if pl == 0 {
+		return id, code, nil, nil
+	}
+	if pl <= cap(buf) {
+		payload = buf[:pl]
+	} else {
+		payload = make([]byte, pl)
+	}
+	if _, err = io.ReadFull(br, payload); err != nil {
+		return 0, 0, nil, unexpectEOF(err)
+	}
+	return id, code, payload, nil
+}
+
+// unexpectEOF turns a mid-frame EOF into ErrUnexpectedEOF so callers
+// can distinguish a clean close (between frames) from a torn frame.
+func unexpectEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Buf is a tiny append-only encode buffer for payloads.
+type Buf struct{ B []byte }
+
+// Reset empties the buffer, keeping capacity.
+func (b *Buf) Reset() { b.B = b.B[:0] }
+
+// U8 appends one byte.
+func (b *Buf) U8(v uint8) { b.B = append(b.B, v) }
+
+// U32 appends a little-endian uint32.
+func (b *Buf) U32(v uint32) { b.B = binary.LittleEndian.AppendUint32(b.B, v) }
+
+// U64 appends a little-endian uint64.
+func (b *Buf) U64(v uint64) { b.B = binary.LittleEndian.AppendUint64(b.B, v) }
+
+// Dec is the matching decode cursor. Failed reads set Err and return
+// zeros, so a payload can be decoded with one error check at the end.
+type Dec struct {
+	B   []byte
+	off int
+	Err error
+}
+
+// fail records the first decode error.
+func (d *Dec) fail() {
+	if d.Err == nil {
+		d.Err = errors.New("wire: short payload")
+	}
+}
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	if d.Err != nil || d.off+1 > len(d.B) {
+		d.fail()
+		return 0
+	}
+	v := d.B[d.off]
+	d.off++
+	return v
+}
+
+// U32 reads a little-endian uint32.
+func (d *Dec) U32() uint32 {
+	if d.Err != nil || d.off+4 > len(d.B) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.B[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads a little-endian uint64.
+func (d *Dec) U64() uint64 {
+	if d.Err != nil || d.off+8 > len(d.B) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.B[d.off:])
+	d.off += 8
+	return v
+}
+
+// Done reports whether the cursor consumed the payload exactly.
+func (d *Dec) Done() bool { return d.Err == nil && d.off == len(d.B) }
