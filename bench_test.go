@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"blinktree/client"
 	"blinktree/internal/base"
@@ -25,6 +26,7 @@ import (
 	"blinktree/internal/locks"
 	"blinktree/internal/node"
 	"blinktree/internal/reclaim"
+	"blinktree/internal/repl"
 	"blinktree/internal/server"
 	"blinktree/internal/shard"
 	"blinktree/internal/storage"
@@ -820,6 +822,80 @@ func BenchmarkE13NetPipeline(b *testing.B) {
 			if polls > 0 {
 				b.ReportMetric(float64(reqs)/float64(polls), "reqs/poll")
 			}
+		})
+	}
+}
+
+// BenchmarkE14Replication: E14 — replicated write throughput and the
+// drain it leaves behind. Upserts flow to a durable primary while a
+// durable follower streams its WAL over TCP loopback; the reported
+// extras are the records the follower still had to apply when the
+// writers stopped (lag) and the time it took to drain them (the table
+// form with follower read throughput lives in harness.E14Replication
+// / sagivbench).
+func BenchmarkE14Replication(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			rp, err := shard.NewRouter(shards, shard.Options{MinPairs: 16, Durable: true, Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rp.Close()
+			srv := server.New(rp, server.Config{Addr: "127.0.0.1:0", Logf: func(string, ...any) {}})
+			if err := srv.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			rf, err := shard.NewRouter(shards, shard.Options{MinPairs: 16, Durable: true, Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rf.Close()
+			fl, err := repl.NewFollower(rf, repl.FollowerConfig{Primary: srv.Addr().String()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			fl.Start()
+			defer fl.Stop()
+			cl, err := client.Dial(srv.Addr().String(), client.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			ctx := context.Background()
+			var seed atomic.Int64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				g := uint64(seed.Add(1))
+				i := uint64(0)
+				for pb.Next() {
+					k := client.Key((g<<32 | i) * 11400714819323198485)
+					if _, _, err := cl.Upsert(ctx, k, client.Value(i)); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			var target uint64
+			for i := 0; i < shards; i++ {
+				target += rp.Engine(i).WAL().Stats().Records
+			}
+			lag := uint64(0)
+			if a := fl.Stats().Applied; target > a {
+				lag = target - a
+			}
+			drainStart := time.Now()
+			for fl.Stats().Applied < target {
+				if time.Since(drainStart) > 30*time.Second {
+					b.Fatal("follower never drained")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			b.ReportMetric(float64(lag), "lag-recs")
+			b.ReportMetric(float64(time.Since(drainStart).Microseconds())/1000, "drain-ms")
 		})
 	}
 }

@@ -28,6 +28,10 @@ var (
 	ErrClosed    = base.ErrClosed
 )
 
+// ErrReadOnly reports a mutation sent to a read-only follower; writes
+// must go to the primary (see Options.ReplicaAddr and Promote).
+var ErrReadOnly = wire.ErrReadOnly
+
 // ErrClientClosed is returned by calls made after Close.
 var ErrClientClosed = errors.New("client: closed")
 
@@ -48,6 +52,15 @@ type Options struct {
 	// ReadBuffer / WriteBuffer size each connection's bufio layers.
 	// Default 64 KiB.
 	ReadBuffer, WriteBuffer int
+	// ReplicaAddr, when non-empty, is a read replica (a follower, see
+	// docs/protocol.md): idempotent reads — Search, Scan/Range, Len,
+	// Stats, Ping — are served by it, falling back to the primary on a
+	// network failure, mirroring the retry-on-reconnect rule.
+	// Mutations always go to the primary. Replication is asynchronous:
+	// replica reads may lag the primary (a Search can miss a write the
+	// primary already acknowledged), which is the price of scaling
+	// reads beyond one machine.
+	ReplicaAddr string
 }
 
 func (o *Options) fill() {
@@ -82,7 +95,19 @@ type Client struct {
 	slots  []slot
 	next   atomic.Uint64
 	closed atomic.Bool
+	// replica is the read-replica pool (nil without ReplicaAddr). Its
+	// connections dial lazily, so a down replica costs nothing until a
+	// read tries it — and that read falls back to the primary.
+	replica *Client
+	// replicaDownUntil (unix nanos) is the negative cache after a
+	// replica transport failure: reads skip straight to the primary
+	// until it passes, so a dead replica costs one dial timeout per
+	// cooldown window instead of one per read.
+	replicaDownUntil atomic.Int64
 }
+
+// replicaCooldown is how long reads avoid the replica after it fails.
+const replicaCooldown = time.Second
 
 // slot holds one pooled connection, redialed lazily after failures.
 type slot struct {
@@ -101,6 +126,13 @@ func Dial(addr string, opt Options) (*Client, error) {
 		return nil, err
 	}
 	c.slots[0].cn = cn
+	if opt.ReplicaAddr != "" {
+		ropt := opt
+		ropt.ReplicaAddr = ""
+		// Lazy pool: a replica that is down when Dial runs must not
+		// fail the primary client, so no eager connection here.
+		c.replica = &Client{addr: opt.ReplicaAddr, opt: ropt, slots: make([]slot, ropt.Conns)}
+	}
 	return c, nil
 }
 
@@ -117,6 +149,9 @@ func (c *Client) Close() error {
 			s.cn = nil
 		}
 		s.mu.Unlock()
+	}
+	if c.replica != nil {
+		c.replica.Close()
 	}
 	return nil
 }
@@ -369,6 +404,22 @@ func (c *Client) Checkpoint(ctx context.Context) error {
 	return err
 }
 
+// Promote asks a read-only follower to stop replicating and accept
+// writes — the failover step after the primary dies. It reports
+// whether the server was in fact a follower (false = it was already
+// writable and nothing changed). Promote always targets the primary
+// address of this client, so a failover client should be dialed
+// against the follower's address.
+func (c *Client) Promote(ctx context.Context) (bool, error) {
+	pl, err := c.do(ctx, wire.OpPromote, nil, false)
+	if err != nil {
+		return false, err
+	}
+	d := wire.Dec{B: pl}
+	was := d.U8() != 0
+	return was, d.Err
+}
+
 // Stats is the index-level counter snapshot a server reports.
 type Stats struct {
 	Shards   int
@@ -423,9 +474,24 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 // slot), send the request, wait for the id-matched response. On a
 // network failure, idempotent requests are retried Options.RetryReads
 // times on a fresh connection; mutations surface the failure.
+//
+// With a configured replica, idempotent requests route there first and
+// fall back to the primary only on a transport failure — a server-
+// reported status from the replica (including NotFound) is a valid,
+// possibly stale, answer and is returned as-is.
 func (c *Client) do(ctx context.Context, op uint8, payload []byte, idempotent bool) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, ErrClientClosed
+	}
+	if idempotent && c.replica != nil && time.Now().UnixNano() > c.replicaDownUntil.Load() {
+		pl, err := c.replica.do(ctx, op, payload, true)
+		var ne *netError
+		if err == nil || !errors.As(err, &ne) {
+			return pl, err
+		}
+		// Replica unreachable: remember that for a cooldown and serve
+		// from the primary.
+		c.replicaDownUntil.Store(time.Now().Add(replicaCooldown).UnixNano())
 	}
 	attempts := 1
 	if idempotent {
@@ -448,7 +514,9 @@ func (c *Client) do(ctx context.Context, op uint8, payload []byte, idempotent bo
 		}
 		lastErr = ne.err
 	}
-	return nil, fmt.Errorf("client: %s failed after %d attempt(s): %w", opName(op), attempts, lastErr)
+	// Wrap in netError so callers (the replica fallback above) can
+	// still classify the exhausted retries as a transport failure.
+	return nil, fmt.Errorf("client: %s failed after %d attempt(s): %w", opName(op), attempts, &netError{lastErr})
 }
 
 // conn returns a live pooled connection, round-robin, dialing if the
@@ -748,6 +816,8 @@ func opName(op uint8) string {
 		return "checkpoint"
 	case wire.OpStats:
 		return "stats"
+	case wire.OpPromote:
+		return "promote"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}

@@ -33,4 +33,9 @@
 //     order. A caller that needs op B to observe op A must wait for
 //     A's response before issuing B (per-call ordering is preserved
 //     by waiting, exactly like a local call).
+//   - With Options.ReplicaAddr set, idempotent reads are served by a
+//     read replica (falling back to the primary on transport
+//     failure) while mutations always go to the primary. Replication
+//     is asynchronous, so replica reads may lag acknowledged writes.
+//     Promote turns a follower writable after its primary dies.
 package client

@@ -8,6 +8,7 @@
 //	            [-shards 8] [-k 16] [-compressors 1]
 //	            [-durable] [-dir /data/idx]
 //	            [-coalesce 200us] [-max-batch 1024] [-max-inflight 1048576]
+//	            [-follow primary:4640]
 //
 // With -durable, every acknowledged mutation is on disk (group-commit
 // WAL under -dir, one segment set per shard) before its response is
@@ -15,6 +16,13 @@
 // "checkpoint + log suffix". Clients can force a checkpoint over the
 // wire (client.Checkpoint); a periodic checkpoint loop is enabled with
 // -checkpoint-every.
+//
+// With -follow, the server runs as an asynchronous read replica of the
+// named primary: it streams the primary's WAL, applies it locally
+// (into its own WAL when also -durable, which is what makes it
+// promotable), serves reads, and refuses writes with the read-only
+// status until a client sends Promote. The shard counts of primary and
+// follower must match, and the primary must be durable.
 //
 // Shutdown is graceful: SIGINT/SIGTERM stop accepting, let in-flight
 // polls finish, then close the index (flushing the WAL).
@@ -29,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"blinktree/internal/repl"
 	"blinktree/internal/server"
 	"blinktree/internal/shard"
 )
@@ -45,6 +54,7 @@ func main() {
 	maxBatch := flag.Int("max-batch", 1024, "max requests gathered per poll")
 	maxInflight := flag.Int("max-inflight", 1<<20, "per-connection in-flight request bytes (backpressure)")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand)")
+	follow := flag.String("follow", "", "run as a read-only replica of this primary address (promote over the wire)")
 	flag.Parse()
 
 	if *durable && *dir == "" {
@@ -60,15 +70,36 @@ func main() {
 	if err != nil {
 		log.Fatalf("blinkserver: open index: %v", err)
 	}
-	s := server.New(r, server.Config{
+	cfg := server.Config{
 		Addr:        *addr,
 		HTTPAddr:    *httpAddr,
 		Coalesce:    *coalesce,
 		MaxBatch:    *maxBatch,
 		MaxInflight: *maxInflight,
-	})
+	}
+	var follower *repl.Follower
+	if *follow != "" {
+		fdir := ""
+		if *durable {
+			fdir = *dir
+		}
+		follower, err = repl.NewFollower(r, repl.FollowerConfig{
+			Primary: *follow,
+			Dir:     fdir,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("blinkserver: follower: %v", err)
+		}
+		cfg.ReadOnly = true
+		cfg.OnPromote = follower.Stop
+	}
+	s := server.New(r, cfg)
 	if err := s.Start(); err != nil {
 		log.Fatalf("blinkserver: listen: %v", err)
+	}
+	if follower != nil {
+		follower.Start()
 	}
 	fmt.Printf("blinkserver: serving %d shard(s) on %s", *shards, s.Addr())
 	if *httpAddr != "" {
@@ -76,6 +107,9 @@ func main() {
 	}
 	if *durable {
 		fmt.Printf(", durable in %s (%d pairs recovered)", *dir, r.Len())
+	}
+	if *follow != "" {
+		fmt.Printf(", following %s (read-only until promoted)", *follow)
 	}
 	fmt.Println()
 
@@ -102,6 +136,11 @@ func main() {
 	<-sig
 	fmt.Println("blinkserver: draining...")
 	close(stopCkpt)
+	if follower != nil {
+		if err := follower.Stop(); err != nil {
+			log.Printf("blinkserver: stop follower: %v", err)
+		}
+	}
 	if err := s.Close(); err != nil {
 		log.Printf("blinkserver: close listener: %v", err)
 	}

@@ -8,7 +8,7 @@
 //
 //	blinkstress [-duration 10s] [-workers 8] [-compressors 2]
 //	            [-k 4] [-keys 100000] [-mix balanced] [-shards 1]
-//	            [-durable] [-dir path] [-net] [-addr host:port]
+//	            [-durable] [-dir path] [-net] [-addr host:port] [-repl]
 //
 // With -shards N > 1 the keyspace is range-partitioned across N
 // independent trees (each with its own compression workers) and the
@@ -35,6 +35,14 @@
 // acknowledged write present, zero phantoms. -addr targets an
 // already-running server instead of spawning one (volatile mode
 // only).
+//
+// With -repl the stress exercises asynchronous replication end to
+// end: a durable primary and a durable follower (both real spawned
+// processes), an exact oracle, a convergence barrier with exact
+// verification of the follower, then a kill -9 of the primary, a
+// promotion of the follower over the wire, and per-key
+// prefix-consistency verification of the promoted follower (see
+// cmd/blinkstress/repl.go for the precise claim).
 package main
 
 import (
@@ -66,10 +74,16 @@ func main() {
 	netMode := flag.Bool("net", false, "stress a spawned blinkserver over TCP (with -durable: kill -9 + recovery)")
 	addrFlag := flag.String("addr", "", "with -net: target this already-running server instead of spawning one")
 	netServe := flag.Bool("net-serve", false, "internal: run as the spawned server child of a -net parent")
+	replMode := flag.Bool("repl", false, "primary + follower pair: converge, kill -9 the primary, promote, verify")
+	followFlag := flag.String("follow", "", "internal: with -net-serve, follow this primary address")
 	flag.Parse()
 
 	if *netServe {
-		runNetServe(*shards, *k, *compressors, *durable, *dirFlag)
+		runNetServe(*shards, *k, *compressors, *durable, *dirFlag, *followFlag)
+		return
+	}
+	if *replMode {
+		runRepl(*dur, *workers, *shards, *k, *compressors, *dirFlag)
 		return
 	}
 	if *netMode {

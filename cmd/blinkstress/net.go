@@ -17,6 +17,7 @@ import (
 
 	"blinktree"
 	"blinktree/client"
+	"blinktree/internal/repl"
 	"blinktree/internal/server"
 	"blinktree/internal/shard"
 )
@@ -25,22 +26,44 @@ import (
 // re-executes itself as a real blinkserver process so the parent can
 // kill -9 it — an actual process death, not a simulated one. It
 // listens on an ephemeral port, announces it on stdout as
-// "LISTENING <addr>", and serves until SIGTERM.
-func runNetServe(shards, k, compressors int, durable bool, dir string) {
+// "LISTENING <addr>", and serves until SIGTERM. With follow non-empty
+// the child is a read-only replica of that primary, promotable over
+// the wire.
+func runNetServe(shards, k, compressors int, durable bool, dir, follow string) {
 	opts := shard.Options{MinPairs: k, CompressorWorkers: compressors, Durable: durable, Dir: dir}
 	r, err := shard.NewRouter(shards, opts)
 	if err != nil {
 		fatal("child open", err)
 	}
-	s := server.New(r, server.Config{Addr: "127.0.0.1:0"})
+	cfg := server.Config{Addr: "127.0.0.1:0"}
+	var follower *repl.Follower
+	if follow != "" {
+		fdir := ""
+		if durable {
+			fdir = dir
+		}
+		follower, err = repl.NewFollower(r, repl.FollowerConfig{Primary: follow, Dir: fdir})
+		if err != nil {
+			fatal("child follower", err)
+		}
+		cfg.ReadOnly = true
+		cfg.OnPromote = follower.Stop
+	}
+	s := server.New(r, cfg)
 	if err := s.Start(); err != nil {
 		fatal("child listen", err)
+	}
+	if follower != nil {
+		follower.Start()
 	}
 	fmt.Printf("LISTENING %s\n", s.Addr())
 	os.Stdout.Sync()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
 	<-sig
+	if follower != nil {
+		follower.Stop()
+	}
 	s.Close()
 	r.Close()
 	os.Exit(0)
@@ -53,8 +76,9 @@ type child struct {
 }
 
 // spawnServer re-executes this binary in -net-serve mode and waits for
-// its LISTENING line.
-func spawnServer(shards, k, compressors int, durable bool, dir string) *child {
+// its LISTENING line. A non-empty follow spawns a read-only replica of
+// that primary address.
+func spawnServer(shards, k, compressors int, durable bool, dir, follow string) *child {
 	args := []string{
 		"-net-serve",
 		"-shards", strconv.Itoa(shards),
@@ -63,6 +87,9 @@ func spawnServer(shards, k, compressors int, durable bool, dir string) *child {
 	}
 	if durable {
 		args = append(args, "-durable", "-dir", dir)
+	}
+	if follow != "" {
+		args = append(args, "-follow", follow)
 	}
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Stderr = os.Stderr
@@ -126,7 +153,7 @@ func runNet(dur time.Duration, workers, shards, k, compressors int, durable bool
 	var cl *client.Client
 	var err error
 	if addr == "" {
-		ch := spawnServer(shards, k, compressors, false, "")
+		ch := spawnServer(shards, k, compressors, false, "", "")
 		defer ch.stop()
 		addr = ch.addr
 	}
@@ -268,7 +295,7 @@ func runNetDurable(dur time.Duration, workers, shards, k, compressors int, dir s
 		defer os.RemoveAll(d)
 		dir = d
 	}
-	ch := spawnServer(shards, k, compressors, true, dir)
+	ch := spawnServer(shards, k, compressors, true, dir, "")
 	cl, err := client.Dial(ch.addr, client.Options{Conns: 2, RetryReads: -1})
 	if err != nil {
 		fatal("dial", err)
@@ -378,7 +405,7 @@ func runNetDurable(dur time.Duration, workers, shards, k, compressors int, dir s
 
 	// Restart on the same directory; recovery must reproduce exactly
 	// the acknowledged (± single in-flight) state.
-	ch2 := spawnServer(shards, k, compressors, true, dir)
+	ch2 := spawnServer(shards, k, compressors, true, dir, "")
 	defer ch2.stop()
 	cl2, err := client.Dial(ch2.addr, client.Options{Conns: 2})
 	if err != nil {

@@ -1,0 +1,364 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree"
+	"blinktree/client"
+	"blinktree/internal/shard"
+)
+
+// runRepl is the -repl mode: a primary + follower pair of real server
+// processes, an exact per-key oracle, and a failover. The run has two
+// phases around a convergence barrier, which is what lets the
+// verification be strong despite asynchronous shipping:
+//
+//  1. Stress the primary while the follower replicates; then stop
+//     writes and wait for the follower to converge. Verify the
+//     follower EXACTLY equals the oracle over the wire (every acked
+//     write present, zero phantoms) — replication correctness.
+//  2. Resume writes, recording each key's full acked state history;
+//     kill -9 the primary mid-traffic and promote the follower.
+//     Async shipping legitimately loses an un-shipped tail, so the
+//     check is per-key prefix consistency: every key on the promoted
+//     follower must hold some state from {converged state} ∪ {its
+//     phase-2 acked history} ∪ {the single in-flight attempt}, and
+//     nothing else may exist (zero phantoms). Initial-absent is NOT a
+//     valid state for keys that converged present — regression
+//     against a follower that silently dropped its bootstrap.
+//
+// Then the promoted follower must be fully live: it takes writes, a
+// checkpoint, and (being durable) a local reopen passes the full
+// structural check.
+func runRepl(dur time.Duration, workers, shards, k, compressors int, dir string) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "blinkstress-repl")
+		if err != nil {
+			fatal("tmpdir", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	pdir := dir + "/primary"
+	fdir := dir + "/follower"
+	for _, d := range []string{pdir, fdir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			fatal("mkdir", err)
+		}
+	}
+	primary := spawnServer(shards, k, compressors, true, pdir, "")
+	follower := spawnServer(shards, k, compressors, true, fdir, primary.addr)
+	defer follower.stop()
+	cl, err := client.Dial(primary.addr, client.Options{Conns: 2})
+	if err != nil {
+		fatal("dial primary", err)
+	}
+	clF, err := client.Dial(follower.addr, client.Options{Conns: 1})
+	if err != nil {
+		fatal("dial follower", err)
+	}
+	defer clF.Close()
+	fmt.Printf("blinkstress repl: %d workers, shards=%d, k=%d, dir=%s\n", workers, shards, k, dir)
+	fmt.Printf("      primary %s (pid %d) → follower %s (pid %d), %v\n",
+		primary.addr, primary.cmd.Process.Pid, follower.addr, follower.cmd.Process.Pid, dur)
+
+	const keysPer = 512
+	type state struct {
+		val     client.Value
+		present bool
+	}
+	stride := ^uint64(0)/uint64(workers*keysPer) + 1
+	key := func(raw uint64) client.Key { return client.Key(raw * stride) }
+	ctx := context.Background()
+
+	// A write to the follower must be refused while it follows.
+	if _, _, err := clF.Upsert(ctx, key(0), 1); !errors.Is(err, client.ErrReadOnly) {
+		fatal("follower read-only", fmt.Errorf("follower accepted a write before promotion: %v", err))
+	}
+
+	// --- Phase 1: stress, then converge and verify exactly. ---
+	oracle := make([]map[uint64]state, workers)
+	var ops atomic.Uint64
+	runPhase := func(phaseDur time.Duration, fail func(w int, raw uint64, next state, err error) bool) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)*104729 + 7))
+				mine := oracle[w]
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					raw := uint64(w*keysPer) + uint64(rng.Intn(keysPer))
+					cur := mine[raw]
+					var next state
+					var err error
+					switch {
+					case cur.present && rng.Intn(4) == 0:
+						next = state{}
+						err = cl.Delete(ctx, key(raw))
+					case cur.present && rng.Intn(3) == 0:
+						next = state{val: cur.val + 1, present: true}
+						var swapped bool
+						swapped, err = cl.CompareAndSwap(ctx, key(raw), cur.val, next.val)
+						if err == nil && !swapped {
+							fatal("repl cas", fmt.Errorf("key %d: mismatch against exact oracle", raw))
+						}
+					default:
+						next = state{val: client.Value(rng.Uint64() | 1), present: true}
+						_, _, err = cl.Upsert(ctx, key(raw), next.val)
+					}
+					if err != nil {
+						if fail(w, raw, next, err) {
+							return
+						}
+						continue
+					}
+					mine[raw] = next
+					ops.Add(1)
+				}
+			}(w)
+		}
+		time.Sleep(phaseDur)
+		close(stop)
+		wg.Wait()
+	}
+	for w := range oracle {
+		oracle[w] = make(map[uint64]state)
+	}
+	runPhase(dur/2, func(_ int, _ uint64, _ state, err error) bool {
+		fatal("phase-1 workload", err)
+		return true
+	})
+
+	// Convergence barrier: writes stopped, so the follower must drain
+	// to exactly the oracle.
+	total := 0
+	for w := range oracle {
+		for _, st := range oracle[w] {
+			if st.present {
+				total++
+			}
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		n, err := clF.Len(ctx)
+		if err != nil {
+			fatal("follower len", err)
+		}
+		if n == total {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal("convergence", fmt.Errorf("follower stuck at %d pairs, oracle has %d", n, total))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	verified := 0
+	for w := range oracle {
+		for raw, want := range oracle[w] {
+			if !want.present {
+				continue
+			}
+			v, err := clF.Search(ctx, key(raw))
+			if err != nil || v != want.val {
+				fatal("phase-1 verify", fmt.Errorf("key %d on follower: (%d, %v), want %d", raw, v, err, want.val))
+			}
+			verified++
+		}
+	}
+	phantoms := 0
+	if err := clF.Range(ctx, 0, client.Key(^uint64(0)), 0, func(kk client.Key, v client.Value) bool {
+		raw := uint64(kk) / stride
+		w := int(raw) / keysPer
+		if uint64(kk)%stride != 0 || w < 0 || w >= workers {
+			phantoms++
+			return false
+		}
+		if st := oracle[w][raw]; !st.present || st.val != v {
+			phantoms++
+			return false
+		}
+		return true
+	}); err != nil {
+		fatal("phase-1 scan", err)
+	}
+	if phantoms > 0 {
+		fatal("phase-1 verify", fmt.Errorf("%d phantom pairs on the follower", phantoms))
+	}
+	fmt.Printf("      phase 1: follower converged to the oracle after %d acked ops: %d keys exact, 0 phantoms\n",
+		ops.Load(), verified)
+
+	// --- Phase 2: histories, kill -9, promote, prefix-verify. ---
+	converged := make([]map[uint64]state, workers)
+	histories := make([]map[uint64][]state, workers)
+	attempt := make([]map[uint64]state, workers)
+	for w := range oracle {
+		converged[w] = make(map[uint64]state, len(oracle[w]))
+		for raw, st := range oracle[w] {
+			converged[w][raw] = st
+		}
+		histories[w] = make(map[uint64][]state)
+		attempt[w] = make(map[uint64]state)
+	}
+	var histMu sync.Mutex
+	var killed atomic.Bool
+	phase2Fail := func(w int, raw uint64, next state, err error) bool {
+		if !killed.Load() {
+			fatal("phase-2 workload", err)
+		}
+		histMu.Lock()
+		attempt[w][raw] = next
+		histMu.Unlock()
+		return true // primary is dead; worker exits
+	}
+	// The workers append each acked state to the key's history (the
+	// oracle map stays the per-key current state).
+	phase2 := func() {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)*224737 + 13))
+				mine := oracle[w]
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					raw := uint64(w*keysPer) + uint64(rng.Intn(keysPer))
+					cur := mine[raw]
+					var next state
+					var err error
+					switch {
+					case cur.present && rng.Intn(4) == 0:
+						next = state{}
+						err = cl.Delete(ctx, key(raw))
+					default:
+						next = state{val: client.Value(rng.Uint64() | 1), present: true}
+						_, _, err = cl.Upsert(ctx, key(raw), next.val)
+					}
+					if err != nil {
+						if phase2Fail(w, raw, next, err) {
+							return
+						}
+						continue
+					}
+					mine[raw] = next
+					histories[w][raw] = append(histories[w][raw], next)
+					ops.Add(1)
+				}
+			}(w)
+		}
+		time.Sleep(dur / 2)
+		killed.Store(true)
+		primary.kill9()
+		close(stop)
+		wg.Wait()
+	}
+	phase2()
+	cl.Close()
+	fmt.Printf("      phase 2: kill -9'd primary pid %d mid-traffic after %d total acked ops\n",
+		primary.cmd.Process.Pid, ops.Load())
+
+	// Failover: promote the follower.
+	was, err := clF.Promote(ctx)
+	if err != nil || !was {
+		fatal("promote", fmt.Errorf("was=%v err=%v", was, err))
+	}
+
+	// Per-key prefix verification against converged ∪ history ∪ attempt.
+	validStates := func(w int, raw uint64) []state {
+		states := []state{converged[w][raw]}
+		states = append(states, histories[w][raw]...)
+		if alt, ok := attempt[w][raw]; ok {
+			states = append(states, alt)
+		}
+		return states
+	}
+	matches := func(got state, states []state) bool {
+		for _, st := range states {
+			if got == st {
+				return true
+			}
+		}
+		return false
+	}
+	verified = 0
+	for w := range oracle {
+		for raw := range oracle[w] {
+			v, err := clF.Search(ctx, key(raw))
+			if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
+				fatal("phase-2 verify", err)
+			}
+			got := state{val: v, present: err == nil}
+			if !got.present {
+				got.val = 0
+			}
+			if !matches(got, validStates(w, raw)) {
+				fatal("phase-2 verify", fmt.Errorf("key %d on promoted follower: %+v matches no acked state (converged %+v, %d history states, attempt %+v)",
+					raw, got, converged[w][raw], len(histories[w][raw]), attempt[w][raw]))
+			}
+			verified++
+		}
+	}
+	phantoms = 0
+	if err := clF.Range(ctx, 0, client.Key(^uint64(0)), 0, func(kk client.Key, v client.Value) bool {
+		raw := uint64(kk) / stride
+		w := int(raw) / keysPer
+		if uint64(kk)%stride != 0 || w < 0 || w >= workers {
+			phantoms++
+			return false
+		}
+		if !matches(state{val: v, present: true}, validStates(w, raw)) {
+			phantoms++
+			return false
+		}
+		return true
+	}); err != nil {
+		fatal("phase-2 scan", err)
+	}
+	if phantoms > 0 {
+		fatal("phase-2 verify", fmt.Errorf("%d phantom pairs on the promoted follower", phantoms))
+	}
+
+	// The promoted follower must be fully writable and durable.
+	for i := uint64(0); i < 3000; i++ {
+		raw := i % uint64(workers*keysPer)
+		if _, _, err := clF.Upsert(ctx, key(raw), client.Value(i)); err != nil {
+			fatal("post-promotion traffic", err)
+		}
+	}
+	if err := clF.Checkpoint(ctx); err != nil {
+		fatal("post-promotion checkpoint", err)
+	}
+	clF.Close()
+	follower.stop()
+	r, err := shard.NewRouter(shards, shard.Options{MinPairs: k, Durable: true, Dir: fdir})
+	if err != nil {
+		fatal("local reopen", err)
+	}
+	defer r.Close()
+	if err := r.Check(); err != nil {
+		fatal("post-promotion check", err)
+	}
+	fmt.Printf("PASS: failover verified — %d oracle keys prefix-consistent on the promoted follower, 0 phantoms\n", verified)
+	fmt.Printf("      promoted follower took %d writes + checkpoint; local reopen passes the structural check (%d pairs)\n",
+		3000, r.Len())
+}

@@ -1,15 +1,20 @@
 // Command sagivbench regenerates the evaluation tables E1–E8 (plus
-// the E12 durability and E13 network-pipelining tables) described
-// in DESIGN.md and recorded in EXPERIMENTS.md.
+// the E12 durability, E13 network-pipelining and E14 replication
+// tables) described in DESIGN.md and recorded in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	sagivbench [-experiment all|E1|E2|...|E8|E12|E13] [-scale 1.0]
+//	sagivbench [-experiment all|E1|E2|...|E8|E12|E13|E14] [-scale 1.0]
+//	           [-json results.json]
 //
 // -scale shrinks run sizes proportionally (e.g. 0.05 for a quick look).
+// -json additionally writes every table as machine-readable JSON — the
+// format CI uploads as a workflow artifact so performance can be
+// compared PR over PR.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,9 +26,33 @@ import (
 	"blinktree/internal/harness"
 )
 
+// jsonTable is one rendered table in the -json output.
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// jsonExperiment is one experiment's results in the -json output.
+type jsonExperiment struct {
+	ID        string      `json:"id"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Tables    []jsonTable `json:"tables"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Go          string           `json:"go"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Scale       float64          `json:"scale"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (E1..E8, E12, E13) or 'all'")
+	exp := flag.String("experiment", "all", "experiment id (E1..E8, E12, E13, E14) or 'all'")
 	scale := flag.Float64("scale", 1.0, "size multiplier for run lengths")
+	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	flag.Parse()
 
 	s := harness.Scale(*scale)
@@ -42,6 +71,27 @@ func main() {
 		{"E8", harness.E8Reclamation},
 		{"E12", harness.E12Durability},
 		{"E13", harness.E13NetPipeline},
+		{"E14", harness.E14Replication},
+	}
+
+	report := jsonReport{
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      *scale,
+	}
+	var current *jsonExperiment
+	if *jsonPath != "" {
+		harness.SetCapture(func(t *harness.Table) {
+			if current == nil {
+				return
+			}
+			current.Tables = append(current.Tables, jsonTable{
+				Title:   t.Title,
+				Headers: t.Headers,
+				Rows:    t.Rows,
+				Notes:   t.Notes,
+			})
+		})
 	}
 
 	fmt.Printf("sagivbench: Sagiv B*-tree with overtaking — evaluation harness\n")
@@ -53,16 +103,34 @@ func main() {
 		if want != "ALL" && want != e.id {
 			continue
 		}
+		report.Experiments = append(report.Experiments, jsonExperiment{ID: e.id})
+		current = &report.Experiments[len(report.Experiments)-1]
 		start := time.Now()
 		if err := e.fn(os.Stdout, s); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("  (%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		current.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+		fmt.Printf("  (%s completed in %v)\n\n", e.id, elapsed.Round(time.Millisecond))
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8, E12, E13 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8, E12, E13, E14 or all)\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		current = nil
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON results to %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,246 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree/client"
+	"blinktree/internal/repl"
+	"blinktree/internal/server"
+	"blinktree/internal/shard"
+)
+
+// E14Replication measures what asynchronous replication delivers and
+// what it costs: follower read throughput while the primary takes
+// writes, the replication lag those writes produce, and how fast the
+// follower drains once writes stop. One primary and one follower run
+// in-process (both durable — the promotable configuration), connected
+// over TCP loopback exactly as production would be: the primary serves
+// the wire protocol, the follower streams its WAL, and reads go to the
+// follower through a read-only server via the client package.
+//
+// The claim under test: a follower serves reads at full speed
+// regardless of the primary's write rate (replication applies writes
+// through the same shard-parallel batch path, so reads contend only
+// per-shard), while lag stays bounded by the shipping pipeline, not
+// the write volume — and drains to zero promptly when writes pause.
+func E14Replication(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E14: replication — follower reads and lag vs primary write rate × shards",
+		Headers: []string{"config", "write ops/s", "follower read ops/s", "lag mean", "lag max", "catch-up ms"},
+		Notes: []string{
+			"primary + durable follower over TCP loopback; writes = batched upserts to the",
+			"primary, reads = point searches on the read-only follower (4 goroutines); lag",
+			"sampled every 10ms in records (primary WAL appends - follower applied);",
+			"catch-up = drain time to lag 0 after writes stop.",
+		},
+	}
+	for _, shards := range []int{1, 8} {
+		for _, load := range []struct {
+			name  string
+			total int
+		}{
+			{"idle", 0},
+			{"moderate", s.n(30000)},
+			{"heavy", s.n(120000)},
+		} {
+			row, err := e14Cell(shards, load.total)
+			if err != nil {
+				return err
+			}
+			tbl.Add(append([]any{fmt.Sprintf("%s s=%d", load.name, shards)}, row...)...)
+		}
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// e14Cell runs one primary/follower pair and returns the measured row:
+// write rate, follower read rate, mean lag, max lag, catch-up ms.
+func e14Cell(shards, writeOps int) ([]any, error) {
+	pdir, err := os.MkdirTemp("", "e14-primary")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(pdir)
+	fdir, err := os.MkdirTemp("", "e14-follower")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(fdir)
+
+	quiet := func(string, ...any) {}
+	rp, err := shard.NewRouter(shards, shard.Options{MinPairs: 16, Durable: true, Dir: pdir})
+	if err != nil {
+		return nil, err
+	}
+	defer rp.Close()
+	sp := server.New(rp, server.Config{Addr: "127.0.0.1:0", Logf: quiet})
+	if err := sp.Start(); err != nil {
+		return nil, err
+	}
+	defer sp.Close()
+
+	rf, err := shard.NewRouter(shards, shard.Options{MinPairs: 16, Durable: true, Dir: fdir})
+	if err != nil {
+		return nil, err
+	}
+	defer rf.Close()
+	fl, err := repl.NewFollower(rf, repl.FollowerConfig{Primary: sp.Addr().String(), Dir: fdir, Logf: quiet})
+	if err != nil {
+		return nil, err
+	}
+	fl.Start()
+	defer fl.Stop()
+	sf := server.New(rf, server.Config{Addr: "127.0.0.1:0", ReadOnly: true, OnPromote: fl.Stop, Logf: quiet})
+	if err := sf.Start(); err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+
+	ctx := context.Background()
+	clP, err := client.Dial(sp.Addr().String(), client.Options{Conns: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer clP.Close()
+	clF, err := client.Dial(sf.Addr().String(), client.Options{Conns: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer clF.Close()
+
+	// Preload so follower reads have something to hit, and wait for
+	// the bootstrap to converge before measuring.
+	const preload = 4096
+	key := func(i int) client.Key { return client.Key(uint64(i) * 11400714819323198485) }
+	pre := make([]client.Op, 0, 256)
+	for i := 0; i < preload; i += 256 {
+		pre = pre[:0]
+		for j := i; j < i+256 && j < preload; j++ {
+			pre = append(pre, client.Op{Kind: client.OpUpsert, Key: key(j), Value: client.Value(j)})
+		}
+		if _, err := clP.Batch(ctx, pre); err != nil {
+			return nil, err
+		}
+	}
+	primaryRecords := func() uint64 {
+		var n uint64
+		for i := 0; i < shards; i++ {
+			n += rp.Engine(i).WAL().Stats().Records
+		}
+		return n
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for fl.Stats().Applied < primaryRecords() {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("e14: follower never caught up with the preload")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Measurement window: writers (if any) + follower readers + lag
+	// sampler run together; the window ends when the writer finishes
+	// (or after 500ms when idle).
+	var reads atomic.Uint64
+	writersDone := make(chan struct{})
+	stopReads := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := g
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				if _, err := clF.Search(ctx, key(i%preload)); err != nil {
+					return
+				}
+				i += 7
+				reads.Add(1)
+			}
+		}(g)
+	}
+	var lagSum, lagMax, lagSamples uint64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-writersDone:
+				return
+			case <-tick.C:
+				p, a := primaryRecords(), fl.Stats().Applied
+				lag := uint64(0)
+				if p > a {
+					lag = p - a
+				}
+				lagSum += lag
+				lagSamples++
+				if lag > lagMax {
+					lagMax = lag
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	written := 0
+	if writeOps > 0 {
+		ops := make([]client.Op, 64)
+		for written < writeOps {
+			n := min(64, writeOps-written)
+			for j := 0; j < n; j++ {
+				ops[j] = client.Op{Kind: client.OpUpsert, Key: key((written + j) % preload), Value: client.Value(j)}
+			}
+			if _, err := clP.Batch(ctx, ops[:n]); err != nil {
+				return nil, err
+			}
+			written += n
+		}
+	} else {
+		time.Sleep(500 * time.Millisecond)
+	}
+	writeWindow := time.Since(start)
+	close(writersDone)
+
+	// Catch-up: writes have stopped; how long until lag drains?
+	catchStart := time.Now()
+	target := primaryRecords()
+	for fl.Stats().Applied < target {
+		if time.Since(catchStart) > 30*time.Second {
+			return nil, fmt.Errorf("e14: follower never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	catchup := time.Since(catchStart)
+	close(stopReads)
+	wg.Wait()
+
+	writeRate := "0"
+	if writeOps > 0 {
+		writeRate = fmt.Sprintf("%.0f", float64(written)/writeWindow.Seconds())
+	}
+	lagMean := float64(0)
+	if lagSamples > 0 {
+		lagMean = float64(lagSum) / float64(lagSamples)
+	}
+	return []any{
+		writeRate,
+		fmt.Sprintf("%.0f", float64(reads.Load())/writeWindow.Seconds()),
+		fmt.Sprintf("%.0f", lagMean),
+		fmt.Sprintf("%d", lagMax),
+		fmt.Sprintf("%.1f", float64(catchup.Microseconds())/1000),
+	}, nil
+}

@@ -252,6 +252,15 @@ type Table struct {
 	Notes   []string
 }
 
+// capture, when set, receives every table as it renders — the hook
+// sagivbench uses to emit machine-readable results next to the text
+// report without threading a collector through every experiment.
+var capture func(*Table)
+
+// SetCapture installs fn to observe every rendered table (nil
+// uninstalls). Not safe to change while experiments run.
+func SetCapture(fn func(*Table)) { capture = fn }
+
 // Add appends a row, formatting each cell with %v.
 func (t *Table) Add(cells ...any) {
 	row := make([]string, len(cells))
@@ -268,6 +277,9 @@ func (t *Table) Add(cells ...any) {
 
 // Render writes the aligned table to w.
 func (t *Table) Render(w io.Writer) {
+	if capture != nil {
+		capture(t)
+	}
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
 		widths[i] = len(h)

@@ -1,0 +1,514 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree/internal/base"
+	"blinktree/internal/shard"
+	"blinktree/internal/wal"
+	"blinktree/internal/wire"
+)
+
+// PositionsFile is the name of the follower's durable position record,
+// stored beside the per-shard WAL directories.
+const PositionsFile = "replpos"
+
+// FollowerConfig tunes a Follower. Primary is required; everything
+// else defaults.
+type FollowerConfig struct {
+	// Primary is the primary server's wire address (host:port).
+	Primary string
+	// Dir is where per-shard positions persist (the follower's
+	// durability directory). Empty = positions live only in memory:
+	// every restart bootstraps from a fresh snapshot.
+	Dir string
+	// DialTimeout bounds each dial + handshake. Default 5s.
+	DialTimeout time.Duration
+	// Backoff is the initial reconnect delay after a broken session;
+	// it doubles up to 4s. Default 250ms.
+	Backoff time.Duration
+	// AckEvery is how many applied records between acks (and position
+	// persists). Default 1024.
+	AckEvery int
+	// Logf receives connection-level notices. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (c *FollowerConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 250 * time.Millisecond
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 1024
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// FollowerStats is a snapshot of a follower's replication counters.
+type FollowerStats struct {
+	// Applied counts records applied over the follower's lifetime
+	// (including snapshot bootstrap pairs).
+	Applied uint64
+	// Resets counts snapshot bootstraps (fresh start, or the primary
+	// checkpointed past this follower's position).
+	Resets uint64
+	// Connected reports a live session with the primary.
+	Connected bool
+	// Positions are the current per-shard WAL positions.
+	Positions []Position
+	// LastErr is the most recent session error ("" when none).
+	LastErr string
+}
+
+// Follower replicates a primary's WAL into a local Router: it dials,
+// handshakes OpFollow with its durable per-shard positions, applies
+// the streamed records through ApplyBatch — on a durable router that
+// appends to the follower's own WAL and group-commits, which is what
+// makes the follower promotable — and acknowledges periodically.
+// Broken sessions reconnect with backoff and resume from the acked
+// positions; re-applied records are idempotent by the WAL's replay
+// contract.
+type Follower struct {
+	r   *shard.Router
+	cfg FollowerConfig
+
+	mu      sync.Mutex
+	pos     []Position
+	lastErr string
+
+	applied   atomic.Uint64
+	resets    atomic.Uint64
+	connected atomic.Bool
+
+	stopMu  sync.Mutex // serializes Stop (e.g. concurrent promotions)
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewFollower prepares a follower for r, loading persisted positions
+// from cfg.Dir when present. A missing, torn, or mismatched position
+// file degrades to a fresh bootstrap — never an error.
+func NewFollower(r *shard.Router, cfg FollowerConfig) (*Follower, error) {
+	if cfg.Primary == "" {
+		return nil, errors.New("repl: FollowerConfig.Primary required")
+	}
+	cfg.fill()
+	f := &Follower{
+		r:    r,
+		cfg:  cfg,
+		pos:  make([]Position, r.Shards()),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.Dir != "" {
+		if pos, ok := loadPositions(filepath.Join(cfg.Dir, PositionsFile), r.Shards()); ok {
+			f.pos = pos
+		}
+	}
+	return f, nil
+}
+
+// Start launches the replication loop. Safe against a racing Stop:
+// a follower stopped (e.g. promoted) before Start simply never runs.
+func (f *Follower) Start() {
+	f.stopMu.Lock()
+	defer f.stopMu.Unlock()
+	if f.started {
+		return // already running, or Stop won the race and closed done
+	}
+	f.started = true
+	go f.run()
+}
+
+// Stop ends replication: the session closes, positions persist, and
+// Stop returns once the loop has exited. Idempotent and safe for
+// concurrent use (two clients racing to promote call it together).
+// Promotion is Stop plus whatever the serving layer does to accept
+// writes.
+func (f *Follower) Stop() error {
+	f.stopMu.Lock()
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	if !f.started {
+		close(f.done)
+		f.started = true
+	}
+	f.stopMu.Unlock()
+	<-f.done
+	return f.persistPositions()
+}
+
+// Stats returns a snapshot of the follower's counters.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	pos := append([]Position(nil), f.pos...)
+	lastErr := f.lastErr
+	f.mu.Unlock()
+	return FollowerStats{
+		Applied:   f.applied.Load(),
+		Resets:    f.resets.Load(),
+		Connected: f.connected.Load(),
+		Positions: pos,
+		LastErr:   lastErr,
+	}
+}
+
+// run is the reconnect loop.
+func (f *Follower) run() {
+	defer close(f.done)
+	backoff := f.cfg.Backoff
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		progressed, err := f.session()
+		if err == nil {
+			return // clean stop
+		}
+		f.mu.Lock()
+		f.lastErr = err.Error()
+		f.mu.Unlock()
+		if errors.Is(err, errPermanent) {
+			f.cfg.Logf("repl follower: %v — giving up (fix the configuration and restart)", err)
+			return
+		}
+		if progressed {
+			backoff = f.cfg.Backoff
+		}
+		f.cfg.Logf("repl follower: %v (reconnecting in %v)", err, backoff)
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 4*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// errPermanent wraps handshake rejections that retrying cannot fix
+// (shard-count mismatch, volatile primary).
+var errPermanent = errors.New("permanent")
+
+// session runs one connection: dial, handshake, apply until the
+// connection dies or stop closes. It returns (_, nil) only on clean
+// stop; progressed reports whether any record was applied (resets the
+// reconnect backoff).
+func (f *Follower) session() (progressed bool, err error) {
+	nc, err := net.DialTimeout("tcp", f.cfg.Primary, f.cfg.DialTimeout)
+	if err != nil {
+		return false, err
+	}
+	defer nc.Close()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	nc.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
+	if err := wire.WriteHello(nc); err != nil {
+		return false, err
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 16<<10)
+	if _, err := wire.ReadHello(br); err != nil {
+		return false, fmt.Errorf("repl: hello: %w", err)
+	}
+
+	// Handshake: ship our positions, expect OK + the primary's shard
+	// count (already validated server-side; double-checked here).
+	var enc wire.Buf
+	f.mu.Lock()
+	AppendFollowRequest(&enc, f.pos)
+	f.mu.Unlock()
+	if err := wire.WriteFrame(nc, 1, wire.OpFollow, enc.B); err != nil {
+		return false, err
+	}
+	_, status, payload, err := wire.ReadFrame(br, nil)
+	if err != nil {
+		return false, fmt.Errorf("repl: handshake: %w", err)
+	}
+	if status != wire.StatusOK {
+		err := wire.StatusError(status, string(payload))
+		if status == wire.StatusBadRequest {
+			return false, fmt.Errorf("%w: primary rejected follow: %v", errPermanent, err)
+		}
+		return false, fmt.Errorf("repl: primary rejected follow: %w", err)
+	}
+	d := wire.Dec{B: payload}
+	if n := int(d.U32()); d.Err != nil || n != f.r.Shards() {
+		return false, fmt.Errorf("%w: primary has %d shards, follower has %d", errPermanent, n, f.r.Shards())
+	}
+	nc.SetDeadline(time.Time{})
+	f.connected.Store(true)
+	defer f.connected.Store(false)
+	f.mu.Lock()
+	f.lastErr = ""
+	f.mu.Unlock()
+
+	return f.apply(nc, br, bw)
+}
+
+// apply is the session's frame loop. Acks carry the record count
+// applied within THIS session, matching the feed's shipped counter for
+// lag accounting; positions in the ack are the durable resume points.
+func (f *Follower) apply(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (progressed bool, err error) {
+	var (
+		scratch        []byte
+		recs           []wal.Record
+		ops            []shard.Op
+		enc            wire.Buf
+		sessionApplied uint64
+		sinceAck       int
+	)
+	sendAck := func() error {
+		f.mu.Lock()
+		appendAck(&enc, f.pos, sessionApplied)
+		f.mu.Unlock()
+		if err := wire.WriteFrame(bw, 0, wire.FrameAck, enc.B); err != nil {
+			return err
+		}
+		nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		sinceAck = 0
+		return f.persistPositions()
+	}
+	handle := func(id uint64, code uint8, payload []byte) error {
+		sh := int(id)
+		if sh < 0 || sh >= f.r.Shards() {
+			return fmt.Errorf("repl: frame for shard %d of %d", sh, f.r.Shards())
+		}
+		switch code {
+		case wire.FrameRecords:
+			seg, endOff, rs, err := decodeRecords(payload, recs[:0])
+			if err != nil {
+				return err
+			}
+			recs = rs
+			if err := f.applyRecords(recs, &ops); err != nil {
+				return err
+			}
+			if seg != 0 {
+				f.mu.Lock()
+				f.pos[sh] = Position{Seg: seg, Off: endOff}
+				f.mu.Unlock()
+			}
+			f.applied.Add(uint64(len(recs)))
+			sessionApplied += uint64(len(recs))
+			sinceAck += len(recs)
+			progressed = true
+			if sinceAck >= f.cfg.AckEvery {
+				return sendAck()
+			}
+			return nil
+		case wire.FrameReset:
+			f.resets.Add(1)
+			return f.wipeShard(sh)
+		case wire.FrameSnapEnd:
+			d := wire.Dec{B: payload}
+			seg := d.U64()
+			if !d.Done() || seg == 0 {
+				return fmt.Errorf("repl: malformed snap-end frame")
+			}
+			f.mu.Lock()
+			f.pos[sh] = Position{Seg: seg, Off: wal.SegmentHeaderLen}
+			f.mu.Unlock()
+			return sendAck()
+		default:
+			return fmt.Errorf("repl: unexpected frame code %d", code)
+		}
+	}
+	// drainBuffered processes the complete frames already sitting in
+	// the read buffer. Stopping without this could drop a received
+	// FrameSnapEnd, losing a just-finished bootstrap's position commit
+	// and forcing a needless re-bootstrap on the next session.
+	drainBuffered := func() error {
+		for br.Buffered() >= 4 {
+			p, err := br.Peek(4)
+			if err != nil {
+				return nil
+			}
+			flen := int(binary.LittleEndian.Uint32(p))
+			if flen < 9 || flen > wire.MaxFrame+9 || br.Buffered() < 4+flen {
+				return nil
+			}
+			id, code, payload, err := wire.ReadFrame(br, scratch)
+			if err != nil {
+				return nil
+			}
+			if cap(payload) > cap(scratch) {
+				scratch = payload[:0]
+			}
+			if err := handle(id, code, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		// Deadline expiry is only taken on Peek — which never consumes —
+		// so waking to observe stop cannot tear a frame (the same
+		// discipline as the server's gather loop).
+		select {
+		case <-f.stop:
+			if err := drainBuffered(); err != nil {
+				return progressed, err
+			}
+			if sinceAck > 0 {
+				sendAck() //nolint:errcheck // best effort on the way out
+			}
+			return progressed, nil
+		default:
+		}
+		nc.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		if _, err := br.Peek(4); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				if sinceAck > 0 {
+					if err := sendAck(); err != nil {
+						return progressed, err
+					}
+				}
+				continue
+			}
+			return progressed, err
+		}
+		nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+		id, code, payload, err := wire.ReadFrame(br, scratch)
+		if err != nil {
+			return progressed, err
+		}
+		if cap(payload) > cap(scratch) {
+			scratch = payload[:0]
+		}
+		if err := handle(id, code, payload); err != nil {
+			return progressed, err
+		}
+	}
+}
+
+// applyRecords re-applies one frame's records through the router —
+// puts as upserts, dels as delete-if-present — exactly the WAL replay
+// contract, which is what makes at-least-once delivery safe.
+func (f *Follower) applyRecords(recs []wal.Record, ops *[]shard.Op) error {
+	*ops = (*ops)[:0]
+	for _, r := range recs {
+		switch r.Kind {
+		case wal.KindPut:
+			*ops = append(*ops, shard.Op{Kind: shard.OpUpsert, Key: r.Key, Value: r.Value})
+		case wal.KindDel:
+			*ops = append(*ops, shard.Op{Kind: shard.OpDelete, Key: r.Key})
+		}
+	}
+	for i, res := range f.r.ApplyBatch(*ops) {
+		if res.Err != nil && !((*ops)[i].Kind == shard.OpDelete && errors.Is(res.Err, base.ErrNotFound)) {
+			return fmt.Errorf("repl: apply record: %w", res.Err)
+		}
+	}
+	return nil
+}
+
+// wipeShard deletes every pair in shard sh's span ahead of a snapshot
+// bootstrap. Deletes route through ApplyBatch so a durable follower
+// logs them — its own recovery must not resurrect wiped pairs.
+func (f *Follower) wipeShard(sh int) error {
+	lo, hi := f.r.ShardSpan(sh)
+	keys := make([]base.Key, 0, 2048)
+	ops := make([]shard.Op, 0, 2048)
+	for {
+		keys = keys[:0]
+		err := f.r.Range(lo, hi, func(k base.Key, _ base.Value) bool {
+			keys = append(keys, k)
+			return len(keys) < 2048
+		})
+		if err != nil {
+			return err
+		}
+		if len(keys) == 0 {
+			return nil
+		}
+		ops = ops[:0]
+		for _, k := range keys {
+			ops = append(ops, shard.Op{Kind: shard.OpDelete, Key: k})
+		}
+		for _, res := range f.r.ApplyBatch(ops) {
+			if res.Err != nil && !errors.Is(res.Err, base.ErrNotFound) {
+				return fmt.Errorf("repl: wipe shard %d: %w", sh, res.Err)
+			}
+		}
+	}
+}
+
+// persistPositions atomically rewrites the position file (no-op
+// without a Dir) through wal.WriteFileDurable — a crash leaves either
+// the old file or the new one, and a torn file fails its CRC and
+// degrades to a bootstrap.
+func (f *Follower) persistPositions() error {
+	if f.cfg.Dir == "" {
+		return nil
+	}
+	f.mu.Lock()
+	pos := append([]Position(nil), f.pos...)
+	f.mu.Unlock()
+	buf := make([]byte, 0, 16+16*len(pos))
+	buf = append(buf, 'B', 'L', 'R', 'P')
+	buf = binary.LittleEndian.AppendUint32(buf, 1)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pos)))
+	for _, p := range pos {
+		buf = binary.LittleEndian.AppendUint64(buf, p.Seg)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Off))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crc32.MakeTable(crc32.Castagnoli)))
+	return wal.WriteFileDurable(filepath.Join(f.cfg.Dir, PositionsFile), buf)
+}
+
+// loadPositions reads a persisted position file; ok=false (fresh
+// bootstrap) for a missing, torn, or mismatched file.
+func loadPositions(path string, shards int) ([]Position, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	if len(data) < 16 || string(data[0:4]) != "BLRP" ||
+		binary.LittleEndian.Uint32(data[4:8]) != 1 {
+		return nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:12]))
+	if n != shards || len(data) != 12+16*n+4 {
+		return nil, false
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)) != sum {
+		return nil, false
+	}
+	pos := make([]Position, n)
+	for i := range pos {
+		o := 12 + 16*i
+		pos[i] = Position{
+			Seg: binary.LittleEndian.Uint64(data[o:]),
+			Off: int64(binary.LittleEndian.Uint64(data[o+8:])),
+		}
+	}
+	return pos, true
+}

@@ -1,0 +1,160 @@
+// Package repl is the asynchronous replication subsystem: WAL shipping
+// from a durable primary to read replicas over the wire protocol's
+// follower stream (docs/protocol.md).
+//
+// The design reuses the two guarantees the durability subsystem
+// already establishes. First, the per-shard WAL is a prefix-consistent
+// record of every acknowledged mutation in apply order, so a follower
+// that replays a WAL prefix holds exactly a past state of that shard.
+// Second, replay is idempotent — puts re-apply as upserts, dels as
+// delete-if-present — so records may be shipped, applied, and (after a
+// follower restart) re-shipped at-least-once without coordination.
+// Together they reduce replication to tailing segment files and
+// re-running recovery continuously on another machine: the same
+// argument Sagiv's §5.2 makes for crash recovery (correctness from the
+// structure's invariants plus idempotent re-application, not mutual
+// exclusion) carried over the network.
+//
+// Primary side (Feed, one per follower connection): a wal.TailReader
+// per shard reads committed records straight from the segment files —
+// concurrently with the committer, trusting only CRC-valid prefixes —
+// and ships them as FrameRecords. When a follower's position predates
+// the oldest surviving segment (a fresh follower, or one that slept
+// through a checkpoint's truncation), the feed bootstraps the shard:
+// FrameReset, a fuzzy state snapshot via Engine.StreamState (rotate,
+// scan concurrent with writers), FrameSnapEnd carrying the resume
+// segment. Backpressure is ack-based: the feed pauses once the
+// shipped-minus-acked record window fills, so a slow follower bounds
+// the primary's buffering, never its write path.
+//
+// Replica side (Follower): dials the primary, handshakes OpFollow with
+// its durable per-shard positions, applies streamed records through
+// shard.Router.ApplyBatch — so a durable follower writes its own WAL
+// and group-commits like any other writer, making it promotable — and
+// acks periodically. Positions persist in a small CRC-guarded file
+// (atomic rename); a stale or torn position file only ever causes
+// harmless re-application or a fresh bootstrap, never divergence.
+// Promotion is Stop with intent: the follower stops streaming and the
+// serving layer flips read-only off.
+package repl
+
+import (
+	"fmt"
+
+	"blinktree/internal/base"
+	"blinktree/internal/wal"
+	"blinktree/internal/wire"
+)
+
+// Position is a follower's durable location in one shard's WAL: the
+// next record to apply lives at byte Off of segment Seg. Seg 0 means
+// "fresh" — no records applied, bootstrap needed.
+type Position struct {
+	Seg uint64
+	Off int64
+}
+
+// fresh reports whether the position predates any applied record.
+func (p Position) fresh() bool { return p.Seg == 0 }
+
+// maxFrameRecords bounds records per FrameRecords frame; at 17 payload
+// bytes per record a full frame stays ~9 KiB, far under wire.MaxFrame.
+const maxFrameRecords = 512
+
+// appendRecords encodes a FrameRecords payload: the resume position
+// after the batch, then the records. Snapshot bootstrap frames pass
+// seg 0 so the follower applies without advancing its position.
+func appendRecords(b *wire.Buf, seg uint64, endOff int64, recs []wal.Record) {
+	b.Reset()
+	b.U64(seg)
+	b.U64(uint64(endOff))
+	b.U32(uint32(len(recs)))
+	for _, r := range recs {
+		b.U8(uint8(r.Kind))
+		b.U64(uint64(r.Key))
+		b.U64(uint64(r.Value))
+	}
+}
+
+// decodeRecords parses a FrameRecords payload into recs (reused).
+func decodeRecords(payload []byte, recs []wal.Record) (seg uint64, endOff int64, _ []wal.Record, err error) {
+	d := wire.Dec{B: payload}
+	seg = d.U64()
+	endOff = int64(d.U64())
+	n := int(d.U32())
+	if d.Err == nil && n > (len(payload)-20)/17 {
+		return 0, 0, nil, fmt.Errorf("repl: records frame count %d exceeds payload", n)
+	}
+	for i := 0; i < n; i++ {
+		r := wal.Record{
+			Kind:  wal.Kind(d.U8()),
+			Key:   base.Key(d.U64()),
+			Value: base.Value(d.U64()),
+		}
+		if r.Kind != wal.KindPut && r.Kind != wal.KindDel {
+			return 0, 0, nil, fmt.Errorf("repl: unknown record kind %d", r.Kind)
+		}
+		recs = append(recs, r)
+	}
+	if !d.Done() {
+		return 0, 0, nil, fmt.Errorf("repl: malformed records frame")
+	}
+	return seg, endOff, recs, nil
+}
+
+// appendAck encodes a FrameAck payload.
+func appendAck(b *wire.Buf, pos []Position, applied uint64) {
+	b.Reset()
+	b.U32(uint32(len(pos)))
+	for _, p := range pos {
+		b.U64(p.Seg)
+		b.U64(uint64(p.Off))
+	}
+	b.U64(applied)
+}
+
+// decodeAck parses a FrameAck payload; shards is the expected count.
+func decodeAck(payload []byte, shards int) (pos []Position, applied uint64, err error) {
+	d := wire.Dec{B: payload}
+	n := int(d.U32())
+	if d.Err != nil || n != shards {
+		return nil, 0, fmt.Errorf("repl: ack for %d shards, want %d", n, shards)
+	}
+	pos = make([]Position, n)
+	for i := range pos {
+		pos[i] = Position{Seg: d.U64(), Off: int64(d.U64())}
+	}
+	applied = d.U64()
+	if !d.Done() {
+		return nil, 0, fmt.Errorf("repl: malformed ack frame")
+	}
+	return pos, applied, nil
+}
+
+// DecodeFollowRequest parses an OpFollow payload into per-shard
+// positions, validating the count against the serving router's.
+func DecodeFollowRequest(payload []byte, shards int) ([]Position, error) {
+	d := wire.Dec{B: payload}
+	n := int(d.U32())
+	if d.Err != nil || n != shards {
+		return nil, fmt.Errorf("follower has %d shards, primary has %d (shard counts must match)", n, shards)
+	}
+	pos := make([]Position, n)
+	for i := range pos {
+		pos[i] = Position{Seg: d.U64(), Off: int64(d.U64())}
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("malformed follow payload")
+	}
+	return pos, nil
+}
+
+// AppendFollowRequest encodes an OpFollow payload.
+func AppendFollowRequest(b *wire.Buf, pos []Position) {
+	b.Reset()
+	b.U32(uint32(len(pos)))
+	for _, p := range pos {
+		b.U64(p.Seg)
+		b.U64(uint64(p.Off))
+	}
+}

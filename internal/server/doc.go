@@ -35,6 +35,14 @@
 // requests are flushed), and force-closes stragglers after
 // Config.DrainTimeout.
 //
+// Replication rides the same front-end. A durable server accepts
+// OpFollow handshakes and hands those connections to internal/repl
+// feeds (WAL shipping with ack-based backpressure; lag surfaces on
+// /metrics). Started with Config.ReadOnly, the server is a follower:
+// mutations answer StatusReadOnly while reads serve normally, until
+// an OpPromote request runs Config.OnPromote and flips it writable —
+// the failover path cmd/blinkserver wires to a repl.Follower.
+//
 // The package deliberately depends on shard.Router, not on the public
 // facade, so the facade, the harness and the benchmarks can all embed
 // a Server without an import cycle. cmd/blinkserver is the thin

@@ -84,4 +84,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		routed := st.Searches + st.Inserts + st.Deletes + st.Upserts + st.Updates + st.Cas + st.Scans + st.BatchOps
 		fmt.Fprintf(w, "blinkshard_routed_ops_total{shard=\"%d\"} %d\n", st.Shard, routed)
 	}
+
+	// Replication: this server's role plus one lag gauge per live
+	// follower feed (records shipped but not yet acknowledged).
+	ro := int64(0)
+	if s.readOnly.Load() {
+		ro = 1
+	}
+	gauge("read_only", "1 while this server is a read-only follower", ro)
+	feeds := s.feeds.Snapshot()
+	gauge("followers", "live follower feeds", int64(len(feeds)))
+	fmt.Fprintf(w, "# HELP blinkrepl_shipped_records_total records shipped per follower\n# TYPE blinkrepl_shipped_records_total counter\n")
+	for _, fs := range feeds {
+		fmt.Fprintf(w, "blinkrepl_shipped_records_total{follower=%q} %d\n", fs.Remote, fs.Shipped)
+	}
+	fmt.Fprintf(w, "# HELP blinkrepl_lag_records records shipped but not yet acknowledged, per follower\n# TYPE blinkrepl_lag_records gauge\n")
+	for _, fs := range feeds {
+		fmt.Fprintf(w, "blinkrepl_lag_records{follower=%q} %d\n", fs.Remote, fs.Lag())
+	}
+	fmt.Fprintf(w, "# HELP blinkrepl_resets_total snapshot bootstraps served, per follower\n# TYPE blinkrepl_resets_total counter\n")
+	for _, fs := range feeds {
+		fmt.Fprintf(w, "blinkrepl_resets_total{follower=%q} %d\n", fs.Remote, fs.Resets)
+	}
 }

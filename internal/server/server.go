@@ -14,6 +14,7 @@ import (
 
 	"blinktree/internal/base"
 	"blinktree/internal/metrics"
+	"blinktree/internal/repl"
 	"blinktree/internal/shard"
 	"blinktree/internal/wire"
 )
@@ -49,6 +50,20 @@ type Config struct {
 	IdleTimeout time.Duration
 	// Logf receives connection-level errors. Default: os.Stderr.
 	Logf func(format string, args ...any)
+	// ReadOnly starts the server refusing mutations with
+	// StatusReadOnly — follower mode. Reads, scans, stats and
+	// checkpoints (of the follower's own WAL) still serve. Cleared by
+	// an OpPromote request.
+	ReadOnly bool
+	// OnPromote, when set, runs when an OpPromote request arrives and
+	// the server is read-only — the hook that stops the local
+	// replication Follower. The server becomes writable only if it
+	// returns nil.
+	OnPromote func() error
+	// FollowWindow is the per-follower-feed backpressure bound: the
+	// maximum number of shipped-but-unacknowledged records before a
+	// feed pauses. Default 65536.
+	FollowWindow int
 }
 
 func (c *Config) fill() {
@@ -113,8 +128,12 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
-	closed atomic.Bool // accepting stopped
-	drain  atomic.Bool // connections should finish their poll and exit
+	closed atomic.Bool   // accepting stopped
+	drain  atomic.Bool   // connections should finish their poll and exit
+	stopCh chan struct{} // closed with drain; wakes blocking loops (feeds)
+
+	readOnly atomic.Bool   // follower mode: mutations refused
+	feeds    repl.Registry // live follower feeds, for /metrics
 
 	// Metrics is live while the server runs; read-only for callers.
 	Metrics Metrics
@@ -127,8 +146,18 @@ var errDraining = errors.New("server: draining")
 // caller: Close drains connections but does not close r.
 func New(r *shard.Router, cfg Config) *Server {
 	cfg.fill()
-	return &Server{r: r, cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s := &Server{r: r, cfg: cfg, conns: make(map[net.Conn]struct{}), stopCh: make(chan struct{})}
+	s.readOnly.Store(cfg.ReadOnly)
+	return s
 }
+
+// ReadOnly reports whether the server is refusing mutations (follower
+// mode, before promotion).
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// ReplStats snapshots the live follower feeds (empty when nothing
+// follows this server).
+func (s *Server) ReplStats() []repl.FeedStats { return s.feeds.Snapshot() }
 
 // Start begins listening and accepting. It returns once the listeners
 // are bound; serving happens on background goroutines.
@@ -160,6 +189,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.drain.Store(true)
+	close(s.stopCh)
 	err := s.ln.Close()
 	if s.httpLn != nil {
 		s.httpLn.Close()
@@ -249,6 +279,18 @@ func (s *Server) handleConn(nc net.Conn) {
 			s.Metrics.PollLat.Observe(time.Since(start))
 			s.Metrics.Polls.Inc()
 		}
+		if c.followPos != nil {
+			// The poll carried an accepted OpFollow (response flushed
+			// above): the connection now belongs to the replication
+			// feed until the follower disconnects or the server drains.
+			err := repl.ServeFeed(nc, br, bw, s.r,
+				c.followPos, repl.FeedConfig{Window: s.cfg.FollowWindow, Logf: s.cfg.Logf},
+				s.stopCh, &s.feeds)
+			if err != nil && !isCleanClose(err) {
+				s.cfg.Logf("follower %s: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
 		if gerr != nil {
 			if errors.Is(gerr, errDraining) {
 				// Answer any requests already buffered with
@@ -302,6 +344,9 @@ type connState struct {
 	enc     wire.Buf   // response payload scratch
 	pool    []byte     // payload arena for the current poll
 	scratch []byte     // frame read scratch, grown to the largest frame seen
+	// followPos, set by an accepted OpFollow, hands the connection to
+	// the replication feed once the poll's responses are flushed.
+	followPos []repl.Position
 	// skipWait disables the coalesce wait after a window expired dry
 	// (nothing more can arrive while callers await responses);
 	// pollSeq re-samples it every 32nd poll.
@@ -441,7 +486,11 @@ func (s *Server) execute(c *connState) {
 	s.Metrics.Requests.Add(uint64(len(c.reqs)))
 	var results []shard.Result
 	if len(c.ops) > 0 {
-		results = s.r.ApplyBatch(c.ops)
+		if s.readOnly.Load() {
+			results = s.applyReadOnly(c.ops)
+		} else {
+			results = s.r.ApplyBatch(c.ops)
+		}
 		s.Metrics.BatchOps.Add(uint64(len(c.ops)))
 	}
 	next := 0 // cursor over c.opRq/results, aligned with request order
@@ -454,6 +503,29 @@ func (s *Server) execute(c *connState) {
 		}
 		s.serveUnit(c, rq)
 	}
+}
+
+// applyReadOnly executes a point-op batch on a follower: searches
+// still fuse into one shard-parallel batch; every mutation answers
+// StatusReadOnly without touching the index.
+func (s *Server) applyReadOnly(ops []shard.Op) []shard.Result {
+	results := make([]shard.Result, len(ops))
+	var reads []shard.Op
+	var readIdx []int
+	for j, op := range ops {
+		if op.Kind == shard.OpSearch {
+			reads = append(reads, op)
+			readIdx = append(readIdx, j)
+		} else {
+			results[j].Err = wire.ErrReadOnly
+		}
+	}
+	if len(reads) > 0 {
+		for jj, res := range s.r.ApplyBatch(reads) {
+			results[readIdx[jj]] = res
+		}
+	}
+	return results
 }
 
 // decodePoint maps a point-op request to its ApplyBatch slot. ok is
@@ -538,6 +610,10 @@ func (s *Server) serveUnit(c *connState, rq *request) {
 		s.serveScan(c, rq.id, lo, hi, int(limit))
 	case wire.OpBatch:
 		s.serveBatch(c, rq)
+	case wire.OpFollow:
+		s.serveFollow(c, rq)
+	case wire.OpPromote:
+		s.servePromote(c, rq)
 	default:
 		// Unknown ops and point ops whose payload failed to decode.
 		s.badRequest(c, rq.id, fmt.Sprintf("unknown op %d or malformed payload", rq.op))
@@ -603,7 +679,12 @@ func (s *Server) serveBatch(c *connState, rq *request) {
 		}
 		ops[i] = shard.Op{Kind: sk, Key: key, Value: val, Old: old}
 	}
-	results := s.r.ApplyBatch(ops)
+	var results []shard.Result
+	if s.readOnly.Load() {
+		results = s.applyReadOnly(ops)
+	} else {
+		results = s.r.ApplyBatch(ops)
+	}
 	s.Metrics.BatchOps.Add(uint64(n))
 	c.enc.Reset()
 	for i := range results {
@@ -611,6 +692,46 @@ func (s *Server) serveBatch(c *connState, rq *request) {
 		c.enc.U64(uint64(results[i].Value))
 		c.enc.U8(boolByte(results[i].OK))
 	}
+	s.writeFrame(c, rq.id, wire.StatusOK, c.enc.B)
+}
+
+// serveFollow validates a replication handshake and arms the feed
+// handoff: the OK response (carrying the shard count) is written into
+// the poll's response buffer, and once the poll flushes, handleConn
+// hands the connection to repl.ServeFeed.
+func (s *Server) serveFollow(c *connState, rq *request) {
+	if !s.r.Durable() {
+		s.badRequest(c, rq.id, "follow requires a durable primary (-durable)")
+		return
+	}
+	pos, err := repl.DecodeFollowRequest(rq.payload, s.r.Shards())
+	if err != nil {
+		s.badRequest(c, rq.id, err.Error())
+		return
+	}
+	c.followPos = pos
+	c.enc.Reset()
+	c.enc.U32(uint32(s.r.Shards()))
+	s.writeFrame(c, rq.id, wire.StatusOK, c.enc.B)
+}
+
+// servePromote flips a read-only follower writable, stopping its
+// replication Follower through the OnPromote hook first. On a server
+// that was not read-only it reports was=0 and changes nothing.
+func (s *Server) servePromote(c *connState, rq *request) {
+	was := s.readOnly.Load()
+	if was {
+		if s.cfg.OnPromote != nil {
+			if err := s.cfg.OnPromote(); err != nil {
+				s.writeErr(c, rq.id, err)
+				return
+			}
+		}
+		s.readOnly.Store(false)
+		s.cfg.Logf("promoted: now accepting writes")
+	}
+	c.enc.Reset()
+	c.enc.U8(boolByte(was))
 	s.writeFrame(c, rq.id, wire.StatusOK, c.enc.B)
 }
 

@@ -357,6 +357,52 @@ func (e *Engine) Checkpoint() error {
 	return nil
 }
 
+// WAL returns the engine's write-ahead log, or nil when the engine is
+// volatile. Replication tails it through wal.TailReader; everything
+// else should go through the operation surface.
+func (e *Engine) WAL() *wal.Log { return e.wal }
+
+// WALDir returns the engine's durability directory ("" when volatile).
+func (e *Engine) WALDir() string { return e.dir }
+
+// StreamState is the replication bootstrap's counterpart of
+// Checkpoint: it rotates the log to a fresh segment, streams a fuzzy
+// snapshot of the current pairs through send, and returns the segment
+// id at which log streaming must resume. The same argument that makes
+// checkpoints crash-safe makes the result prefix-consistent: every
+// operation whose record landed below the returned segment was fully
+// applied before the scan began and is captured by it, while
+// operations racing the scan land at or above it and re-apply
+// idempotently on top. Serializes with Checkpoint and pauses
+// background compression for the scan, for the same leftward-movement
+// reason documented there.
+func (e *Engine) StreamState(send func(base.Key, base.Value) error) (uint64, error) {
+	if e.wal == nil {
+		return 0, fmt.Errorf("blinktree: StreamState on a volatile engine")
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	seg, err := e.wal.Rotate()
+	if err != nil {
+		return 0, err
+	}
+	if e.comp != nil && e.mode == CompressionBackground {
+		e.comp.Pause()
+	}
+	var serr error
+	err = e.Tree.Range(0, base.Key(^uint64(0)), func(k base.Key, v base.Value) bool {
+		serr = send(k, v)
+		return serr == nil
+	})
+	if e.comp != nil && e.mode == CompressionBackground {
+		e.comp.Resume()
+	}
+	if err == nil {
+		err = serr
+	}
+	return seg, err
+}
+
 // CrashWAL simulates a crash for durability testing: at most partial
 // bytes of the pending commit group reach disk, unacknowledged
 // operations fail, and the engine's log becomes unusable. The engine

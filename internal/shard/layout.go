@@ -40,12 +40,5 @@ func EnsureLayout(dir string, shards int) error {
 	if !os.IsNotExist(err) {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("blinktree durable layout: shards=%d\n", shards)), 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	return wal.SyncDir(dir)
+	return wal.WriteFileDurable(path, []byte(fmt.Sprintf("blinktree durable layout: shards=%d\n", shards)))
 }

@@ -101,6 +101,18 @@ func (r *Router) lowKey(i int) base.Key { return base.Key(uint64(i) * r.stride) 
 // Metrics returns the routed-operation counters of shard i.
 func (r *Router) Metrics(i int) *OpMetrics { return &r.ms[i] }
 
+// ShardSpan returns the inclusive key range shard i owns.
+func (r *Router) ShardSpan(i int) (lo, hi base.Key) {
+	lo = r.lowKey(i)
+	if r.stride == 0 || i == len(r.engines)-1 {
+		return lo, base.Key(^uint64(0))
+	}
+	return lo, r.lowKey(i+1) - 1
+}
+
+// Durable reports whether the router's engines log to a WAL.
+func (r *Router) Durable() bool { return r.engines[0].WAL() != nil }
+
 // Insert stores v under k in k's shard.
 func (r *Router) Insert(k base.Key, v base.Value) error {
 	i := r.shardFor(k)

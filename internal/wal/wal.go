@@ -699,6 +699,34 @@ func createSegment(dir string, id uint64, sync bool) (*os.File, error) {
 	return f, nil
 }
 
+// WriteFileDurable atomically replaces path with data using the
+// write-temp → fsync → rename → fsync-dir discipline: a crash at any
+// step leaves either the old file or the complete new one, never a
+// torn mix. The small metadata files around the log (layout stamps,
+// replication positions) all go through here.
+func WriteFileDurable(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return SyncDir(filepath.Dir(path))
+}
+
 // SyncDir fsyncs a directory so renames and removals inside it are
 // durable.
 func SyncDir(dir string) error {

@@ -87,6 +87,46 @@ const (
 	// in StatsFields order. Clients must tolerate count greater than
 	// the fields they know (new fields append).
 	OpStats uint8 = 13
+	// OpFollow: shards u32 | shards × (seg u64 | off u64) →
+	// shards u32. The replication handshake: the payload carries the
+	// follower's durable per-shard WAL positions (seg 0 = fresh). On
+	// StatusOK the connection leaves request/response mode and becomes
+	// a replication stream of Frame* frames (primary → follower) and
+	// FrameAck frames (follower → primary); see docs/protocol.md.
+	// Requires a durable server and a matching shard count.
+	OpFollow uint8 = 14
+	// OpPromote: "" → was u8 (1 = the server was a follower). Stops
+	// replication and makes a read-only follower writable; a no-op
+	// (was = 0) on a server that was not following.
+	OpPromote uint8 = 15
+)
+
+// Replication stream frame codes. After an OpFollow handshake the
+// op/status byte carries these instead; the frame id carries the shard
+// index (0 for FrameAck). They live above the status range so a
+// follower can never confuse a stream frame with a late response.
+const (
+	// FrameRecords (primary→follower): seg u64 | endOff u64 |
+	// count u32 | count × (kind u8 | key u64 | value u64). The shard's
+	// next records in log order; (seg, endOff) is the WAL position
+	// after the last one — the follower's new resume position, except
+	// seg 0 which means "do not advance" (snapshot bootstrap pairs).
+	FrameRecords uint8 = 200
+	// FrameReset (primary→follower): "". The follower's position for
+	// this shard cannot be served (fresh follower, or the segments
+	// were truncated by a checkpoint): the follower must wipe the
+	// shard and apply the snapshot FrameRecords that follow.
+	FrameReset uint8 = 201
+	// FrameSnapEnd (primary→follower): seg u64. Ends a snapshot
+	// bootstrap: the shard now equals the primary's fuzzy snapshot and
+	// streaming resumes at (seg, start-of-records); only now does the
+	// follower commit the shard's position.
+	FrameSnapEnd uint8 = 202
+	// FrameAck (follower→primary): shards u32 | shards × (seg u64 |
+	// off u64) | applied u64. Periodic acknowledgement of the
+	// follower's durable positions and cumulative applied-record
+	// count; the primary uses it for lag gauges and backpressure.
+	FrameAck uint8 = 210
 )
 
 // StatsFields is the order of the u64 counters in an OpStats response:
@@ -108,6 +148,9 @@ const (
 	// StatusShutdown reports the server is draining; the client should
 	// reconnect (likely to another instance) and retry.
 	StatusShutdown uint8 = 8
+	// StatusReadOnly reports a mutation sent to a read-only follower;
+	// writes must go to the primary.
+	StatusReadOnly uint8 = 9
 )
 
 // Limits. MaxFrame bounds a single frame's payload in both directions;
@@ -130,6 +173,9 @@ var (
 	ErrVersion = errors.New("wire: unsupported protocol version")
 	// ErrFrameTooLarge reports a frame exceeding MaxFrame.
 	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	// ErrReadOnly is the sentinel for StatusReadOnly: the target is a
+	// read-only follower and mutations must go to the primary.
+	ErrReadOnly = errors.New("wire: read-only follower (writes must go to the primary)")
 )
 
 // Error is a server-reported failure that does not map to one of the
@@ -151,6 +197,8 @@ func (e *Error) Error() string {
 		name = "internal"
 	case StatusShutdown:
 		name = "shutting down"
+	case StatusReadOnly:
+		name = "read-only follower"
 	default:
 		name = fmt.Sprintf("status %d", e.Code)
 	}
@@ -173,6 +221,8 @@ func ErrStatus(err error) uint8 {
 		return StatusClosed
 	case errors.Is(err, base.ErrCorrupt):
 		return StatusCorrupt
+	case errors.Is(err, ErrReadOnly):
+		return StatusReadOnly
 	default:
 		return StatusInternal
 	}
@@ -193,6 +243,8 @@ func StatusError(code uint8, msg string) error {
 		return base.ErrClosed
 	case StatusCorrupt:
 		return base.ErrCorrupt
+	case StatusReadOnly:
+		return ErrReadOnly
 	default:
 		return &Error{Code: code, Msg: msg}
 	}
