@@ -7,6 +7,7 @@
 //	blinkserver [-addr 127.0.0.1:4640] [-http 127.0.0.1:4641]
 //	            [-shards 8] [-k 16] [-compressors 1]
 //	            [-durable] [-dir /data/idx]
+//	            [-disk-native] [-cache-bytes 67108864]
 //	            [-coalesce 200us] [-max-batch 1024] [-max-inflight 1048576]
 //	            [-follow primary:4640]
 //
@@ -16,6 +17,14 @@
 // "checkpoint + log suffix". Clients can force a checkpoint over the
 // wire (client.Checkpoint); a periodic checkpoint loop is enabled with
 // -checkpoint-every.
+//
+// With -disk-native, every shard serves its tree through a bounded
+// buffer pool (at most -cache-bytes resident per shard) over a page
+// file, so the index can be much larger than RAM. Composes with
+// -durable: the page file lives beside the WAL but stays scratch —
+// recovery is still "checkpoint + log suffix". Pool behaviour
+// (hits, misses, evictions, read-ahead, pinned high-water) is exposed
+// per shard on /metrics as blinkpool_*.
 //
 // With -follow, the server runs as an asynchronous read replica of the
 // named primary: it streams the primary's WAL, applies it locally
@@ -50,6 +59,8 @@ func main() {
 	compressors := flag.Int("compressors", 1, "background compression workers per shard")
 	durable := flag.Bool("durable", false, "group-commit WAL + crash recovery under -dir")
 	dir := flag.String("dir", "", "durability directory (required with -durable)")
+	diskNative := flag.Bool("disk-native", false, "serve through a bounded buffer pool over per-shard page files (larger-than-RAM mode)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "with -disk-native: buffer pool budget per shard")
 	coalesce := flag.Duration("coalesce", 200*time.Microsecond, "pipelining coalesce window per poll")
 	maxBatch := flag.Int("max-batch", 1024, "max requests gathered per poll")
 	maxInflight := flag.Int("max-inflight", 1<<20, "per-connection in-flight request bytes (backpressure)")
@@ -65,6 +76,8 @@ func main() {
 		CompressorWorkers: *compressors,
 		Durable:           *durable,
 		Dir:               *dir,
+		DiskNative:        *diskNative,
+		CacheBytes:        *cacheBytes,
 	}
 	r, err := shard.NewRouter(*shards, opts)
 	if err != nil {
@@ -107,6 +120,9 @@ func main() {
 	}
 	if *durable {
 		fmt.Printf(", durable in %s (%d pairs recovered)", *dir, r.Len())
+	}
+	if *diskNative {
+		fmt.Printf(", disk-native (%d KiB cache per shard)", *cacheBytes>>10)
 	}
 	if *follow != "" {
 		fmt.Printf(", following %s (read-only until promoted)", *follow)

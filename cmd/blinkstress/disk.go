@@ -1,0 +1,346 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree"
+	"blinktree/client"
+	"blinktree/internal/shard"
+)
+
+// Disk-native campaign geometry. Small pages make the tree page-count
+// large at stress-sized key populations, so a fractional cache budget
+// leaves most of the index on disk and every traversal races eviction.
+const (
+	diskKeysPer  = 1024
+	diskPageSize = 256
+	diskPairs    = 16 // encoded bytes per key/value pair
+)
+
+// runDisk is the -disk mode: the acceptance campaign for disk-native
+// serving. A real spawned server process serves a durable index
+// through the bounded buffer pool, with the pool budget set to
+// cacheRatio of the expected dataset (so at the default 10% roughly
+// nine of every ten pages live only in the page file). The claim
+// verified:
+//
+//   - under a concurrent oracle-checked workload — point ops plus
+//     range scans that exercise read-ahead — every read observes
+//     exactly the oracle state, cache misses and all;
+//   - after a kill -9 mid-run, recovery on the same directory is
+//     prefix-consistent over the wire: every acknowledged op present,
+//     zero phantoms, exactly as in the in-memory durable mode (the
+//     torn page files must contribute nothing);
+//   - the recovered index takes traffic, passes the structural
+//     invariants on a local reopen, and the pool demonstrably churned
+//     (evictions > 0, residency within budget).
+func runDisk(dur time.Duration, workers, shards, k, compressors int, dir string, cacheRatio float64) {
+	if shards < 1 {
+		fatal("disk", fmt.Errorf("-shards %d: need at least 1", shards))
+	}
+	if cacheRatio <= 0 || cacheRatio > 1 {
+		fatal("disk", fmt.Errorf("-cache-ratio %g: need (0,1]", cacheRatio))
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "blinkstress-disk")
+		if err != nil {
+			fatal("tmpdir", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	// Budget the pool against the expected on-disk footprint: pairs at
+	// ~50% page fill (leaves average between MinPairs and MaxPairs,
+	// plus internal levels). The pool floor of 4 frames still applies.
+	totalKeys := workers * diskKeysPer
+	estBytes := int64(float64(totalKeys) * diskPairs / 0.5)
+	cacheBytes := int64(cacheRatio * float64(estBytes) / float64(shards))
+	if min := int64(4 * diskPageSize); cacheBytes < min {
+		cacheBytes = min
+	}
+
+	ch := spawnServer(shards, k, compressors, true, dir, "", true, cacheBytes, diskPageSize)
+	cl, err := client.Dial(ch.addr, client.Options{Conns: 2, RetryReads: -1})
+	if err != nil {
+		fatal("dial", err)
+	}
+	fmt.Printf("blinkstress disk: %d workers, shards=%d, k=%d, keys=%d (~%d KiB), cache=%d KiB/shard (ratio %.2f), dir=%s, server=%s (pid %d), %v\n",
+		workers, shards, k, totalKeys, estBytes>>10, cacheBytes>>10, cacheRatio,
+		dir, ch.addr, ch.cmd.Process.Pid, dur)
+
+	type state struct {
+		val     client.Value
+		present bool
+	}
+	lastAcked := make([]map[uint64]state, workers)
+	attempt := make([]map[uint64]state, workers)
+	stride := ^uint64(0)/uint64(totalKeys) + 1
+	key := func(raw uint64) client.Key { return client.Key(raw * stride) }
+	ctx := context.Background()
+
+	// Preload the full key population so the dataset outweighs the
+	// cache before the stress begins: from here on the server cannot
+	// answer from residency alone.
+	for w := 0; w < workers; w++ {
+		lastAcked[w] = make(map[uint64]state)
+		attempt[w] = make(map[uint64]state)
+	}
+	var pwg sync.WaitGroup
+	var preloadErr atomic.Value
+	for w := 0; w < workers; w++ {
+		pwg.Add(1)
+		go func(w int) {
+			defer pwg.Done()
+			for i := 0; i < diskKeysPer; i++ {
+				raw := uint64(w*diskKeysPer + i)
+				v := client.Value(raw | 1)
+				if _, _, err := cl.Upsert(ctx, key(raw), v); err != nil {
+					preloadErr.Store(err)
+					return
+				}
+				lastAcked[w][raw] = state{val: v, present: true}
+			}
+		}(w)
+	}
+	pwg.Wait()
+	if err := preloadErr.Load(); err != nil {
+		fatal("preload", err.(error))
+	}
+
+	var ops, scans atomic.Uint64
+	var killed atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*104729 + 17))
+			base := uint64(w * diskKeysPer)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw := base + uint64(rng.Intn(diskKeysPer))
+				cur := lastAcked[w][raw]
+				var next state
+				var err error
+				switch {
+				case rng.Intn(10) == 0:
+					// Ordered scan of a chunk of this worker's own slice:
+					// the cursor path, read-ahead included, checked exactly
+					// (nobody else mutates these keys).
+					lo := base + uint64(rng.Intn(diskKeysPer))
+					hi := lo + 64
+					if hi > base+diskKeysPer {
+						hi = base + diskKeysPer
+					}
+					err = cl.Range(ctx, key(lo), key(hi-1)+1, 0, func(kk client.Key, v client.Value) bool {
+						raw := uint64(kk) / stride
+						if st, ok := lastAcked[w][raw]; !ok || !st.present || st.val != v {
+							fatal("disk scan", fmt.Errorf("key %d: scan sees %d, oracle %+v", raw, v, lastAcked[w][raw]))
+						}
+						return true
+					})
+					if err == nil {
+						scans.Add(1)
+						continue
+					}
+					// A scan that failed mid-crash proves nothing; drop it.
+					if killed.Load() {
+						return
+					}
+					fatal("disk scan", err)
+				case cur.present && rng.Intn(4) == 0:
+					next = state{}
+					err = cl.Delete(ctx, key(raw))
+				case cur.present && rng.Intn(3) == 0:
+					next = state{val: cur.val + 1, present: true}
+					var swapped bool
+					swapped, err = cl.CompareAndSwap(ctx, key(raw), cur.val, next.val)
+					if err == nil && !swapped {
+						fatal("disk cas", fmt.Errorf("key %d: mismatch against exact oracle", raw))
+					}
+				case rng.Intn(3) == 0:
+					var v client.Value
+					v, err = cl.Search(ctx, key(raw))
+					if err == nil {
+						if !cur.present || v != cur.val {
+							fatal("disk search", fmt.Errorf("key %d: got %d, oracle %+v", raw, v, cur))
+						}
+						ops.Add(1)
+						continue
+					}
+					if errors.Is(err, blinktree.ErrNotFound) {
+						if cur.present {
+							fatal("disk search", fmt.Errorf("key %d: absent, oracle %+v", raw, cur))
+						}
+						ops.Add(1)
+						continue
+					}
+					if killed.Load() {
+						return
+					}
+					fatal("disk search", err)
+				default:
+					next = state{val: client.Value(rng.Uint64() | 1), present: true}
+					_, _, err = cl.Upsert(ctx, key(raw), next.val)
+				}
+				if err != nil {
+					if !killed.Load() {
+						fatal("disk workload", err)
+					}
+					attempt[w][raw] = next
+					return
+				}
+				lastAcked[w][raw] = next
+				ops.Add(1)
+			}
+		}(w)
+	}
+	// Checkpoints while traffic flows: each one snapshots tree state
+	// *through* the pool, with most pages non-resident.
+	ckpts := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		period := dur / 8
+		if period < 200*time.Millisecond {
+			period = 200 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if err := cl.Checkpoint(ctx); err != nil {
+					if !killed.Load() {
+						fatal("disk checkpoint", err)
+					}
+					return
+				}
+				ckpts++
+			}
+		}
+	}()
+
+	time.Sleep(dur / 2)
+	killed.Store(true)
+	ch.kill9()
+	close(stop)
+	wg.Wait()
+	cl.Close()
+	fmt.Printf("      kill -9'd server pid %d after %d acked ops (%d oracle scans), %d checkpoints\n",
+		ch.cmd.Process.Pid, ops.Load(), scans.Load(), ckpts)
+
+	// Restart on the same directory. The page files hold whatever
+	// write-back happened to be mid-flight at the kill; recovery must
+	// ignore them entirely and rebuild from checkpoint + log suffix.
+	ch2 := spawnServer(shards, k, compressors, true, dir, "", true, cacheBytes, diskPageSize)
+	cl2, err := client.Dial(ch2.addr, client.Options{Conns: 2})
+	if err != nil {
+		fatal("redial", err)
+	}
+	verified := 0
+	for w := 0; w < workers; w++ {
+		for raw, want := range lastAcked[w] {
+			v, err := cl2.Search(ctx, key(raw))
+			if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
+				fatal("verify", err)
+			}
+			got := state{val: v, present: err == nil}
+			if got == want {
+				verified++
+				continue
+			}
+			if alt, ok := attempt[w][raw]; ok && got == alt {
+				verified++ // the in-flight op's record survived the crash
+				continue
+			}
+			fatal("verify", fmt.Errorf("key %d: recovered %+v, acked %+v, attempt %+v",
+				raw, got, want, attempt[w][raw]))
+		}
+	}
+	phantoms := 0
+	if err := cl2.Range(ctx, 0, client.Key(^uint64(0)), 0, func(kk client.Key, v client.Value) bool {
+		raw := uint64(kk) / stride
+		w := int(raw) / diskKeysPer
+		if uint64(kk)%stride != 0 || w < 0 || w >= workers {
+			phantoms++
+			return false
+		}
+		got := state{val: v, present: true}
+		if got != lastAcked[w][raw] {
+			if alt, ok := attempt[w][raw]; !ok || got != alt {
+				phantoms++
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		fatal("verify scan", err)
+	}
+	if phantoms > 0 {
+		fatal("verify", fmt.Errorf("%d phantom pairs survived recovery", phantoms))
+	}
+
+	// The recovered server must be fully live through the pool: more
+	// traffic and a checkpoint, then a graceful stop and a local reopen
+	// for the structural invariants and the pool's own accounting.
+	for i := uint64(0); i < 3000; i++ {
+		raw := i % uint64(totalKeys)
+		if _, _, err := cl2.Upsert(ctx, key(raw), client.Value(i|1)); err != nil {
+			fatal("post-recovery traffic", err)
+		}
+	}
+	if err := cl2.Checkpoint(ctx); err != nil {
+		fatal("post-recovery checkpoint", err)
+	}
+	cl2.Close()
+	ch2.stop()
+
+	r, err := shard.NewRouter(shards, shard.Options{
+		MinPairs: k, Durable: true, Dir: dir,
+		DiskNative: true, CacheBytes: cacheBytes, PageSize: diskPageSize,
+	})
+	if err != nil {
+		fatal("local reopen", err)
+	}
+	defer r.Close()
+	if err := r.Check(); err != nil {
+		fatal("post-recovery check", err)
+	}
+	st, err := r.Stats()
+	if err != nil {
+		fatal("stats", err)
+	}
+	if !st.Pooled {
+		fatal("pool", fmt.Errorf("local reopen is not pool-backed"))
+	}
+	// Recovery replay alone walks the whole tree through the tiny
+	// cache, so a pool that never evicted means the budget did not bind
+	// and the campaign proved nothing.
+	if st.Pool.Evictions == 0 {
+		fatal("pool", fmt.Errorf("no evictions with cache ratio %.2f — dataset fit in the pool: %+v", cacheRatio, st.Pool))
+	}
+	if st.Pool.Resident > st.Pool.Capacity {
+		fatal("pool", fmt.Errorf("resident %d frames exceeds capacity %d", st.Pool.Resident, st.Pool.Capacity))
+	}
+	fmt.Printf("PASS: %d oracle keys verified over the wire after kill -9, 0 phantoms\n", verified)
+	fmt.Printf("      final state: %d pairs; recovery replayed %d records above the last checkpoint\n",
+		r.Len(), st.WAL.Replayed)
+	fmt.Printf("      pool (local reopen, %d shards): capacity %d frames/shard-summed, %d hits / %d misses, %d evictions, %d writebacks, pinned high-water %d\n",
+		shards, st.Pool.Capacity, st.Pool.Hits, st.Pool.Misses,
+		st.Pool.Evictions, st.Pool.Writebacks, st.Pool.PinnedHighWater)
+}

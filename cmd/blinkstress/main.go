@@ -9,6 +9,7 @@
 //	blinkstress [-duration 10s] [-workers 8] [-compressors 2]
 //	            [-k 4] [-keys 100000] [-mix balanced] [-shards 1]
 //	            [-durable] [-dir path] [-net] [-addr host:port] [-repl]
+//	            [-disk] [-cache-ratio 0.10]
 //
 // With -shards N > 1 the keyspace is range-partitioned across N
 // independent trees (each with its own compression workers) and the
@@ -35,6 +36,16 @@
 // acknowledged write present, zero phantoms. -addr targets an
 // already-running server instead of spawning one (volatile mode
 // only).
+//
+// With -disk the stress runs the full disk-native campaign: a real
+// spawned server process serving through the bounded buffer pool over
+// page files, with the pool budget set to -cache-ratio of the expected
+// dataset (default 10%, so ~90% of pages live only on disk). Workers
+// drive an exact per-key oracle plus range scans (read-ahead), the
+// server is kill -9'd mid-run, restarted on the same directory, and
+// recovery is verified over the wire; a final local reopen checks the
+// structural invariants and asserts the pool actually churned
+// (evictions > 0). See cmd/blinkstress/disk.go for the precise claim.
 //
 // With -repl the stress exercises asynchronous replication end to
 // end: a durable primary and a durable follower (both real spawned
@@ -76,10 +87,19 @@ func main() {
 	netServe := flag.Bool("net-serve", false, "internal: run as the spawned server child of a -net parent")
 	replMode := flag.Bool("repl", false, "primary + follower pair: converge, kill -9 the primary, promote, verify")
 	followFlag := flag.String("follow", "", "internal: with -net-serve, follow this primary address")
+	diskMode := flag.Bool("disk", false, "disk-native campaign: buffer-pool-backed server, exact oracle, kill -9 + recovery")
+	cacheRatio := flag.Float64("cache-ratio", 0.10, "with -disk: pool budget as a fraction of the expected dataset")
+	diskNative := flag.Bool("disk-native", false, "internal: with -net-serve, serve through a buffer pool")
+	cacheBytes := flag.Int64("cache-bytes", 0, "internal: with -net-serve -disk-native, pool budget per shard")
+	pageSize := flag.Int("page-size", 0, "internal: with -net-serve -disk-native, page size in bytes")
 	flag.Parse()
 
 	if *netServe {
-		runNetServe(*shards, *k, *compressors, *durable, *dirFlag, *followFlag)
+		runNetServe(*shards, *k, *compressors, *durable, *dirFlag, *followFlag, *diskNative, *cacheBytes, *pageSize)
+		return
+	}
+	if *diskMode {
+		runDisk(*dur, *workers, *shards, *k, *compressors, *dirFlag, *cacheRatio)
 		return
 	}
 	if *replMode {

@@ -29,8 +29,11 @@ import (
 // "LISTENING <addr>", and serves until SIGTERM. With follow non-empty
 // the child is a read-only replica of that primary, promotable over
 // the wire.
-func runNetServe(shards, k, compressors int, durable bool, dir, follow string) {
-	opts := shard.Options{MinPairs: k, CompressorWorkers: compressors, Durable: durable, Dir: dir}
+func runNetServe(shards, k, compressors int, durable bool, dir, follow string, diskNative bool, cacheBytes int64, pageSize int) {
+	opts := shard.Options{
+		MinPairs: k, CompressorWorkers: compressors, Durable: durable, Dir: dir,
+		DiskNative: diskNative, CacheBytes: cacheBytes, PageSize: pageSize,
+	}
 	r, err := shard.NewRouter(shards, opts)
 	if err != nil {
 		fatal("child open", err)
@@ -78,7 +81,7 @@ type child struct {
 // spawnServer re-executes this binary in -net-serve mode and waits for
 // its LISTENING line. A non-empty follow spawns a read-only replica of
 // that primary address.
-func spawnServer(shards, k, compressors int, durable bool, dir, follow string) *child {
+func spawnServer(shards, k, compressors int, durable bool, dir, follow string, diskNative bool, cacheBytes int64, pageSize int) *child {
 	args := []string{
 		"-net-serve",
 		"-shards", strconv.Itoa(shards),
@@ -90,6 +93,12 @@ func spawnServer(shards, k, compressors int, durable bool, dir, follow string) *
 	}
 	if follow != "" {
 		args = append(args, "-follow", follow)
+	}
+	if diskNative {
+		args = append(args,
+			"-disk-native",
+			"-cache-bytes", strconv.FormatInt(cacheBytes, 10),
+			"-page-size", strconv.Itoa(pageSize))
 	}
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Stderr = os.Stderr
@@ -153,7 +162,7 @@ func runNet(dur time.Duration, workers, shards, k, compressors int, durable bool
 	var cl *client.Client
 	var err error
 	if addr == "" {
-		ch := spawnServer(shards, k, compressors, false, "", "")
+		ch := spawnServer(shards, k, compressors, false, "", "", false, 0, 0)
 		defer ch.stop()
 		addr = ch.addr
 	}
@@ -295,7 +304,7 @@ func runNetDurable(dur time.Duration, workers, shards, k, compressors int, dir s
 		defer os.RemoveAll(d)
 		dir = d
 	}
-	ch := spawnServer(shards, k, compressors, true, dir, "")
+	ch := spawnServer(shards, k, compressors, true, dir, "", false, 0, 0)
 	cl, err := client.Dial(ch.addr, client.Options{Conns: 2, RetryReads: -1})
 	if err != nil {
 		fatal("dial", err)
@@ -405,7 +414,7 @@ func runNetDurable(dur time.Duration, workers, shards, k, compressors int, dir s
 
 	// Restart on the same directory; recovery must reproduce exactly
 	// the acknowledged (± single in-flight) state.
-	ch2 := spawnServer(shards, k, compressors, true, dir, "")
+	ch2 := spawnServer(shards, k, compressors, true, dir, "", false, 0, 0)
 	defer ch2.stop()
 	cl2, err := client.Dial(ch2.addr, client.Options{Conns: 2})
 	if err != nil {

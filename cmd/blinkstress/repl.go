@@ -53,8 +53,8 @@ func runRepl(dur time.Duration, workers, shards, k, compressors int, dir string)
 			fatal("mkdir", err)
 		}
 	}
-	primary := spawnServer(shards, k, compressors, true, pdir, "")
-	follower := spawnServer(shards, k, compressors, true, fdir, primary.addr)
+	primary := spawnServer(shards, k, compressors, true, pdir, "", false, 0, 0)
+	follower := spawnServer(shards, k, compressors, true, fdir, primary.addr, false, 0, 0)
 	defer follower.stop()
 	cl, err := client.Dial(primary.addr, client.Options{Conns: 2})
 	if err != nil {

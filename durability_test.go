@@ -447,6 +447,163 @@ func TestDurableCrashRecovery(t *testing.T) {
 	}
 }
 
+// openDiskNative opens a durable, disk-native front-end over dir with
+// a pool far smaller than the working set (8 frames of 256-byte pages
+// per shard), so eviction write-back runs throughout every test using
+// it.
+func openDiskNative(t *testing.T, dir string, shards int) Index {
+	t.Helper()
+	opts := Options{
+		Durable: true, Dir: dir, MinPairs: 2, PageSize: 256,
+		DiskNative: true, CacheBytes: 8 * 256,
+	}
+	var idx Index
+	var err error
+	if shards > 1 {
+		idx, err = OpenSharded(shards, opts)
+	} else {
+		idx, err = Open(opts)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// TestDiskNativeCrashRecovery reruns the crash-injection harness with
+// the buffer pool in the loop: the page files absorb eviction
+// write-backs right up to the torn-write kill, and recovery must still
+// be exactly "checkpoint + log suffix" — the scratch page files must
+// contribute nothing. A mid-run checkpoint makes the recovered state
+// depend on a snapshot taken *through* the pool as well.
+func TestDiskNativeCrashRecovery(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(map[int]string{1: "tree", 4: "sharded"}[shards], func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(23 + shards)))
+			for round := 0; round < 4; round++ {
+				dir := t.TempDir()
+				idx := openDiskNative(t, dir, shards)
+
+				const workers = 4
+				const keysPer = 64
+				lastAcked := make([]map[uint64]durState, workers)
+				attempt := make([]map[uint64]durState, workers)
+				var acks atomic.Uint64
+				var wg sync.WaitGroup
+				stop := make(chan struct{})
+				for w := 0; w < workers; w++ {
+					lastAcked[w] = make(map[uint64]durState)
+					attempt[w] = make(map[uint64]durState)
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						wrng := rand.New(rand.NewSource(int64(round*100 + w)))
+						for seq := uint64(0); ; seq++ {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							i := uint64(wrng.Intn(keysPer))
+							k := uint64(w*keysPer) + i
+							cur := lastAcked[w][k]
+							var next durState
+							var err error
+							switch {
+							case cur.present && wrng.Intn(4) == 0:
+								next = durState{}
+								err = idx.Delete(stretchKey(k))
+							default:
+								next = durState{val: Value(seq)<<8 | Value(w), present: true}
+								_, _, err = idx.Upsert(stretchKey(k), next.val)
+							}
+							if err != nil {
+								attempt[w][k] = next
+								return
+							}
+							lastAcked[w][k] = next
+							acks.Add(1)
+						}
+					}(w)
+				}
+				// One range scanner keeps read-ahead and long pin chains
+				// in play while the crash lands.
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						_ = idx.Range(0, Key(^uint64(0)), func(Key, Value) bool { return true })
+					}
+				}()
+				target := uint64(200 + rng.Intn(400))
+				for deadline := time.Now().Add(2 * time.Second); acks.Load() < target/2 && time.Now().Before(deadline); {
+					time.Sleep(time.Millisecond)
+				}
+				// Fuzzy checkpoint through the pool mid-run.
+				if err := idx.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+				for deadline := time.Now().Add(2 * time.Second); acks.Load() < target && time.Now().Before(deadline); {
+					time.Sleep(time.Millisecond)
+				}
+				crashIndex(idx, rng.Intn(80))
+				close(stop)
+				wg.Wait()
+
+				re := openDiskNative(t, dir, shards)
+				for w := 0; w < workers; w++ {
+					for k, want := range lastAcked[w] {
+						got, err := re.Search(stretchKey(k))
+						if err != nil && !errors.Is(err, ErrNotFound) {
+							t.Fatal(err)
+						}
+						recovered := durState{val: got, present: err == nil}
+						if recovered == want {
+							continue
+						}
+						if alt, ok := attempt[w][k]; ok && recovered == alt {
+							continue
+						}
+						t.Fatalf("round %d worker %d key %d: recovered %+v, acked %+v, attempt %+v",
+							round, w, k, recovered, want, attempt[w][k])
+					}
+				}
+				for k, v := range re.All() {
+					raw := uint64(k) / (^uint64(0)/(1<<20) + 1)
+					w := int(raw) / keysPer
+					if w < 0 || w >= workers {
+						t.Fatalf("round %d: phantom key %d", round, raw)
+					}
+					st := durState{val: v, present: true}
+					if st != lastAcked[w][raw] {
+						if alt, ok := attempt[w][raw]; !ok || st != alt {
+							t.Fatalf("round %d: key %d has unexplained value %d", round, raw, v)
+						}
+					}
+				}
+				if err := re.Check(); err != nil {
+					t.Fatal(err)
+				}
+				st, err := re.Stats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !st.Pooled {
+					t.Fatal("disk-native index reports no pool")
+				}
+				if err := re.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestDurableTornTailEveryByte closes a tree cleanly, then truncates
 // the tail segment at every byte boundary and recovers: each recovery
 // must yield exactly the insert prefix whose records survive whole.

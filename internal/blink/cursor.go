@@ -97,6 +97,7 @@ func (c *Cursor) step() (base.Key, base.Value, bool, error) {
 		}
 		c.leaf = n
 		c.idx = 0
+		c.t.prefetchLink(n)
 	}
 }
 
@@ -112,6 +113,7 @@ func (c *Cursor) seek() error {
 	c.leaf = n
 	c.idx = 0
 	c.started = true
+	c.t.prefetchLink(n)
 	return nil
 }
 

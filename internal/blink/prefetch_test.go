@@ -1,0 +1,172 @@
+package blink
+
+import (
+	"testing"
+	"time"
+
+	"blinktree/internal/base"
+	"blinktree/internal/node"
+	"blinktree/internal/storage"
+)
+
+// newPooledTree builds a tree over a PagedStore on a tiny buffer pool,
+// returning the pool for stats probing. Small pages + small k give a
+// deep leaf chain so sequential scans hop many pages.
+func newPooledTree(t *testing.T, frames int) (*Tree, *storage.BufferPool) {
+	t.Helper()
+	pool := storage.NewBufferPool(storage.NewMemStore(256), frames)
+	st, err := node.NewPagedStore(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := New(Config{Store: st, MinPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		tr.Close()
+		if err := st.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return tr, pool
+}
+
+// waitPrefetchLoads polls until the pool has satisfied at least min
+// read-ahead loads (prefetch is asynchronous by design).
+func waitPrefetchLoads(t *testing.T, pool *storage.BufferPool, min uint64) storage.PoolStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := pool.Stats()
+		if st.PrefetchLoads >= min {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("read-ahead never reached %d loads: %+v", min, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRangeIssuesReadAhead: a sequential Range over a leaf chain much
+// larger than the pool issues prefetch hints at least one page ahead
+// of the scan position, and the hints turn into asynchronous loads.
+func TestRangeIssuesReadAhead(t *testing.T) {
+	tr, pool := newPooledTree(t, 4)
+	const n = 400
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := pool.Stats()
+	got := uint64(0)
+	err := tr.Range(0, base.Key(^uint64(0)), func(k base.Key, v base.Value) bool {
+		if k != base.Key(got) {
+			t.Fatalf("scan emitted %d, want %d", k, got)
+		}
+		got++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("scan emitted %d pairs, want %d", got, n)
+	}
+	after := pool.Stats()
+	if after.Prefetches <= before.Prefetches {
+		t.Fatalf("sequential Range issued no prefetch hints: before %+v after %+v", before, after)
+	}
+	waitPrefetchLoads(t, pool, 1)
+}
+
+// TestCursorIssuesReadAhead: the cursor's leaf hops hint the next leaf
+// the same way Range does.
+func TestCursorIssuesReadAhead(t *testing.T) {
+	tr, pool := newPooledTree(t, 4)
+	const n = 400
+	for i := uint64(0); i < n; i++ {
+		if err := tr.Insert(base.Key(i), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := pool.Stats()
+	c := tr.NewCursor(0)
+	got := uint64(0)
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		if k != base.Key(got) {
+			t.Fatalf("cursor emitted %d, want %d", k, got)
+		}
+		got++
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("cursor emitted %d pairs, want %d", got, n)
+	}
+	after := pool.Stats()
+	if after.Prefetches <= before.Prefetches {
+		t.Fatalf("cursor issued no prefetch hints: before %+v after %+v", before, after)
+	}
+	waitPrefetchLoads(t, pool, 1)
+}
+
+// TestPooledTreeTinyPoolExactness: every point op against a 4-frame
+// pool — constant eviction — must agree with an in-memory oracle map,
+// and the pool must close with zero leaked pins. This is the
+// single-threaded half of the eviction-safety story; the concurrent
+// half lives in internal/shard's property test.
+func TestPooledTreeTinyPoolExactness(t *testing.T) {
+	tr, pool := newPooledTree(t, 4)
+	oracle := make(map[base.Key]base.Value)
+	const n = 600
+	for i := 0; i < n; i++ {
+		k := base.Key(uint64(i*31) % 1000)
+		switch i % 3 {
+		case 0, 1:
+			v := base.Value(i)
+			if _, _, err := tr.Upsert(k, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = v
+		case 2:
+			if _, ok := oracle[k]; ok {
+				if err := tr.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+				delete(oracle, k)
+			}
+		}
+	}
+	for k, want := range oracle {
+		v, err := tr.Search(k)
+		if err != nil || v != want {
+			t.Fatalf("key %d: got (%d, %v), want %d", k, v, err, want)
+		}
+	}
+	count := 0
+	err := tr.Range(0, base.Key(^uint64(0)), func(k base.Key, v base.Value) bool {
+		want, ok := oracle[k]
+		if !ok || want != v {
+			t.Fatalf("scan emitted (%d,%d), oracle says (%d,%v)", k, v, want, ok)
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(oracle) {
+		t.Fatalf("scan emitted %d pairs, oracle has %d", count, len(oracle))
+	}
+	if st := pool.Stats(); st.Evictions == 0 || st.Pinned != 0 {
+		t.Fatalf("expected churn and zero pins at rest: %+v", st)
+	}
+}

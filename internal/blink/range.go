@@ -51,6 +51,7 @@ func (t *Tree) scanFrom(cursor *base.Key, hi base.Key, fn func(base.Key, base.Va
 		return false, err
 	}
 	for {
+		t.prefetchLink(n)
 		for i, k := range n.Keys {
 			if k < *cursor {
 				continue

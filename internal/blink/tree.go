@@ -90,6 +90,11 @@ type Tree struct {
 	// leaves a non-root node with fewer than k pairs.
 	onUnderfull atomic.Pointer[func(UnderfullEvent)]
 
+	// prefetch, when the store supports read-ahead (node.Prefetcher),
+	// hints the next leaf of a sequential scan so a disk-native store
+	// has it resident before the hop.
+	prefetch func(base.PageID)
+
 	length atomic.Int64
 	stats  Stats
 	closed atomic.Bool
@@ -117,6 +122,9 @@ func New(cfg Config) (*Tree, error) {
 		k:     cfg.MinPairs,
 		pol:   cfg.Restart,
 		rec:   cfg.Reclaimer,
+	}
+	if pf, ok := cfg.Store.(node.Prefetcher); ok {
+		t.prefetch = pf.Prefetch
 	}
 	p, err := t.store.ReadPrime()
 	if err != nil {
@@ -199,6 +207,15 @@ func (t *Tree) checkOpen() error {
 		return base.ErrClosed
 	}
 	return nil
+}
+
+// prefetchLink hints the store to fault n's right sibling in ahead of
+// a sequential hop. Called once per visited leaf by scans and cursors;
+// a no-op when the store has no read-ahead surface.
+func (t *Tree) prefetchLink(n *node.Node) {
+	if t.prefetch != nil && n.Link != base.NilPage {
+		t.prefetch(n.Link)
+	}
 }
 
 // enter brackets a logical operation in the reclamation epoch.

@@ -85,6 +85,41 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "blinkshard_routed_ops_total{shard=\"%d\"} %d\n", st.Shard, routed)
 	}
 
+	// Buffer pool behaviour per shard, when the index is disk-native
+	// (or otherwise file-backed): demand hits/misses, eviction churn,
+	// read-ahead, and the pin discipline's high-water.
+	pooled := false
+	for _, st := range ss {
+		if st.Pooled {
+			pooled = true
+			break
+		}
+	}
+	if pooled {
+		poolCounter := func(name, help string, get func(shard int) uint64) {
+			fmt.Fprintf(w, "# HELP blinkpool_%s %s\n# TYPE blinkpool_%s counter\n", name, help, name)
+			for _, st := range ss {
+				fmt.Fprintf(w, "blinkpool_%s{shard=\"%d\"} %d\n", name, st.Shard, get(st.Shard))
+			}
+		}
+		poolGauge := func(name, help string, get func(shard int) int) {
+			fmt.Fprintf(w, "# HELP blinkpool_%s %s\n# TYPE blinkpool_%s gauge\n", name, help, name)
+			for _, st := range ss {
+				fmt.Fprintf(w, "blinkpool_%s{shard=\"%d\"} %d\n", name, st.Shard, get(st.Shard))
+			}
+		}
+		poolCounter("hits_total", "buffer pool demand hits", func(i int) uint64 { return ss[i].Pool.Hits })
+		poolCounter("misses_total", "buffer pool demand misses", func(i int) uint64 { return ss[i].Pool.Misses })
+		poolCounter("evictions_total", "frames evicted", func(i int) uint64 { return ss[i].Pool.Evictions })
+		poolCounter("writebacks_total", "dirty frames written back", func(i int) uint64 { return ss[i].Pool.Writebacks })
+		poolCounter("prefetches_total", "read-ahead hints issued", func(i int) uint64 { return ss[i].Pool.Prefetches })
+		poolCounter("prefetch_loads_total", "pages faulted in by read-ahead", func(i int) uint64 { return ss[i].Pool.PrefetchLoads })
+		poolGauge("resident_frames", "pages currently resident", func(i int) int { return ss[i].Pool.Resident })
+		poolGauge("capacity_frames", "frame budget", func(i int) int { return ss[i].Pool.Capacity })
+		poolGauge("pinned_frames", "frames currently pinned", func(i int) int { return ss[i].Pool.Pinned })
+		poolGauge("pinned_high_water", "max simultaneously pinned frames", func(i int) int { return ss[i].Pool.PinnedHighWater })
+	}
+
 	// Replication: this server's role plus one lag gauge per live
 	// follower feed (records shipped but not yet acknowledged).
 	ro := int64(0)

@@ -54,6 +54,21 @@ type Options struct {
 	Path       string
 	PageSize   int
 	CachePages int
+	// DiskNative serves the tree through a bounded buffer pool over a
+	// page file even when Path is empty: the disk-resident regime the
+	// paper assumes, where main memory holds a few pages at a time.
+	// The page file lands beside the WAL (Dir/pages) when Dir is set,
+	// else in a temporary file removed at Close. Page files are scratch
+	// either way — they are recreated at every open and the
+	// authoritative state stays "checkpoint + log suffix" (see
+	// internal/storage doc.go), so eviction write-back needs no
+	// ordering against the WAL.
+	DiskNative bool
+	// CacheBytes bounds the buffer pool's resident bytes when
+	// DiskNative is set (per engine, so per shard in a sharded index).
+	// Default 4 MiB; the pool floor of 4 frames always applies.
+	// Ignored unless DiskNative (use CachePages with Path otherwise).
+	CacheBytes int64
 	// RestartFromRoot disables the backtracking optimization for
 	// wrong-node restarts (§5.2); restarts then always begin at the
 	// root.
@@ -105,6 +120,10 @@ type Engine struct {
 	stripes     []sync.Mutex
 	ckptMu      sync.Mutex
 	checkpoints atomic.Uint64
+
+	// tmpPages is the scratch page file of a DiskNative engine without
+	// a durability Dir, removed at Close.
+	tmpPages string
 }
 
 // walStripes is the number of key stripes ordering apply+append pairs.
@@ -137,6 +156,14 @@ type Stats struct {
 	WAL wal.Stats
 	// Checkpoints counts completed Checkpoint calls.
 	Checkpoints uint64
+	// Pool reports the buffer pool counters of a disk-native or
+	// file-backed engine (zero when the store is unpooled memory). For
+	// a sharded index counters and resident frames sum across shards
+	// and PinnedHighWater takes the maximum.
+	Pool storage.PoolStats
+	// Pooled reports whether a buffer pool is present (distinguishes
+	// an all-zero Pool from "no pool at all").
+	Pooled bool
 }
 
 // OpenEngine assembles a complete engine per opts: store (memory or
@@ -145,6 +172,43 @@ type Stats struct {
 func OpenEngine(opts Options) (*Engine, error) {
 	if opts.MinPairs == 0 {
 		opts.MinPairs = blink.DefaultMinPairs
+	}
+	tmpPages := ""
+	adopted := false
+	defer func() {
+		if tmpPages != "" && !adopted {
+			os.Remove(tmpPages)
+		}
+	}()
+	if opts.DiskNative && opts.Path == "" {
+		if opts.Durable && opts.Dir != "" {
+			if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+				return nil, fmt.Errorf("blinktree: disk-native dir: %w", err)
+			}
+			opts.Path = filepath.Join(opts.Dir, "pages")
+		} else {
+			f, err := os.CreateTemp("", "blinktree-pages-*")
+			if err != nil {
+				return nil, fmt.Errorf("blinktree: disk-native scratch file: %w", err)
+			}
+			opts.Path = f.Name()
+			tmpPages = f.Name()
+			f.Close()
+		}
+	}
+	if opts.DiskNative && opts.CachePages == 0 {
+		ps := opts.PageSize
+		if ps == 0 {
+			ps = storage.DefaultPageSize
+		}
+		cb := opts.CacheBytes
+		if cb <= 0 {
+			cb = 4 << 20
+		}
+		opts.CachePages = int(cb / int64(ps))
+		if opts.CachePages < 1 {
+			opts.CachePages = 1 // the pool floor of 4 frames applies
+		}
 	}
 	var st node.Store
 	var pool *storage.BufferPool
@@ -197,14 +261,16 @@ func OpenEngine(opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		Tree:    inner,
-		store:   st,
-		lt:      lt,
-		rec:     rec,
-		mode:    opts.Compression,
-		workers: opts.CompressorWorkers,
-		pool:    pool,
+		Tree:     inner,
+		store:    st,
+		lt:       lt,
+		rec:      rec,
+		mode:     opts.Compression,
+		workers:  opts.CompressorWorkers,
+		pool:     pool,
+		tmpPages: tmpPages,
 	}
+	adopted = true // from here Close owns the scratch page file
 	e.scanner = compress.NewScanner(st, lt, opts.MinPairs, rec)
 	if opts.Compression != CompressionOff {
 		e.comp = compress.NewCompressor(st, lt, opts.MinPairs, rec)
@@ -412,6 +478,12 @@ func (e *Engine) CrashWAL(partial int) {
 	if e.wal != nil {
 		e.wal.Crash(partial)
 	}
+	// Sever the buffer pool too: a dead process writes no evicted pages,
+	// so the abandoned engine must not keep writing into a page file
+	// that recovery is about to reopen.
+	if e.pool != nil {
+		e.pool.Crash()
+	}
 }
 
 // Compact fully compresses the engine's tree: it drains the underfull
@@ -497,7 +569,20 @@ func (e *Engine) Stats() (Stats, error) {
 		s.WAL = e.wal.Stats()
 		s.Checkpoints = e.checkpoints.Load()
 	}
+	if e.pool != nil {
+		s.Pool = e.pool.Stats()
+		s.Pooled = true
+	}
 	return s, nil
+}
+
+// PoolStats returns the buffer pool counters and whether a pool exists
+// (false for an in-memory engine). Cheap; safe in hot loops.
+func (e *Engine) PoolStats() (storage.PoolStats, bool) {
+	if e.pool == nil {
+		return storage.PoolStats{}, false
+	}
+	return e.pool.Stats(), true
 }
 
 // Close stops background compression, flushes and closes the write-
@@ -514,8 +599,12 @@ func (e *Engine) Close() error {
 	if err := e.Tree.Close(); err != nil {
 		return err
 	}
-	if err := e.store.Close(); err != nil {
-		return err
+	serr := e.store.Close()
+	if e.tmpPages != "" {
+		os.Remove(e.tmpPages)
+	}
+	if serr != nil {
+		return serr
 	}
 	return werr
 }

@@ -9,6 +9,7 @@ import (
 	"blinktree/internal/blink"
 	"blinktree/internal/locks"
 	"blinktree/internal/metrics"
+	"blinktree/internal/storage"
 )
 
 // OpMetrics counts the operations routed to one shard, wired into the
@@ -410,6 +411,8 @@ func (r *Router) Stats() (Stats, error) {
 		}
 		agg.WAL.Merge(s.WAL)
 		agg.Checkpoints += s.Checkpoints
+		agg.Pool.Merge(s.Pool)
+		agg.Pooled = agg.Pooled || s.Pooled
 		o := s.Occupancy
 		agg.Occupancy.Nodes += o.Nodes
 		agg.Occupancy.Leaves += o.Leaves
@@ -447,6 +450,10 @@ type ShardStat struct {
 	Scans      uint64
 	Batches    uint64
 	BatchOps   uint64
+	// Pool carries the shard's buffer pool counters when the shard is
+	// disk-native or file-backed (Pooled false otherwise).
+	Pool   storage.PoolStats
+	Pooled bool
 }
 
 // ShardStats reports routing balance and size per shard, cheaply (no
@@ -471,6 +478,7 @@ func (r *Router) ShardStats() []ShardStat {
 			Batches:    m.Batches.Load(),
 			BatchOps:   m.BatchOps.Load(),
 		}
+		out[i].Pool, out[i].Pooled = e.PoolStats()
 	}
 	return out
 }

@@ -3,8 +3,10 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"blinktree/internal/base"
 )
@@ -272,4 +274,164 @@ func TestBufferPoolConcurrentWriteback(t *testing.T) {
 		t.Fatalf("expected churn, got %+v", st)
 	}
 	t.Log(fmt.Sprintf("pool churn: %+v", st))
+}
+
+// TestBufferPoolPinBlocksEviction fills a tiny pool around one pinned
+// frame and verifies the pinned frame survives arbitrary churn: its
+// bytes stay valid in place while every unpinned frame cycles out.
+func TestBufferPoolPinnedNeverEvicted(t *testing.T) {
+	rec := &recorder{Store: NewMemStore(128)}
+	pool := NewBufferPool(rec, 4)
+	ids := allocN(t, pool, 12)
+
+	want := pageContent(t, pool.PageSize(), 0xCAFE)
+	if err := pool.Write(ids[0], want); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := pool.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn through 3x the capacity: every other frame must cycle.
+	buf := make([]byte, pool.PageSize())
+	for _, id := range ids[1:] {
+		if err := pool.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("churn caused no evictions; the test is vacuous")
+	}
+	if st.Pinned != 1 || st.PinnedHighWater < 1 {
+		t.Fatalf("pin accounting: %+v", st)
+	}
+	// The pinned page was never evicted: no write-back of it reached the
+	// underlying store, and its frame bytes are still the dirty content.
+	for _, e := range rec.log() {
+		if e.op == "write" && e.id == ids[0] {
+			t.Fatal("pinned dirty frame was written back (evicted?)")
+		}
+	}
+	fr.RLock()
+	got := string(fr.Data())
+	fr.RUnlock()
+	if got != string(want) {
+		t.Fatal("pinned frame content changed under churn")
+	}
+	pool.Unpin(fr)
+	if st := pool.Stats(); st.Pinned != 0 {
+		t.Fatalf("pinned = %d after unpin, want 0", st.Pinned)
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("close after clean unpin: %v", err)
+	}
+}
+
+// TestBufferPoolAllPinnedExhausts: when every frame is pinned, a miss
+// must fail loudly instead of evicting someone's in-use frame.
+func TestBufferPoolAllPinnedExhausts(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(128), 4)
+	ids := allocN(t, pool, 5)
+	frames := make([]*Frame, 4)
+	for i := 0; i < 4; i++ {
+		fr, err := pool.Pin(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = fr
+	}
+	if _, err := pool.Pin(ids[4]); err == nil {
+		t.Fatal("pin beyond capacity with all frames pinned succeeded")
+	}
+	buf := make([]byte, pool.PageSize())
+	if err := pool.Read(ids[4], buf); err == nil {
+		t.Fatal("read beyond capacity with all frames pinned succeeded")
+	}
+	frames[0].RLock() // latching a pinned frame must not deadlock the pool
+	frames[0].RUnlock()
+	for _, fr := range frames {
+		pool.Unpin(fr)
+	}
+	if err := pool.Read(ids[4], buf); err != nil {
+		t.Fatalf("read after unpin: %v", err)
+	}
+}
+
+// TestBufferPoolUnpinWithoutPinPanics: releasing a pin that is not held
+// is a caller bug the pool refuses to absorb.
+func TestBufferPoolUnpinWithoutPinPanics(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(128), 4)
+	ids := allocN(t, pool, 1)
+	fr, err := pool.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Unpin(fr) // balanced
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin did not panic")
+		}
+	}()
+	pool.Unpin(fr) // double: must panic
+}
+
+// TestBufferPoolLeakedPinDetectedAtClose: a Pin never released is
+// reported by Close, naming the page.
+func TestBufferPoolLeakedPinDetectedAtClose(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(128), 4)
+	ids := allocN(t, pool, 2)
+	if _, err := pool.Pin(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	err := pool.Close()
+	if err == nil {
+		t.Fatal("close with a leaked pin returned nil")
+	}
+	if want := fmt.Sprintf("pages [%d]", ids[1]); !strings.Contains(err.Error(), want) {
+		t.Fatalf("leak error %q does not name the leaked page (%s)", err, want)
+	}
+}
+
+// TestBufferPoolPrefetch: a prefetch hint faults the page in
+// asynchronously, so the later demand access is a hit, and read-ahead
+// never evicts a pinned frame to make room.
+func TestBufferPoolPrefetch(t *testing.T) {
+	pool := NewBufferPool(NewMemStore(128), 4)
+	ids := allocN(t, pool, 6)
+	pinned, err := pool.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids[1:] {
+		pool.Prefetch(id)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Stats().PrefetchLoads < uint64(len(ids)-1) {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetch loads stuck at %+v", pool.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := pool.Stats()
+	if st.Prefetches < uint64(len(ids)-1) {
+		t.Fatalf("prefetches = %d, want ≥ %d", st.Prefetches, len(ids)-1)
+	}
+	if st.Pinned != 1 {
+		t.Fatalf("prefetch disturbed pin accounting: %+v", st)
+	}
+	// The last prefetched pages must now be demand hits.
+	buf := make([]byte, pool.PageSize())
+	before := pool.Stats()
+	if err := pool.Read(ids[5], buf); err != nil {
+		t.Fatal(err)
+	}
+	after := pool.Stats()
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Fatalf("prefetched page was not a demand hit: before %+v after %+v", before, after)
+	}
+	pool.Unpin(pinned)
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -16,9 +16,11 @@
 //     uses.
 //   - filestore.go: FileStore maps one page per fixed-size slot of a
 //     single file, the durable deployment.
-//   - bufferpool.go: BufferPool is an LRU write-back cache wrapped
-//     around another Store — the "main memory holds a few pages at a
-//     time" assumption (§2.2) made explicit and bounded.
+//   - bufferpool.go: BufferPool is a bounded LRU write-back cache
+//     wrapped around another Store — the "main memory holds a few
+//     pages at a time" assumption (§2.2) made explicit and enforced.
+//     It is the disk-native serving path: at most Capacity frames
+//     resident, everything else faulted in on demand.
 //   - wrappers.go: Metered counts operations and Latency injects
 //     artificial per-op delay, used by the experiment harness to
 //     simulate disks.
@@ -28,6 +30,44 @@
 // configured. Each shard of a sharded index (internal/shard) owns a
 // disjoint Store — with a file-backed configuration, shard i lives in
 // its own "<path>.shard<i>" file.
+//
+// # Pin/unpin and eviction
+//
+// BufferPool offers two regimes. As a plain Store it copies pages in
+// and out. For zero-copy serving, Pin(id) returns a *Frame whose
+// bytes the caller may read or mutate in place, under these rules:
+//
+//   - A pinned frame is never evicted and its id-to-frame binding
+//     never changes. Pin and Unpin must pair exactly: unpinning with
+//     no outstanding pin panics (it would license eviction of a frame
+//     someone may still use), and pins still outstanding at Close are
+//     reported as leaks.
+//   - Frame bytes are accessed only while pinned AND holding the
+//     frame latch: RLock to read or decode, Lock to mutate or encode,
+//     MarkDirty after mutating. Release the latch before Unpin.
+//   - A frame's cached decoded object (Frame.SetCachedObject) is set
+//     only while holding the latch, so it can never describe bytes
+//     other than the frame's current content.
+//   - Eviction picks the least-recently-used frame with zero pins,
+//     writes it back first if dirty, and only then reuses the slot —
+//     so every page is at all times either resident or re-fetchable
+//     from the underlying store. Eviction takes no latch: a zero pin
+//     count under the pool lock already excludes latch holders.
+//   - Lock order: the pool's internal lock may be taken, then a frame
+//     latch (Flush does this). Latch holders never call back into the
+//     pool except Unpin after unlatching.
+//
+// How this composes with the paper's §5.3 reclamation epochs, one
+// layer up: the tree never holds frame pointers across operations
+// (internal/node decodes into fresh Node values under a short pin),
+// so a lock-free search racing an eviction either finds the page
+// resident or faults it back in — both serve the bytes the last
+// writer put there. A page retired by compression is Freed only after
+// every epoch that could still reach it has exited; the pool drops
+// the frame without write-back at that point. The one actor outside
+// the epochs is the pool's own read-ahead worker (Prefetch), whose
+// stale hints may pin a page as it is being freed — Free therefore
+// defers the underlying free to the last Unpin instead of failing.
 //
 // # Durability contract
 //
