@@ -818,6 +818,10 @@ func opName(op uint8) string {
 		return "stats"
 	case wire.OpPromote:
 		return "promote"
+	case wire.OpMigrate:
+		return "migrate"
+	case wire.OpClusterMap:
+		return "cluster-map"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}

@@ -1,0 +1,611 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree/internal/wire"
+)
+
+// Cluster is a cluster-aware client: it holds a versioned range-
+// ownership map (wire.ClusterMap), routes every operation to the
+// member owning the key's range, and converges on the truth by
+// itself — a StatusWrongShard refusal carries the refusing server's
+// map, which the client installs (newer versions win) before
+// retrying. Because servers refuse a wrong-shard op before touching
+// any state, those retries are safe even for mutations.
+//
+// During the brief write fence of a live migration the map bounces:
+// the source redirects to the pending target, the target refuses
+// until the handoff commits. The client rides that out with a small
+// backoff; convergence is bounded by the fence duration.
+//
+// All methods are safe for concurrent use.
+type Cluster struct {
+	opt    Options
+	mu     sync.RWMutex
+	cmap   *wire.ClusterMap // current map; treated as immutable
+	pool   map[string]*Client
+	closed atomic.Bool
+
+	redirects atomic.Uint64 // StatusWrongShard responses seen
+	installs  atomic.Uint64 // maps accepted (version >= held)
+	retries   atomic.Uint64 // operation retry rounds
+}
+
+// clusterAttempts bounds the route-redirect-retry loop of one
+// operation; with clusterBackoff it spans a couple of seconds, far
+// beyond any healthy fence window.
+const clusterAttempts = 24
+
+// clusterBackoff is the pause before retry round `attempt` (≥ 1):
+// exponential from 1ms, capped at 100ms.
+func clusterBackoff(attempt int) time.Duration {
+	if attempt > 7 {
+		return 100 * time.Millisecond
+	}
+	return time.Millisecond << uint(attempt-1)
+}
+
+// DialCluster connects to any cluster member (the seed), fetches the
+// cluster map from it, and routes from there. Options apply to every
+// per-member connection pool (ReplicaAddr is ignored).
+func DialCluster(seed string, opt Options) (*Cluster, error) {
+	opt.fill()
+	opt.ReplicaAddr = ""
+	cl := &Cluster{opt: opt, pool: make(map[string]*Client)}
+	c, err := Dial(seed, opt)
+	if err != nil {
+		return nil, err
+	}
+	cl.pool[seed] = c
+	pl, err := c.do(context.Background(), wire.OpClusterMap, nil, true)
+	if err != nil {
+		cl.Close()
+		return nil, fmt.Errorf("client: cluster map from %s: %w", seed, err)
+	}
+	m, err := wire.DecodeClusterMap(pl)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	cl.cmap = m
+	return cl, nil
+}
+
+// Close tears down every member pool.
+func (cl *Cluster) Close() error {
+	if !cl.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, c := range cl.pool {
+		c.Close()
+	}
+	return nil
+}
+
+// Map returns a copy of the cluster map the client currently routes by.
+func (cl *Cluster) Map() *wire.ClusterMap { return cl.snapshot().Clone() }
+
+func (cl *Cluster) snapshot() *wire.ClusterMap {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.cmap
+}
+
+// install decodes a map payload and adopts it unless it is older than
+// the held one. Equal versions are adopted too: a redirect payload
+// shares the source's version while overriding fenced ranges to their
+// pending targets, and that override is the information we came for.
+func (cl *Cluster) install(payload []byte) bool {
+	m, err := wire.DecodeClusterMap(payload)
+	if err != nil {
+		return false
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.cmap != nil && (m.Version < cl.cmap.Version || len(m.Owners) != len(cl.cmap.Owners)) {
+		return false
+	}
+	cl.cmap = m
+	cl.installs.Add(1)
+	return true
+}
+
+// member returns the pooled client for addr, dialing on first use.
+func (cl *Cluster) member(addr string) (*Client, error) {
+	cl.mu.RLock()
+	c := cl.pool[addr]
+	cl.mu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if c := cl.pool[addr]; c != nil {
+		return c, nil
+	}
+	c, err := Dial(addr, cl.opt)
+	if err != nil {
+		return nil, err
+	}
+	cl.pool[addr] = c
+	return c, nil
+}
+
+// Refresh fetches the cluster map from every member it can reach and
+// installs the newest. It fails only when no member answers.
+func (cl *Cluster) Refresh(ctx context.Context) error {
+	cl.mu.RLock()
+	addrs := make(map[string]bool, len(cl.pool))
+	for a := range cl.pool {
+		addrs[a] = true
+	}
+	for _, a := range cl.cmap.Owners {
+		addrs[a] = true
+	}
+	cl.mu.RUnlock()
+	var lastErr error
+	ok := false
+	for a := range addrs {
+		c, err := cl.member(a)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pl, err := c.do(ctx, wire.OpClusterMap, nil, true)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if cl.install(pl) {
+			ok = true
+		} else {
+			ok = true // decoded but older: still a live answer
+		}
+	}
+	if !ok {
+		return fmt.Errorf("client: cluster map refresh: %w", lastErr)
+	}
+	return nil
+}
+
+func (cl *Cluster) tryRefresh(ctx context.Context) { _ = cl.Refresh(ctx) }
+
+// sleepCtx pauses for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doKey routes one point operation by key: pick the owner from the
+// held map, send, and on StatusWrongShard install the carried map and
+// retry. Transport failures retry only when the request is idempotent
+// or provably unsent (a failed dial), because a lost response does not
+// prove a lost write.
+func (cl *Cluster) doKey(ctx context.Context, k Key, op uint8, payload []byte, idempotent bool) ([]byte, error) {
+	if cl.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	var lastErr error
+	for attempt := 0; attempt < clusterAttempts; attempt++ {
+		if attempt > 0 {
+			cl.retries.Add(1)
+			if err := sleepCtx(ctx, clusterBackoff(attempt)); err != nil {
+				return nil, err
+			}
+		}
+		m := cl.snapshot()
+		addr := m.Owners[m.Range(uint64(k))]
+		c, err := cl.member(addr)
+		if err != nil {
+			// Nothing was sent: retrying is safe for any op. The owner
+			// may be restarting, or the map stale — ask around.
+			lastErr = err
+			cl.tryRefresh(ctx)
+			continue
+		}
+		pl, err := c.do(ctx, op, payload, idempotent)
+		if err == nil {
+			return pl, nil
+		}
+		var re *wire.RedirectError
+		if errors.As(err, &re) {
+			cl.redirects.Add(1)
+			cl.install(re.Payload)
+			lastErr = err
+			continue
+		}
+		var ne *netError
+		if errors.As(err, &ne) {
+			lastErr = err
+			if !idempotent {
+				return nil, err
+			}
+			cl.tryRefresh(ctx)
+			continue
+		}
+		return nil, err // a real answer (NotFound, Duplicate, ...)
+	}
+	return nil, fmt.Errorf("client: cluster %s gave up after %d attempts: %w",
+		opName(op), clusterAttempts, lastErr)
+}
+
+// --- operation surface (mirrors Client) ---
+
+// Ping round-trips against every member the map names.
+func (cl *Cluster) Ping(ctx context.Context) error {
+	for _, addr := range distinctOwners(cl.snapshot()) {
+		c, err := cl.member(addr)
+		if err != nil {
+			return err
+		}
+		if err := c.Ping(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Search returns the value stored under k, or ErrNotFound.
+func (cl *Cluster) Search(ctx context.Context, k Key) (Value, error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	pl, err := cl.doKey(ctx, k, wire.OpSearch, b.B, true)
+	if err != nil {
+		return 0, err
+	}
+	d := wire.Dec{B: pl}
+	v := Value(d.U64())
+	return v, d.Err
+}
+
+// Insert stores v under k; ErrDuplicate if k is present.
+func (cl *Cluster) Insert(ctx context.Context, k Key, v Value) error {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(v))
+	_, err := cl.doKey(ctx, k, wire.OpInsert, b.B, false)
+	return err
+}
+
+// Delete removes k, or returns ErrNotFound.
+func (cl *Cluster) Delete(ctx context.Context, k Key) error {
+	var b wire.Buf
+	b.U64(uint64(k))
+	_, err := cl.doKey(ctx, k, wire.OpDelete, b.B, false)
+	return err
+}
+
+// Upsert stores v under k unconditionally.
+func (cl *Cluster) Upsert(ctx context.Context, k Key, v Value) (old Value, existed bool, err error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(v))
+	pl, err := cl.doKey(ctx, k, wire.OpUpsert, b.B, false)
+	if err != nil {
+		return 0, false, err
+	}
+	d := wire.Dec{B: pl}
+	old, existed = Value(d.U64()), d.U8() != 0
+	return old, existed, d.Err
+}
+
+// GetOrInsert returns the value under k, inserting v when absent.
+func (cl *Cluster) GetOrInsert(ctx context.Context, k Key, v Value) (actual Value, loaded bool, err error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(v))
+	pl, err := cl.doKey(ctx, k, wire.OpGetOrInsert, b.B, false)
+	if err != nil {
+		return 0, false, err
+	}
+	d := wire.Dec{B: pl}
+	actual, loaded = Value(d.U64()), d.U8() != 0
+	return actual, loaded, d.Err
+}
+
+// CompareAndSwap replaces k's value with new only when it equals old.
+func (cl *Cluster) CompareAndSwap(ctx context.Context, k Key, old, new Value) (bool, error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(old))
+	b.U64(uint64(new))
+	pl, err := cl.doKey(ctx, k, wire.OpCompareAndSwap, b.B, false)
+	if err != nil {
+		return false, err
+	}
+	d := wire.Dec{B: pl}
+	swapped := d.U8() != 0
+	return swapped, d.Err
+}
+
+// CompareAndDelete removes k only when its value equals old.
+func (cl *Cluster) CompareAndDelete(ctx context.Context, k Key, old Value) (bool, error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	b.U64(uint64(old))
+	pl, err := cl.doKey(ctx, k, wire.OpCompareAndDelete, b.B, false)
+	if err != nil {
+		return false, err
+	}
+	d := wire.Dec{B: pl}
+	deleted := d.U8() != 0
+	return deleted, d.Err
+}
+
+// Scan fetches one page of lo ≤ key ≤ hi from the member owning lo's
+// range. The server clamps the window at its range boundary and
+// reports more=true for the clamp, so a page can be shorter than the
+// keyspace ahead — Range knows how to resume across ranges.
+func (cl *Cluster) Scan(ctx context.Context, lo, hi Key, limit int) (pairs []Pair, more bool, err error) {
+	var b wire.Buf
+	b.U64(uint64(lo))
+	b.U64(uint64(hi))
+	b.U32(uint32(limit))
+	pl, err := cl.doKey(ctx, lo, wire.OpScan, b.B, true)
+	if err != nil {
+		return nil, false, err
+	}
+	d := wire.Dec{B: pl}
+	more = d.U8() != 0
+	n := int(d.U32())
+	if n > (len(pl)-5)/16 {
+		return nil, false, errors.New("client: malformed scan response")
+	}
+	pairs = make([]Pair, 0, n)
+	for i := 0; i < n; i++ {
+		pairs = append(pairs, Pair{Key(d.U64()), Value(d.U64())})
+	}
+	if !d.Done() {
+		return nil, false, errors.New("client: malformed scan response")
+	}
+	return pairs, more, nil
+}
+
+// Range calls fn for each pair with lo ≤ key ≤ hi ascending, fetching
+// pages range by range across the cluster. Pages are independent
+// requests; concurrent mutations between pages may or may not be
+// observed. Ranges migrating mid-iteration are retried transparently
+// like any other operation.
+func (cl *Cluster) Range(ctx context.Context, lo, hi Key, pageSize int, fn func(Key, Value) bool) error {
+	maxKey := Key(^uint64(0))
+	for {
+		pairs, more, err := cl.Scan(ctx, lo, hi, pageSize)
+		if err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			if !fn(p.Key, p.Value) {
+				return nil
+			}
+		}
+		if !more {
+			return nil // the unclamped window completed
+		}
+		if len(pairs) > 0 {
+			last := pairs[len(pairs)-1].Key
+			if last >= hi || last == maxKey {
+				return nil
+			}
+			lo = last + 1
+			continue
+		}
+		// A clamped-but-empty page: step past lo's range.
+		m := cl.snapshot()
+		end := rangeEnd(len(m.Owners), m.Range(uint64(lo)))
+		if end == ^uint64(0) || Key(end) >= hi {
+			return nil
+		}
+		lo = Key(end + 1)
+	}
+}
+
+// rangeEnd returns the highest key of range i in an n-range partition.
+func rangeEnd(n, i int) uint64 {
+	if n <= 1 || i >= n-1 {
+		return ^uint64(0)
+	}
+	stride := ^uint64(0)/uint64(n) + 1
+	return uint64(i+1)*stride - 1
+}
+
+// Batch splits ops by owning member, runs the per-member batches, and
+// merges results positionally. Slots refused with StatusWrongShard are
+// retried after a map refresh (the batch encoding carries no redirect
+// payload) — safe because refusal precedes any state change. Slots
+// that fail in transport keep a transport error; they are not retried.
+func (cl *Cluster) Batch(ctx context.Context, ops []Op) ([]Result, error) {
+	if len(ops) > wire.MaxBatchOps {
+		return nil, fmt.Errorf("client: batch of %d exceeds %d", len(ops), wire.MaxBatchOps)
+	}
+	if cl.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	results := make([]Result, len(ops))
+	idx := make([]int, len(ops))
+	for i := range idx {
+		idx[i] = i
+	}
+	for round := 0; len(idx) > 0 && round < clusterAttempts; round++ {
+		if round > 0 {
+			cl.retries.Add(1)
+			if err := sleepCtx(ctx, clusterBackoff(round)); err != nil {
+				return nil, err
+			}
+			cl.tryRefresh(ctx)
+		}
+		m := cl.snapshot()
+		groups := make(map[string][]int)
+		for _, i := range idx {
+			addr := m.Owners[m.Range(uint64(ops[i].Key))]
+			groups[addr] = append(groups[addr], i)
+		}
+		var next []int
+		for addr, g := range groups {
+			c, err := cl.member(addr)
+			if err != nil {
+				for _, i := range g {
+					results[i] = Result{Err: err}
+				}
+				continue
+			}
+			sub := make([]Op, len(g))
+			for j, i := range g {
+				sub[j] = ops[i]
+			}
+			rs, err := c.Batch(ctx, sub)
+			if err != nil {
+				for _, i := range g {
+					results[i] = Result{Err: err}
+				}
+				continue
+			}
+			for j, i := range g {
+				results[i] = rs[j]
+				if errors.Is(rs[j].Err, wire.ErrWrongShard) {
+					cl.redirects.Add(1)
+					next = append(next, i)
+				}
+			}
+		}
+		idx = next
+	}
+	return results, nil
+}
+
+// Len sums the pair counts of every member. Each member counts only
+// the ranges it serves, so the sum is exact when the cluster is quiet
+// and approximate while a fence briefly hides the migrating range.
+func (cl *Cluster) Len(ctx context.Context) (int, error) {
+	total := 0
+	for _, addr := range distinctOwners(cl.snapshot()) {
+		c, err := cl.member(addr)
+		if err != nil {
+			return 0, err
+		}
+		n, err := c.Len(ctx)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Checkpoint checkpoints every member.
+func (cl *Cluster) Checkpoint(ctx context.Context) error {
+	for _, addr := range distinctOwners(cl.snapshot()) {
+		c, err := cl.member(addr)
+		if err != nil {
+			return err
+		}
+		if err := c.Checkpoint(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Migrate asks range sh's current owner to hand the range to target
+// (an admin operation; it blocks until the handoff commits). On a
+// server-side refusal the map is refreshed and the call retried once —
+// the usual cure for asking a stale owner. Migrating to the current
+// owner is a no-op.
+func (cl *Cluster) Migrate(ctx context.Context, sh int, target string) error {
+	m := cl.snapshot()
+	if sh < 0 || sh >= len(m.Owners) {
+		return fmt.Errorf("client: range %d out of [0,%d)", sh, len(m.Owners))
+	}
+	var b wire.Buf
+	b.U8(0) // mode: admin trigger
+	b.U32(uint32(sh))
+	b.U16(uint16(len(target)))
+	b.B = append(b.B, target...)
+	// A migration blocks server-side until the handoff commits, which
+	// can take a while — run it on a dedicated connection so pooled
+	// traffic multiplexed behind it doesn't stall.
+	try := func(addr string) error {
+		admin, err := Dial(addr, Options{
+			Conns:       1,
+			DialTimeout: cl.opt.DialTimeout,
+			RetryReads:  -1,
+		})
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		_, err = admin.do(ctx, wire.OpMigrate, b.B, false)
+		return err
+	}
+	err := try(m.Owners[sh])
+	if err != nil {
+		cl.tryRefresh(ctx)
+		if m2 := cl.snapshot(); m2.Owners[sh] != m.Owners[sh] {
+			err = try(m2.Owners[sh])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return cl.Refresh(ctx)
+}
+
+// ClusterStats is the client-local counter snapshot: how often routing
+// was corrected and how hard operations had to try.
+type ClusterStats struct {
+	MapVersion  uint64 // version of the held cluster map
+	Ranges      int    // ranges in the map
+	Members     int    // member pools dialed so far
+	Redirects   uint64 // StatusWrongShard refusals observed
+	MapInstalls uint64 // maps adopted (from redirects and refreshes)
+	Retries     uint64 // retry rounds across all operations
+}
+
+// Stats returns the client-local routing counters (no network I/O).
+func (cl *Cluster) Stats() ClusterStats {
+	cl.mu.RLock()
+	m, members := cl.cmap, len(cl.pool)
+	cl.mu.RUnlock()
+	return ClusterStats{
+		MapVersion:  m.Version,
+		Ranges:      len(m.Owners),
+		Members:     members,
+		Redirects:   cl.redirects.Load(),
+		MapInstalls: cl.installs.Load(),
+		Retries:     cl.retries.Load(),
+	}
+}
+
+// distinctOwners returns the unique member addresses of m, in map
+// order of first appearance.
+func distinctOwners(m *wire.ClusterMap) []string {
+	seen := make(map[string]bool, 4)
+	out := make([]string, 0, 4)
+	for _, a := range m.Owners {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

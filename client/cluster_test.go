@@ -1,0 +1,115 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"blinktree/client"
+	"blinktree/internal/cluster"
+	"blinktree/internal/server"
+	"blinktree/internal/shard"
+)
+
+// reserveAddr picks a concrete loopback address by binding an
+// ephemeral port and releasing it; cluster members need their address
+// known before the server starts because the map names it.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startMember starts a durable cluster member on addr whose initial
+// map names initialOwner for every range.
+func startMember(t *testing.T, addr, initialOwner string, shards int) (*shard.Router, *cluster.Node) {
+	t.Helper()
+	r, err := shard.NewRouter(shards, shard.Options{MinPairs: 4, Durable: true, Dir: t.TempDir(), WALNoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		Self: addr, Shards: shards, InitialOwner: initialOwner,
+		Dir: r.Engine(0).WALDir(), Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	s := server.New(r, server.Config{Addr: addr, Logf: func(string, ...any) {}, Cluster: node})
+	if err := s.Start(); err != nil {
+		r.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); r.Close() })
+	return r, node
+}
+
+// TestClusterStaleMapConverges is the satellite contract for the
+// cluster-aware client: a client holding a stale map converges after a
+// single redirect round-trip — the StatusWrongShard refusal carries
+// the authoritative map, the client installs it and the retried
+// operation lands on the new owner. Subsequent operations on the moved
+// range cause no further redirects.
+func TestClusterStaleMapConverges(t *testing.T) {
+	const shards = 4
+	addrA, addrB := reserveAddr(t), reserveAddr(t)
+	rA, nodeA := startMember(t, addrA, addrA, shards)
+	startMember(t, addrB, addrA, shards)
+
+	cl, err := client.DialCluster(addrA, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A key in the last range, seeded while A still owns everything.
+	lo, _ := rA.ShardSpan(shards - 1)
+	key := client.Key(lo) + 42
+	ctx := context.Background()
+	if err := cl.Insert(ctx, key, 7); err != nil {
+		t.Fatal(err)
+	}
+	v0 := cl.Stats().MapVersion
+
+	// Move the key's range to B behind the client's back: the held map
+	// is now stale.
+	if err := nodeA.Migrate(rA, shards-1, addrB); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+
+	v, err := cl.Search(ctx, key)
+	if err != nil {
+		t.Fatalf("search through stale map: %v", err)
+	}
+	if v != 7 {
+		t.Fatalf("search = %d, want 7", v)
+	}
+
+	st := cl.Stats()
+	if st.Redirects != 1 {
+		t.Fatalf("redirects = %d, want exactly 1 (one round-trip to converge)", st.Redirects)
+	}
+	if st.MapInstalls < 1 {
+		t.Fatalf("map installs = %d, want >= 1", st.MapInstalls)
+	}
+	if st.MapVersion <= v0 {
+		t.Fatalf("map version %d did not advance past %d", st.MapVersion, v0)
+	}
+	if owner := cl.Map().Owners[shards-1]; owner != addrB {
+		t.Fatalf("range %d owner = %q, want %q", shards-1, owner, addrB)
+	}
+
+	// Converged: a write to the moved range routes straight to B.
+	if _, _, err := cl.Upsert(ctx, key, 8); err != nil {
+		t.Fatal(err)
+	}
+	if after := cl.Stats(); after.Redirects != st.Redirects {
+		t.Fatalf("redirects grew %d -> %d after convergence", st.Redirects, after.Redirects)
+	}
+}

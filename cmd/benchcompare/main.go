@@ -1,0 +1,165 @@
+// Command benchcompare gates E-series throughput regressions: it
+// compares two sagivbench -json reports and exits non-zero when any
+// throughput cell in the latest run falls more than a threshold below
+// the committed baseline.
+//
+// Usage:
+//
+//	benchcompare -baseline BENCH_baseline.json -latest results.json
+//
+// The threshold is -max-regression-pct, overridable with the
+// BENCH_MAX_REGRESSION_PCT environment variable (default 15 — E-series
+// runs at CI scale are noisy; the gate is for cliffs, not jitter).
+//
+// What counts as a throughput cell: a numeric cell whose column header
+// contains "ops/s", or any numeric non-config cell of a table whose
+// title announces ops/s. Cells are matched by (experiment, table
+// title, first cell of the row, column header); pairs present in only
+// one report are reported but never fail the gate, so adding an
+// experiment or a row does not require regenerating the baseline —
+// only a *shape change* to an existing table does (see
+// scripts/bench-update.sh).
+//
+// Baselines and comparison runs must come from the same machine class
+// (same GOMAXPROCS at minimum — the tool warns on a mismatch) or the
+// comparison is meaningless.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// report mirrors sagivbench's -json document.
+type report struct {
+	Go          string  `json:"go"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Scale       float64 `json:"scale"`
+	Experiments []struct {
+		ID     string `json:"id"`
+		Tables []struct {
+			Title   string     `json:"title"`
+			Headers []string   `json:"headers"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	} `json:"experiments"`
+}
+
+// cellKey identifies one throughput measurement across runs.
+type cellKey struct {
+	exp, table, config, column string
+}
+
+// load reads and decodes one report.
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// throughputCells extracts every throughput cell of a report.
+func throughputCells(r *report) map[cellKey]float64 {
+	out := make(map[cellKey]float64)
+	for _, exp := range r.Experiments {
+		for _, tbl := range exp.Tables {
+			titleTput := strings.Contains(tbl.Title, "ops/s")
+			for _, row := range tbl.Rows {
+				if len(row) == 0 {
+					continue
+				}
+				for i, cell := range row {
+					if i == 0 || i >= len(tbl.Headers) {
+						continue
+					}
+					if !strings.Contains(tbl.Headers[i], "ops/s") && !titleTput {
+						continue
+					}
+					v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+					if err != nil || v <= 0 {
+						continue
+					}
+					out[cellKey{exp.ID, tbl.Title, row[0], tbl.Headers[i]}] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	latestPath := flag.String("latest", "", "report to gate (required)")
+	maxPct := flag.Float64("max-regression-pct", 15, "fail when a throughput cell drops more than this percent below baseline (env BENCH_MAX_REGRESSION_PCT overrides)")
+	flag.Parse()
+	if env := os.Getenv("BENCH_MAX_REGRESSION_PCT"); env != "" {
+		v, err := strconv.ParseFloat(env, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: bad BENCH_MAX_REGRESSION_PCT %q: %v\n", env, err)
+			os.Exit(2)
+		}
+		*maxPct = v
+	}
+	if *latestPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -latest required")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	latest, err := load(*latestPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	if base.GOMAXPROCS != latest.GOMAXPROCS {
+		fmt.Printf("warning: GOMAXPROCS differs (baseline %d, latest %d) — comparison is cross-machine\n",
+			base.GOMAXPROCS, latest.GOMAXPROCS)
+	}
+	if base.Scale != latest.Scale {
+		fmt.Printf("warning: scale differs (baseline %g, latest %g)\n", base.Scale, latest.Scale)
+	}
+
+	baseCells := throughputCells(base)
+	latestCells := throughputCells(latest)
+	compared, onlyBase, onlyLatest, failures := 0, 0, 0, 0
+	for key, b := range baseCells {
+		l, ok := latestCells[key]
+		if !ok {
+			onlyBase++
+			continue
+		}
+		compared++
+		delta := (l - b) / b * 100
+		if -delta > *maxPct {
+			failures++
+			fmt.Printf("REGRESSION %s / %q / %s / %s: %.0f -> %.0f ops/s (%.1f%%, limit -%.0f%%)\n",
+				key.exp, key.table, key.config, key.column, b, l, delta, *maxPct)
+		}
+	}
+	for key := range latestCells {
+		if _, ok := baseCells[key]; !ok {
+			onlyLatest++
+		}
+	}
+	fmt.Printf("benchcompare: %d throughput cells compared, %d regressions beyond %.0f%% (%d baseline-only, %d new)\n",
+		compared, failures, *maxPct, onlyBase, onlyLatest)
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no comparable throughput cells — wrong files?")
+		os.Exit(2)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}

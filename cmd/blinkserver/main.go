@@ -38,18 +38,54 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"blinktree/client"
+	"blinktree/internal/cluster"
 	"blinktree/internal/repl"
 	"blinktree/internal/server"
 	"blinktree/internal/shard"
 )
+
+// runMigrate is the -migrate admin mode: "RANGE=TARGET" asks the
+// cluster member at addr (or whichever member currently owns the
+// range) to hand it to TARGET, waits for the handoff to commit, and
+// prints the resulting map.
+func runMigrate(addr, spec string) error {
+	rangeStr, target, ok := strings.Cut(spec, "=")
+	if !ok || target == "" {
+		return fmt.Errorf("want RANGE=TARGET, got %q", spec)
+	}
+	sh, err := strconv.Atoi(strings.TrimSpace(rangeStr))
+	if err != nil {
+		return fmt.Errorf("bad range %q: %v", rangeStr, err)
+	}
+	cl, err := client.DialCluster(addr, client.Options{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	if err := cl.Migrate(ctx, sh, strings.TrimSpace(target)); err != nil {
+		return err
+	}
+	m := cl.Map()
+	fmt.Printf("migrated range %d to %s; map v%d:\n", sh, target, m.Version)
+	for i, o := range m.Owners {
+		fmt.Printf("  range %d: %s\n", i, o)
+	}
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:4640", "TCP listen address for the wire protocol")
@@ -66,8 +102,17 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 1<<20, "per-connection in-flight request bytes (backpressure)")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand)")
 	follow := flag.String("follow", "", "run as a read-only replica of this primary address (promote over the wire)")
+	clusterAdvertise := flag.String("cluster-advertise", "", "serve as a cluster member advertising this address to peers and clients (requires -durable)")
+	clusterInitial := flag.String("cluster-initial", "", "with -cluster-advertise: address owning every range on a fresh -dir (default: this node)")
+	migrate := flag.String("migrate", "", "admin mode RANGE=TARGET: ask the cluster at -addr to migrate the range, print the new map, exit")
 	flag.Parse()
 
+	if *migrate != "" {
+		if err := runMigrate(*addr, *migrate); err != nil {
+			log.Fatalf("blinkserver: migrate: %v", err)
+		}
+		return
+	}
 	if *durable && *dir == "" {
 		log.Fatal("blinkserver: -durable requires -dir")
 	}
@@ -89,6 +134,30 @@ func main() {
 		Coalesce:    *coalesce,
 		MaxBatch:    *maxBatch,
 		MaxInflight: *maxInflight,
+	}
+	var node *cluster.Node
+	if *clusterAdvertise != "" {
+		if !*durable {
+			log.Fatal("blinkserver: -cluster-advertise requires -durable (crash-safe handoff needs a WAL)")
+		}
+		if *follow != "" {
+			log.Fatal("blinkserver: -cluster-advertise is incompatible with -follow")
+		}
+		node, err = cluster.NewNode(cluster.NodeConfig{
+			Self:         *clusterAdvertise,
+			Shards:       *shards,
+			InitialOwner: *clusterInitial,
+			Dir:          *dir,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("blinkserver: cluster: %v", err)
+		}
+		if err := node.ReclaimRemote(r); err != nil {
+			log.Fatalf("blinkserver: cluster: %v", err)
+		}
+		node.ResolveFences(r)
+		cfg.Cluster = node
 	}
 	var follower *repl.Follower
 	if *follow != "" {
@@ -126,6 +195,11 @@ func main() {
 	}
 	if *follow != "" {
 		fmt.Printf(", following %s (read-only until promoted)", *follow)
+	}
+	if node != nil {
+		cs := node.ClusterStats()
+		fmt.Printf(", cluster member %s (map v%d, owns %d/%d ranges)",
+			*clusterAdvertise, cs.Version, cs.Owned, *shards)
 	}
 	fmt.Println()
 

@@ -1,0 +1,426 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree"
+	"blinktree/client"
+	"blinktree/internal/shard"
+)
+
+// pickAddr reserves a concrete loopback address by binding an
+// ephemeral port and releasing it — cluster members need fixed
+// addresses (the map names them) that survive a kill -9 restart.
+func pickAddr() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal("pick addr", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// runCluster is the -cluster mode: live shard migration between two
+// real server processes, under load, with kill -9 crashes landing
+// mid-migration on both sides. The precise claim:
+//
+//   - Two durable cluster members A and B (spawned processes on fixed
+//     ports) start with A owning every range. A cluster-aware client
+//     drives per-worker exact oracles: lastAcked is the state after
+//     the newest acknowledged op, possible[] the attempts since then
+//     that errored (each may or may not have been applied).
+//   - Under full write load, half the ranges are migrated A→B. Writes
+//     never fail during a healthy migration — the client rides the
+//     fence via redirects — so the oracle stays exact throughout.
+//   - A migration is started and the TARGET is kill -9'd mid-stream;
+//     B restarts on the same address and directory and the migration
+//     is re-triggered to completion. Then another migration is started
+//     and the SOURCE is kill -9'd mid-stream; A restarts and the
+//     migration is re-triggered. Both re-triggers must converge via
+//     the handshake ("target already owns" → adopt) or a fresh
+//     snapshot — every crash window resolves.
+//   - After a settle pass (ambiguous keys rewritten to known values),
+//     every acknowledged write must be readable through the cluster
+//     map with its exact value, a full scan must find zero phantoms,
+//     and Len must equal the oracle's key count.
+//   - Both members are stopped gracefully and reopened locally: the
+//     structural invariants must hold, every key must live on the
+//     member the final map names (no duplicated or orphaned copies),
+//     and the two local counts must sum to the oracle's.
+//
+// A non-zero exit means a lost acked write, a phantom, a duplicated
+// range copy, or a migration that could not converge after a crash.
+func runCluster(dur time.Duration, workers, shards, k, compressors int, dir string) {
+	if shards < 2 {
+		shards = 8 // migration needs multiple ranges
+	}
+	if dir == "" {
+		d, err := os.MkdirTemp("", "blinkstress-cluster")
+		if err != nil {
+			fatal("tmpdir", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	dirA, dirB := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	for _, d := range []string{dirA, dirB} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			fatal("mkdir", err)
+		}
+	}
+	addrA, addrB := pickAddr(), pickAddr()
+	spawnA := func() *child {
+		return spawn(spawnOpts{
+			shards: shards, k: k, compressors: compressors, durable: true,
+			dir: dirA, addr: addrA, clusterSelf: addrA, clusterInitial: addrA,
+		})
+	}
+	spawnB := func() *child {
+		return spawn(spawnOpts{
+			shards: shards, k: k, compressors: compressors, durable: true,
+			dir: dirB, addr: addrB, clusterSelf: addrB, clusterInitial: addrA,
+		})
+	}
+	chA, chB := spawnA(), spawnB()
+	defer func() { chA.stop(); chB.stop() }()
+
+	ctx := context.Background()
+	cl, err := client.DialCluster(addrA, client.Options{Conns: 2})
+	if err != nil {
+		fatal("dial cluster", err)
+	}
+	defer cl.Close()
+	if n, err := cl.Len(ctx); err != nil {
+		fatal("len", err)
+	} else if n != 0 {
+		fatal("precondition", fmt.Errorf("cluster already holds %d pairs", n))
+	}
+	fmt.Printf("blinkstress cluster: %d workers, shards=%d, k=%d, A=%s B=%s, %v\n",
+		workers, shards, k, addrA, addrB, dur)
+
+	// Exact per-worker oracle over disjoint key slices, stretched over
+	// the whole keyspace so every range takes traffic.
+	const keysPer = 2048
+	type cstate struct {
+		val     client.Value
+		present bool
+	}
+	lastAcked := make([]map[uint64]cstate, workers)
+	possible := make([]map[uint64][]cstate, workers)
+	stride := ^uint64(0)/uint64(workers*keysPer) + 1
+	key := func(raw uint64) client.Key { return client.Key(raw * stride) }
+
+	// Preload half the population so migrations have data to ship.
+	for w := 0; w < workers; w++ {
+		lastAcked[w] = make(map[uint64]cstate)
+		possible[w] = make(map[uint64][]cstate)
+	}
+	var batch []client.Op
+	flushPreload := func(raws []uint64) {
+		results, err := cl.Batch(ctx, batch)
+		if err != nil {
+			fatal("preload", err)
+		}
+		for i, res := range results {
+			if res.Err != nil {
+				fatal("preload", res.Err)
+			}
+			raw := raws[i]
+			lastAcked[int(raw)/keysPer][raw] = cstate{val: batch[i].Value, present: true}
+		}
+		batch = batch[:0]
+	}
+	var raws []uint64
+	for raw := uint64(0); raw < uint64(workers*keysPer); raw += 2 {
+		batch = append(batch, client.Op{Kind: client.OpUpsert, Key: key(raw), Value: client.Value(raw | 1)})
+		raws = append(raws, raw)
+		if len(batch) == 512 {
+			flushPreload(raws)
+			raws = raws[:0]
+		}
+	}
+	if len(batch) > 0 {
+		flushPreload(raws)
+	}
+
+	var ops, opErrs, readErrs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*10007 + 5))
+			mine, amb := lastAcked[w], possible[w]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				raw := uint64(w*keysPer) + uint64(rng.Intn(keysPer))
+				cur := mine[raw]
+				switch {
+				case rng.Intn(4) == 0:
+					v, err := cl.Search(ctx, key(raw))
+					if err != nil && !errors.Is(err, blinktree.ErrNotFound) {
+						// The cluster may be mid-kill; reads prove nothing
+						// here, so skip the check but count the miss.
+						readErrs.Add(1)
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					if len(amb[raw]) == 0 {
+						got := cstate{val: v, present: err == nil}
+						if got.present != cur.present || (cur.present && got.val != cur.val) {
+							fatal("cluster search", fmt.Errorf(
+								"key %d: got %+v, oracle %+v", raw, got, cur))
+						}
+					}
+					ops.Add(1)
+				case cur.present && rng.Intn(4) == 0:
+					next := cstate{}
+					if err := cl.Delete(ctx, key(raw)); err != nil {
+						amb[raw] = append(amb[raw], next)
+						opErrs.Add(1)
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					mine[raw] = next
+					delete(amb, raw)
+					ops.Add(1)
+				default:
+					next := cstate{val: client.Value(rng.Uint64() | 1), present: true}
+					if _, _, err := cl.Upsert(ctx, key(raw), next.val); err != nil {
+						amb[raw] = append(amb[raw], next)
+						opErrs.Add(1)
+						time.Sleep(10 * time.Millisecond)
+						continue
+					}
+					mine[raw] = next
+					delete(amb, raw)
+					ops.Add(1)
+				}
+			}
+		}(w)
+	}
+	// Checkpoints under load: StreamState and migration chase must
+	// survive concurrent WAL truncation.
+	ckptErrs := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		period := dur / 8
+		if period < 200*time.Millisecond {
+			period = 200 * time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if err := cl.Checkpoint(ctx); err != nil {
+					ckptErrs++ // tolerated: a member may be mid-kill
+				}
+			}
+		}
+	}()
+
+	ensureMigrated := func(sh int, target string) {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			err := cl.Migrate(ctx, sh, target)
+			if err == nil {
+				return
+			}
+			_ = cl.Refresh(ctx)
+			if m := cl.Map(); m.Owners[sh] == target {
+				return // handoff had already committed
+			}
+			if time.Now().After(deadline) {
+				fatal("migrate", fmt.Errorf("range %d to %s would not converge: %v", sh, target, err))
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: single-owner load.
+	p1Start, p1Ops := time.Now(), ops.Load()
+	time.Sleep(dur / 4)
+	p1Rate := float64(ops.Load()-p1Ops) / time.Since(p1Start).Seconds()
+
+	// Phase 2: rebalance the upper half of the keyspace onto B, live.
+	migStart := time.Now()
+	for sh := shards / 2; sh < shards; sh++ {
+		ensureMigrated(sh, addrB)
+	}
+	fmt.Printf("      rebalanced ranges %d..%d onto B in %v under load\n",
+		shards/2, shards-1, time.Since(migStart).Round(time.Millisecond))
+	p2Start, p2Ops := time.Now(), ops.Load()
+	time.Sleep(dur / 5)
+	p2Rate := float64(ops.Load()-p2Ops) / time.Since(p2Start).Seconds()
+
+	// Phase 3: kill -9 the TARGET mid-migration, restart, re-trigger.
+	migDone := make(chan error, 1)
+	go func() { migDone <- cl.Migrate(ctx, 0, addrB) }()
+	time.Sleep(time.Duration(2+rand.Intn(15)) * time.Millisecond)
+	chB.kill9()
+	err = <-migDone
+	fmt.Printf("      kill -9'd TARGET (pid %d) mid-migration of range 0 (migrate: %v)\n",
+		chB.cmd.Process.Pid, err)
+	chB = spawnB()
+	ensureMigrated(0, addrB)
+	fmt.Printf("      target restarted on %s; migration of range 0 converged\n", addrB)
+	time.Sleep(dur / 8)
+
+	// Phase 4: kill -9 the SOURCE mid-migration, restart, re-trigger.
+	go func() { migDone <- cl.Migrate(ctx, 1, addrB) }()
+	time.Sleep(time.Duration(2+rand.Intn(15)) * time.Millisecond)
+	chA.kill9()
+	err = <-migDone
+	fmt.Printf("      kill -9'd SOURCE (pid %d) mid-migration of range 1 (migrate: %v)\n",
+		chA.cmd.Process.Pid, err)
+	chA = spawnA()
+	ensureMigrated(1, addrB)
+	fmt.Printf("      source restarted on %s; migration of range 1 converged\n", addrA)
+	time.Sleep(dur / 5)
+
+	close(stop)
+	wg.Wait()
+
+	// Settle: rewrite every ambiguous key to a known value so the
+	// oracle is exact again (the cluster is healthy now, so these must
+	// succeed).
+	settled := 0
+	for w := 0; w < workers; w++ {
+		for raw := range possible[w] {
+			v := client.Value(raw*2 + 1)
+			var err error
+			for i := 0; i < 100; i++ {
+				if _, _, err = cl.Upsert(ctx, key(raw), v); err == nil {
+					break
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			if err != nil {
+				fatal("settle", err)
+			}
+			lastAcked[w][raw] = cstate{val: v, present: true}
+			delete(possible[w], raw)
+			settled++
+		}
+	}
+
+	// Exact verification of every oracle key through the cluster map.
+	verified, present := 0, 0
+	for w := 0; w < workers; w++ {
+		for raw, want := range lastAcked[w] {
+			v, err := cl.Search(ctx, key(raw))
+			if want.present {
+				if err != nil || v != want.val {
+					fatal("verify", fmt.Errorf("key %d: got (%d,%v), want %d", raw, v, err, want.val))
+				}
+				present++
+			} else if !errors.Is(err, blinktree.ErrNotFound) {
+				fatal("verify", fmt.Errorf("key %d: got (%d,%v), want absent", raw, v, err))
+			}
+			verified++
+		}
+	}
+	// Zero phantoms: a full scan across both members finds only oracle
+	// pairs with oracle values.
+	phantoms := 0
+	if err := cl.Range(ctx, 0, client.Key(^uint64(0)), 0, func(kk client.Key, v client.Value) bool {
+		raw := uint64(kk) / stride
+		w := int(raw) / keysPer
+		if uint64(kk)%stride != 0 || w < 0 || w >= workers {
+			phantoms++
+			return false
+		}
+		want := lastAcked[w][raw]
+		if !want.present || want.val != v {
+			phantoms++
+			return false
+		}
+		return true
+	}); err != nil {
+		fatal("verify scan", err)
+	}
+	if phantoms > 0 {
+		fatal("verify", fmt.Errorf("%d phantom pairs", phantoms))
+	}
+	if n, err := cl.Len(ctx); err != nil || n != present {
+		fatal("verify", fmt.Errorf("Len=%d err=%v, oracle has %d present", n, err, present))
+	}
+
+	// The final map must reflect the rebalance plus both crash-tested
+	// migrations.
+	finalMap := cl.Map()
+	ownerOf := func(sh int) string { return finalMap.Owners[sh] }
+	for sh := 0; sh < shards; sh++ {
+		want := addrA
+		if sh == 0 || sh == 1 || sh >= shards/2 {
+			want = addrB
+		}
+		if ownerOf(sh) != want {
+			fatal("verify map", fmt.Errorf("range %d owned by %s, want %s (map v%d)",
+				sh, ownerOf(sh), want, finalMap.Version))
+		}
+	}
+	cstats := cl.Stats()
+	cl.Close()
+	chA.stop()
+	chB.stop()
+
+	// Local reopen of both members: structural invariants, and every
+	// pair must live on exactly the member the final map names — no
+	// duplicated or orphaned copies of migrated ranges.
+	localTotal := 0
+	for _, m := range []struct{ dir, addr, name string }{
+		{dirA, addrA, "A"}, {dirB, addrB, "B"},
+	} {
+		r, err := shard.NewRouter(shards, shard.Options{MinPairs: k, Durable: true, Dir: m.dir})
+		if err != nil {
+			fatal("local reopen "+m.name, err)
+		}
+		if err := r.Check(); err != nil {
+			fatal("local check "+m.name, err)
+		}
+		misplaced := 0
+		if err := r.Range(0, blinktree.Key(^uint64(0)), func(kk blinktree.Key, _ blinktree.Value) bool {
+			if ownerOf(finalMap.Range(uint64(kk))) != m.addr {
+				misplaced++
+			}
+			return true
+		}); err != nil {
+			fatal("local scan "+m.name, err)
+		}
+		if misplaced > 0 {
+			fatal("verify", fmt.Errorf("member %s holds %d pairs of ranges it does not own", m.name, misplaced))
+		}
+		localTotal += r.Len()
+		r.Close()
+	}
+	if localTotal != present {
+		fatal("verify", fmt.Errorf("local copies sum to %d pairs, oracle has %d — lost or duplicated data", localTotal, present))
+	}
+
+	fmt.Printf("PASS: %d ops, %d oracle keys verified (%d settled after %d op errors), 0 phantoms, 0 misplaced pairs\n",
+		ops.Load(), verified, settled, opErrs.Load())
+	fmt.Printf("      map v%d: B owns ranges 0,1,%d..%d; throughput %.0f ops/s one node → %.0f ops/s rebalanced\n",
+		finalMap.Version, shards/2, shards-1, p1Rate, p2Rate)
+	fmt.Printf("      client: %d redirects, %d map installs, %d retries, %d read misses during kills, %d checkpoint misses\n",
+		cstats.Redirects, cstats.MapInstalls, cstats.Retries, readErrs.Load(), ckptErrs)
+}

@@ -17,6 +17,7 @@ import (
 
 	"blinktree"
 	"blinktree/client"
+	"blinktree/internal/cluster"
 	"blinktree/internal/repl"
 	"blinktree/internal/server"
 	"blinktree/internal/shard"
@@ -29,7 +30,7 @@ import (
 // "LISTENING <addr>", and serves until SIGTERM. With follow non-empty
 // the child is a read-only replica of that primary, promotable over
 // the wire.
-func runNetServe(shards, k, compressors int, durable bool, dir, follow string, diskNative bool, cacheBytes int64, pageSize int) {
+func runNetServe(shards, k, compressors int, durable bool, dir, follow string, diskNative bool, cacheBytes int64, pageSize int, addr, clusterSelf, clusterInitial string) {
 	opts := shard.Options{
 		MinPairs: k, CompressorWorkers: compressors, Durable: durable, Dir: dir,
 		DiskNative: diskNative, CacheBytes: cacheBytes, PageSize: pageSize,
@@ -38,7 +39,27 @@ func runNetServe(shards, k, compressors int, durable bool, dir, follow string, d
 	if err != nil {
 		fatal("child open", err)
 	}
-	cfg := server.Config{Addr: "127.0.0.1:0"}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	cfg := server.Config{Addr: addr}
+	if clusterSelf != "" {
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			Self:         clusterSelf,
+			Shards:       shards,
+			InitialOwner: clusterInitial,
+			Dir:          dir,
+			Logf:         func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			fatal("child cluster", err)
+		}
+		if err := node.ReclaimRemote(r); err != nil {
+			fatal("child cluster reclaim", err)
+		}
+		node.ResolveFences(r)
+		cfg.Cluster = node
+	}
 	var follower *repl.Follower
 	if follow != "" {
 		fdir := ""
@@ -82,23 +103,55 @@ type child struct {
 // its LISTENING line. A non-empty follow spawns a read-only replica of
 // that primary address.
 func spawnServer(shards, k, compressors int, durable bool, dir, follow string, diskNative bool, cacheBytes int64, pageSize int) *child {
+	return spawn(spawnOpts{
+		shards: shards, k: k, compressors: compressors,
+		durable: durable, dir: dir, follow: follow,
+		diskNative: diskNative, cacheBytes: cacheBytes, pageSize: pageSize,
+	})
+}
+
+// spawnOpts parameterises a spawned server child. addr pins the listen
+// address ("" = ephemeral) so a kill -9'd cluster member can restart
+// where the map says it lives; clusterSelf/clusterInitial make the
+// child a cluster member.
+type spawnOpts struct {
+	shards, k, compressors      int
+	durable                     bool
+	dir, follow                 string
+	diskNative                  bool
+	cacheBytes                  int64
+	pageSize                    int
+	addr                        string
+	clusterSelf, clusterInitial string
+}
+
+func spawn(o spawnOpts) *child {
 	args := []string{
 		"-net-serve",
-		"-shards", strconv.Itoa(shards),
-		"-k", strconv.Itoa(k),
-		"-compressors", strconv.Itoa(compressors),
+		"-shards", strconv.Itoa(o.shards),
+		"-k", strconv.Itoa(o.k),
+		"-compressors", strconv.Itoa(o.compressors),
 	}
-	if durable {
-		args = append(args, "-durable", "-dir", dir)
+	if o.durable {
+		args = append(args, "-durable", "-dir", o.dir)
 	}
-	if follow != "" {
-		args = append(args, "-follow", follow)
+	if o.follow != "" {
+		args = append(args, "-follow", o.follow)
 	}
-	if diskNative {
+	if o.addr != "" {
+		args = append(args, "-serve-addr", o.addr)
+	}
+	if o.clusterSelf != "" {
+		args = append(args, "-cluster-advertise", o.clusterSelf)
+	}
+	if o.clusterInitial != "" {
+		args = append(args, "-cluster-initial", o.clusterInitial)
+	}
+	if o.diskNative {
 		args = append(args,
 			"-disk-native",
-			"-cache-bytes", strconv.FormatInt(cacheBytes, 10),
-			"-page-size", strconv.Itoa(pageSize))
+			"-cache-bytes", strconv.FormatInt(o.cacheBytes, 10),
+			"-page-size", strconv.Itoa(o.pageSize))
 	}
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Stderr = os.Stderr

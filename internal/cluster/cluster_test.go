@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"blinktree/internal/wire"
+)
+
+// mustNode builds a node or fails.
+func mustNode(t *testing.T, cfg NodeConfig) *Node {
+	t.Helper()
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestMapPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	n := mustNode(t, NodeConfig{Self: "a:1", Shards: 4, Dir: dir})
+	if err := n.commitOut(2, "b:2", 5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart under a different advertised address: self-owned ranges
+	// are stored as "" precisely so they survive an address change
+	// (ephemeral ports on restart).
+	n2 := mustNode(t, NodeConfig{Self: "a:9", Shards: 4, Dir: dir})
+	if v := n2.Version(); v != 5 {
+		t.Fatalf("version %d after reload, want 5", v)
+	}
+	for i := 0; i < 4; i++ {
+		owner, pending, _ := n2.OwnedInfo(i)
+		wantOwner, wantServing := "a:9", true
+		if i == 2 {
+			wantOwner, wantServing = "b:2", false
+		}
+		if owner != wantOwner || pending != "" {
+			t.Fatalf("range %d reloaded as owner=%q pending=%q, want owner=%q", i, owner, pending, wantOwner)
+		}
+		if n2.Serving(i) != wantServing {
+			t.Fatalf("range %d serving=%v, want %v", i, n2.Serving(i), wantServing)
+		}
+	}
+}
+
+func TestFenceTransitions(t *testing.T) {
+	n := mustNode(t, NodeConfig{Self: "a:1", Shards: 4})
+	if err := n.setFenced(1, "b:2"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Serving(1) {
+		t.Fatal("fenced range still serving")
+	}
+	if s := n.ClusterStats(); s.Fenced != 1 || s.Owned != 3 {
+		t.Fatalf("stats after fence: owned=%d fenced=%d, want 3/1", s.Owned, s.Fenced)
+	}
+
+	// The redirect payload must point at the pending target, not the
+	// still-recorded owner: a client chasing it should land where the
+	// range is about to live.
+	m, err := wire.DecodeClusterMap(n.RedirectPayload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Owners[1] != "b:2" {
+		t.Fatalf("redirect names %q, want the pending target b:2", m.Owners[1])
+	}
+	if m.Owners[0] != "a:1" {
+		t.Fatalf("redirect rewrote unfenced range 0 to %q", m.Owners[0])
+	}
+
+	// Abort path: unfence restores serving with ownership unchanged.
+	n.unfence(1)
+	if !n.Serving(1) {
+		t.Fatal("unfenced range not serving")
+	}
+
+	// Commit path: fence again, then hand off. The range turns remote
+	// and the version adopts the handoff's.
+	if err := n.setFenced(1, "b:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.commitOut(1, "b:2", 7); err != nil {
+		t.Fatal(err)
+	}
+	if n.Serving(1) {
+		t.Fatal("handed-off range still serving")
+	}
+	owner, pending, version := n.OwnedInfo(1)
+	if owner != "b:2" || pending != "" || version != 7 {
+		t.Fatalf("after commitOut: owner=%q pending=%q v=%d, want b:2 \"\" 7", owner, pending, version)
+	}
+}
+
+func TestActivateInbound(t *testing.T) {
+	// A node booted as a non-owner serves nothing until handoffs land.
+	n := mustNode(t, NodeConfig{Self: "b:2", Shards: 4, InitialOwner: "a:1"})
+	for i := 0; i < 4; i++ {
+		if n.Serving(i) {
+			t.Fatalf("non-owner serving range %d at boot", i)
+		}
+	}
+	if err := n.activate(3, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Serving(3) {
+		t.Fatal("activated range not serving")
+	}
+	s := n.ClusterStats()
+	if s.Takeovers != 1 || s.Owned != 1 || s.Version != 9 {
+		t.Fatalf("after activate: takeovers=%d owned=%d v=%d, want 1/1/9", s.Takeovers, s.Owned, s.Version)
+	}
+}
+
+func TestFenceSurvivesRestart(t *testing.T) {
+	// A fenced-outbound marker must outlive a crash: the restarted node
+	// stays fenced (redirecting writes) so ResolveFences can finish the
+	// handoff instead of resurrecting a split-brain owner.
+	dir := t.TempDir()
+	n := mustNode(t, NodeConfig{Self: "a:1", Shards: 4, Dir: dir})
+	if err := n.setFenced(2, "b:2"); err != nil {
+		t.Fatal(err)
+	}
+	n2 := mustNode(t, NodeConfig{Self: "a:1", Shards: 4, Dir: dir})
+	owner, pending, _ := n2.OwnedInfo(2)
+	if owner != "a:1" || pending != "b:2" {
+		t.Fatalf("reloaded fence: owner=%q pending=%q, want a:1/b:2", owner, pending)
+	}
+	if n2.Serving(2) {
+		t.Fatal("fenced range serving after restart")
+	}
+}
+
+func TestCorruptMapFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	n := mustNode(t, NodeConfig{Self: "a:1", Shards: 4, Dir: dir})
+	if err := n.commitOut(0, "b:2", 3); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, MapFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // break the CRC
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n2 := mustNode(t, NodeConfig{Self: "a:1", Shards: 4, Dir: dir})
+	if v := n2.Version(); v != 1 {
+		t.Fatalf("corrupt map was trusted: version %d, want initial 1", v)
+	}
+	owner, _, _ := n2.OwnedInfo(0)
+	if owner != "a:1" {
+		t.Fatalf("corrupt map was trusted: owner %q, want initial a:1", owner)
+	}
+
+	// A map persisted for a different shard count is likewise ignored
+	// wholesale, never half-applied.
+	dir2 := t.TempDir()
+	n3 := mustNode(t, NodeConfig{Self: "a:1", Shards: 4, Dir: dir2})
+	if err := n3.commitOut(1, "c:3", 2); err != nil {
+		t.Fatal(err)
+	}
+	n4 := mustNode(t, NodeConfig{Self: "a:1", Shards: 8, Dir: dir2})
+	if v := n4.Version(); v != 1 {
+		t.Fatalf("mismatched-shard map was trusted: version %d, want initial 1", v)
+	}
+	if owner, _, _ := n4.OwnedInfo(1); owner != "a:1" {
+		t.Fatalf("mismatched-shard map was trusted: owner %q", owner)
+	}
+}
+
+func TestClusterMapCodec(t *testing.T) {
+	m := &wire.ClusterMap{Version: 42, Owners: []string{"a:1", "b:2", "", "c:3"}}
+	var b wire.Buf
+	wire.AppendClusterMap(&b, m)
+	got, err := wire.DecodeClusterMap(b.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || len(got.Owners) != len(m.Owners) {
+		t.Fatalf("round-trip: %+v", got)
+	}
+	for i := range m.Owners {
+		if got.Owners[i] != m.Owners[i] {
+			t.Fatalf("owner %d = %q, want %q", i, got.Owners[i], m.Owners[i])
+		}
+	}
+
+	// Truncated and trailing-byte payloads are rejected, not guessed at.
+	if _, err := wire.DecodeClusterMap(b.B[:len(b.B)-1]); err == nil {
+		t.Fatal("truncated map decoded")
+	}
+	if _, err := wire.DecodeClusterMap(append(append([]byte(nil), b.B...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := wire.DecodeClusterMap(nil); err == nil {
+		t.Fatal("empty payload decoded")
+	}
+}
+
+func TestClusterMapRange(t *testing.T) {
+	// The single-owner map must not divide by a zero stride
+	// (^uint64(0)/1 + 1 wraps to 0).
+	one := &wire.ClusterMap{Version: 1, Owners: []string{"a:1"}}
+	if got := one.Range(^uint64(0)); got != 0 {
+		t.Fatalf("single-owner Range = %d, want 0", got)
+	}
+	four := &wire.ClusterMap{Version: 1, Owners: []string{"a", "b", "c", "d"}}
+	stride := ^uint64(0)/4 + 1
+	cases := map[uint64]int{0: 0, stride - 1: 0, stride: 1, 3 * stride: 3, ^uint64(0): 3}
+	for k, want := range cases {
+		if got := four.Range(k); got != want {
+			t.Fatalf("Range(%d) = %d, want %d", k, got, want)
+		}
+	}
+}

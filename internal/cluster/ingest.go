@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"blinktree/internal/base"
+	"blinktree/internal/repl"
+	"blinktree/internal/shard"
+	"blinktree/internal/wal"
+	"blinktree/internal/wire"
+)
+
+// ingestAckEvery is how many applied records between flow-control acks.
+const ingestAckEvery = 1024
+
+// BeginIngest is the target side of the OpMigrate ingest handshake.
+// already=true means this node owns the range from a committed prior
+// handoff (the source should adopt, no stream follows). On
+// (false, nil) the node's migration slot is held and the caller MUST
+// follow with ServeIngest, which releases it.
+func (n *Node) BeginIngest(sh int) (already bool, version uint64, err error) {
+	if err := n.validShard(sh); err != nil {
+		return false, 0, err
+	}
+	if !n.migMu.TryLock() {
+		return false, 0, errors.New("cluster: another migration is in progress on this node")
+	}
+	owner, pending, ver := n.OwnedInfo(sh)
+	if owner == n.self {
+		n.migMu.Unlock()
+		if pending != "" {
+			return false, 0, fmt.Errorf("cluster: range %d is fenced outbound toward %s", sh, pending)
+		}
+		return true, ver, nil
+	}
+	return false, ver, nil
+}
+
+// AbortIngest releases the slot BeginIngest held when the handshake
+// response could not be delivered.
+func (n *Node) AbortIngest() { n.migMu.Unlock() }
+
+// ServeIngest runs the target side of a migration stream after a
+// successful BeginIngest: wipe the range on FrameReset, apply
+// FrameRecords through the router (the target's own WAL group-commits
+// them, which is what makes the takeover durable), ack periodically
+// for flow control, and on FrameHandoff persist ownership BEFORE the
+// final ack — the ack is the source's permission to stop owning the
+// range, so the claim must already be durable.
+func (n *Node) ServeIngest(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, r *shard.Router, sh int) error {
+	defer n.migMu.Unlock()
+	lo, hi := r.ShardSpan(sh)
+	var (
+		scratch  []byte
+		recs     []wal.Record
+		ops      []shard.Op
+		enc      wire.Buf
+		applied  uint64
+		sinceAck int
+	)
+	sendAck := func(done bool) error {
+		enc.Reset()
+		enc.U64(applied)
+		if done {
+			enc.U8(1)
+		} else {
+			enc.U8(0)
+		}
+		if err := wire.WriteFrame(bw, 0, wire.FrameMigAck, enc.B); err != nil {
+			return err
+		}
+		nc.SetWriteDeadline(time.Now().Add(migIOTimeout))
+		sinceAck = 0
+		return bw.Flush()
+	}
+	for {
+		nc.SetReadDeadline(time.Now().Add(migIOTimeout))
+		id, code, payload, err := wire.ReadFrame(br, scratch)
+		if err != nil {
+			return fmt.Errorf("cluster: ingest range %d: %w", sh, err)
+		}
+		if cap(payload) > cap(scratch) {
+			scratch = payload[:0]
+		}
+		if int(id) != sh {
+			return fmt.Errorf("cluster: ingest frame for range %d on range %d's stream", id, sh)
+		}
+		switch code {
+		case wire.FrameReset:
+			// A (re)started stream: drop any partial copy from an
+			// earlier attempt before the fresh snapshot lands.
+			if err := wipeRange(r, lo, hi); err != nil {
+				return fmt.Errorf("cluster: wipe range %d: %w", sh, err)
+			}
+		case wire.FrameRecords:
+			_, _, rs, err := repl.DecodeRecords(payload, recs[:0])
+			if err != nil {
+				return err
+			}
+			recs = rs
+			for _, rec := range recs {
+				if rec.Key < lo || rec.Key > hi {
+					return fmt.Errorf("cluster: record for key %d outside range %d [%d,%d]", rec.Key, sh, lo, hi)
+				}
+			}
+			if err := applyRecords(r, recs, &ops); err != nil {
+				return fmt.Errorf("cluster: ingest range %d: %w", sh, err)
+			}
+			applied += uint64(len(recs))
+			n.ingested.Add(uint64(len(recs)))
+			if sinceAck += len(recs); sinceAck >= ingestAckEvery {
+				if err := sendAck(false); err != nil {
+					return err
+				}
+			}
+		case wire.FrameHandoff:
+			d := wire.Dec{B: payload}
+			ver := d.U64()
+			if !d.Done() {
+				return errors.New("cluster: malformed handoff frame")
+			}
+			if err := n.activate(sh, ver); err != nil {
+				return fmt.Errorf("cluster: persist takeover of range %d: %w", sh, err)
+			}
+			n.logf("cluster: took over range %d at map v%d (%d records ingested)", sh, ver, applied)
+			return sendAck(true)
+		default:
+			return fmt.Errorf("cluster: unexpected frame %d on migration stream", code)
+		}
+	}
+}
+
+// applyRecords re-applies shipped records through the router — puts as
+// upserts, dels as delete-if-present — the WAL replay contract that
+// makes at-least-once shipping safe.
+func applyRecords(r *shard.Router, recs []wal.Record, ops *[]shard.Op) error {
+	*ops = (*ops)[:0]
+	for _, rec := range recs {
+		switch rec.Kind {
+		case wal.KindPut:
+			*ops = append(*ops, shard.Op{Kind: shard.OpUpsert, Key: rec.Key, Value: rec.Value})
+		case wal.KindDel:
+			*ops = append(*ops, shard.Op{Kind: shard.OpDelete, Key: rec.Key})
+		}
+	}
+	for i, res := range r.ApplyBatch(*ops) {
+		if res.Err != nil && !((*ops)[i].Kind == shard.OpDelete && errors.Is(res.Err, base.ErrNotFound)) {
+			return fmt.Errorf("apply record: %w", res.Err)
+		}
+	}
+	return nil
+}
+
+// wipeRange deletes every pair in [lo, hi], batched through ApplyBatch
+// so the deletes are logged — the node's own recovery must not
+// resurrect wiped pairs.
+func wipeRange(r *shard.Router, lo, hi base.Key) error {
+	keys := make([]base.Key, 0, 2048)
+	ops := make([]shard.Op, 0, 2048)
+	for {
+		keys = keys[:0]
+		err := r.Range(lo, hi, func(k base.Key, _ base.Value) bool {
+			keys = append(keys, k)
+			return len(keys) < 2048
+		})
+		if err != nil {
+			return err
+		}
+		if len(keys) == 0 {
+			return nil
+		}
+		ops = ops[:0]
+		for _, k := range keys {
+			ops = append(ops, shard.Op{Kind: shard.OpDelete, Key: k})
+		}
+		for _, res := range r.ApplyBatch(ops) {
+			if res.Err != nil && !errors.Is(res.Err, base.ErrNotFound) {
+				return res.Err
+			}
+		}
+	}
+}

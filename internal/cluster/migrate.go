@@ -1,0 +1,463 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"blinktree/internal/base"
+	"blinktree/internal/repl"
+	"blinktree/internal/shard"
+	"blinktree/internal/wal"
+	"blinktree/internal/wire"
+)
+
+const (
+	// migBatch bounds records per FrameRecords frame (the repl shape).
+	migBatch = 512
+	// migWindow bounds shipped-minus-acked records before the source
+	// pauses — a slow target bounds the source's buffering, never its
+	// write path.
+	migWindow = 1 << 15
+	// migDialTimeout bounds the ingest dial + handshake; migIOTimeout
+	// bounds each frame write/read and the ack-progress wait.
+	migDialTimeout = 5 * time.Second
+	migIOTimeout   = 30 * time.Second
+	// migBootstraps bounds snapshot restarts after a checkpoint
+	// truncates the chase segment mid-stream.
+	migBootstraps = 5
+)
+
+// Migrate live-migrates range sh's data and ownership from this node
+// to the cluster member at target, blocking until the handoff commits
+// (or fails). It is idempotent: re-triggering after any crash or error
+// resolves the interrupted attempt — a target that already owns the
+// range reports so in the handshake and the source adopts the result;
+// otherwise the stream re-runs from a fresh snapshot.
+//
+// The sequence: snapshot-stream the shard via Engine.StreamState
+// (concurrent with writers), chase the WAL tail the snapshot rotation
+// left behind, fence the range (new writes refuse with a redirect,
+// in-flight batches drain behind the fence barrier), ship the final
+// tail, send FrameHandoff, and commit ownership once the target acks.
+func (n *Node) Migrate(r *shard.Router, sh int, target string) error {
+	if err := n.validShard(sh); err != nil {
+		return err
+	}
+	if target == "" || target == n.self {
+		return fmt.Errorf("cluster: migration target %q must be another member", target)
+	}
+	if !r.Durable() {
+		return errors.New("cluster: migration requires a durable server")
+	}
+	n.migMu.Lock()
+	defer n.migMu.Unlock()
+
+	owner, pending, _ := n.OwnedInfo(sh)
+	lo, hi := r.ShardSpan(sh)
+	switch {
+	case owner == target:
+		// Already handed off. Reclaim any local copy a crash left
+		// behind mid-wipe, then report success (idempotence).
+		return wipeRange(r, lo, hi)
+	case owner != n.self:
+		return fmt.Errorf("%w: range %d is owned by %s", errNotOwner, sh, owner)
+	case pending != "" && pending != target:
+		return fmt.Errorf("cluster: range %d is fenced toward %s, not %s", sh, pending, target)
+	}
+	wasFenced := pending == target
+
+	n.migShard.Store(int64(sh))
+	n.phase.Store(PhaseSnapshot)
+	defer func() {
+		n.migShard.Store(-1)
+		n.phase.Store(PhaseIdle)
+	}()
+
+	sess, already, tgtVersion, err := dialIngest(target, sh)
+	if err != nil {
+		return fmt.Errorf("cluster: ingest handshake with %s: %w", target, err)
+	}
+	if already {
+		// The target persisted its claim before acking a prior
+		// handoff; our commit (and local reclaim) is the missing piece.
+		if err := n.adopt(sh, target, tgtVersion); err != nil {
+			return err
+		}
+		return wipeRange(r, lo, hi)
+	}
+	defer sess.close()
+
+	// The handshake confirmed the target does not own the range (and
+	// its durable claim would have survived any crash), so until our
+	// FrameHandoff is on the wire the target cannot own it — failures
+	// before that point may safely un-fence and resume serving.
+	handoffSent := false
+	fenced := wasFenced
+	fail := func(err error) error {
+		if fenced && !handoffSent {
+			n.unfence(sh)
+		}
+		return err
+	}
+
+	eng := r.Engine(sh)
+	var (
+		enc  wire.Buf
+		recs = make([]wal.Record, 0, migBatch)
+		tr   *wal.TailReader
+	)
+	defer func() {
+		if tr != nil {
+			tr.Close()
+		}
+	}()
+	ship := func() error {
+		repl.AppendRecords(&enc, 0, 0, recs)
+		count := uint64(len(recs))
+		recs = recs[:0]
+		if err := sess.writeFrame(uint64(sh), wire.FrameRecords, enc.B); err != nil {
+			return err
+		}
+		n.shipped.Add(count)
+		sess.shipped += count
+		return sess.waitWindow()
+	}
+	// bootstrap (re)starts the stream: wipe the target's copy, ship a
+	// fuzzy snapshot, and leave tr tailing the rotation's segment.
+	bootstrap := func() error {
+		if tr != nil {
+			tr.Close()
+			tr = nil
+		}
+		recs = recs[:0]
+		if err := sess.writeFrame(uint64(sh), wire.FrameReset, nil); err != nil {
+			return err
+		}
+		seg, err := eng.StreamState(func(k base.Key, v base.Value) error {
+			recs = append(recs, wal.Record{Kind: wal.KindPut, Key: k, Value: v})
+			if len(recs) == migBatch {
+				return ship()
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("snapshot stream: %w", err)
+		}
+		if len(recs) > 0 {
+			if err := ship(); err != nil {
+				return err
+			}
+		}
+		tr = wal.NewTailReader(eng.WALDir(), seg, wal.SegmentHeaderLen)
+		return nil
+	}
+	// drain ships committed tail records until caught up; a checkpoint
+	// may truncate the chase segment underneath (ErrTruncated), which
+	// restarts the stream from a fresh snapshot.
+	bootstraps := 0
+	drain := func() error {
+		for {
+			rs, err := tr.Next(migBatch, recs[:0])
+			if errors.Is(err, wal.ErrTruncated) {
+				if bootstraps++; bootstraps > migBootstraps {
+					return fmt.Errorf("chase segment truncated %d times", bootstraps)
+				}
+				if err := bootstrap(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			recs = rs
+			if len(recs) == 0 {
+				return nil
+			}
+			if err := ship(); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := bootstrap(); err != nil {
+		return fail(fmt.Errorf("cluster: migrate range %d: %w", sh, err))
+	}
+	n.phase.Store(PhaseChase)
+	if err := drain(); err != nil {
+		return fail(fmt.Errorf("cluster: migrate range %d: chase: %w", sh, err))
+	}
+
+	// Fence: refuse new writes for the range, wait out in-flight
+	// batches, then ship whatever raced in — after the barrier nothing
+	// can append to this shard's WAL, so one more drain is final.
+	n.phase.Store(PhaseFence)
+	fenceStart := time.Now()
+	if !fenced {
+		if err := n.setFenced(sh, target); err != nil {
+			return fmt.Errorf("cluster: persist fence for range %d: %w", sh, err)
+		}
+		fenced = true
+	}
+	n.fenceMu.Lock()
+	n.fenceMu.Unlock() //nolint:staticcheck // empty critical section IS the barrier
+	if err := drain(); err != nil {
+		return fail(fmt.Errorf("cluster: migrate range %d: final tail: %w", sh, err))
+	}
+
+	newVersion := max(n.Version(), tgtVersion) + 1
+	enc.Reset()
+	enc.U64(newVersion)
+	handoffSent = true
+	if err := sess.writeFrame(uint64(sh), wire.FrameHandoff, enc.B); err != nil {
+		return fmt.Errorf("cluster: migrate range %d: handoff: %w", sh, err)
+	}
+	if err := sess.awaitDone(); err != nil {
+		// The target may or may not have committed; stay fenced — the
+		// next Migrate resolves it via the handshake.
+		return fmt.Errorf("cluster: migrate range %d: awaiting handoff ack: %w", sh, err)
+	}
+	fence := time.Since(fenceStart)
+	n.lastFenceNS.Store(int64(fence))
+	n.totalFenceNS.Add(int64(fence))
+	if err := n.commitOut(sh, target, newVersion); err != nil {
+		return fmt.Errorf("cluster: persist handoff of range %d: %w", sh, err)
+	}
+	n.migrations.Add(1)
+	n.logf("cluster: migrated range %d to %s (v%d, %d records shipped, fence %v)",
+		sh, target, newVersion, sess.shipped, fence.Round(time.Microsecond))
+	// The target serves the range now; the local copy is garbage. The
+	// wipe is logged like any delete, so recovery cannot resurrect it.
+	if err := wipeRange(r, lo, hi); err != nil {
+		return fmt.Errorf("cluster: reclaim migrated range %d: %w", sh, err)
+	}
+	return nil
+}
+
+// ResolveFences completes migrations this node crashed in the middle
+// of: every range persisted as fenced outbound is re-migrated toward
+// its recorded target — the ingest handshake adopts a handoff that had
+// already committed on the target, and a fresh stream finishes one
+// that had not. Call once at startup (after ReclaimRemote, before
+// serving); without it a crash window exists where the target owns the
+// range but the source stays fenced forever, holding a stale copy no
+// admin re-trigger can reach (the cluster map already names the
+// target, so nothing routes a Migrate back here). An unreachable
+// target leaves the range fenced — writes keep redirecting, and a
+// later re-trigger can still resolve it.
+func (n *Node) ResolveFences(r *shard.Router) {
+	for sh := 0; sh < n.shards; sh++ {
+		owner, pending, _ := n.OwnedInfo(sh)
+		if owner != n.self || pending == "" {
+			continue
+		}
+		if err := n.Migrate(r, sh, pending); err != nil {
+			n.logf("cluster: resolving fenced range %d toward %s: %v", sh, pending, err)
+		}
+	}
+}
+
+// ReclaimRemote deletes local copies of ranges this node does not own:
+// leftovers of an interrupted migration — a handoff that committed
+// right before a crash cut the source's reclaim short, or a partial
+// ingest whose stream died. Call it once at startup, before serving;
+// it is safe because every ingest stream begins with its own wipe, so
+// a non-owned copy is pure garbage by definition.
+func (n *Node) ReclaimRemote(r *shard.Router) error {
+	for sh := 0; sh < n.shards; sh++ {
+		if n.state[sh].Load() != rangeRemote {
+			continue
+		}
+		lo, hi := r.ShardSpan(sh)
+		if err := wipeRange(r, lo, hi); err != nil {
+			return fmt.Errorf("cluster: reclaim range %d: %w", sh, err)
+		}
+	}
+	return nil
+}
+
+// migSession is the source's connection to the target's ingest side.
+type migSession struct {
+	nc      net.Conn
+	bw      *bufio.Writer
+	shipped uint64
+
+	acked   atomic.Uint64
+	done    atomic.Bool
+	kick    chan struct{}
+	dead    chan struct{}
+	readErr error // set before dead closes
+}
+
+// dialIngest opens a migration stream to the target: dial, hello,
+// OpMigrate ingest handshake. already=true reports the target already
+// owns the range (no stream; the connection is closed).
+func dialIngest(target string, sh int) (sess *migSession, already bool, version uint64, err error) {
+	nc, err := net.DialTimeout("tcp", target, migDialTimeout)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	defer func() {
+		if sess == nil {
+			nc.Close()
+		}
+	}()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	nc.SetDeadline(time.Now().Add(migDialTimeout))
+	if err := wire.WriteHello(nc); err != nil {
+		return nil, false, 0, err
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	if _, err := wire.ReadHello(br); err != nil {
+		return nil, false, 0, fmt.Errorf("hello: %w", err)
+	}
+	var b wire.Buf
+	b.U8(1) // mode 1: ingest
+	b.U32(uint32(sh))
+	b.U16(0)
+	if err := wire.WriteFrame(nc, 1, wire.OpMigrate, b.B); err != nil {
+		return nil, false, 0, err
+	}
+	_, status, payload, err := wire.ReadFrame(br, nil)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	if status != wire.StatusOK {
+		return nil, false, 0, wire.StatusError(status, string(payload))
+	}
+	d := wire.Dec{B: payload}
+	alreadyB := d.U8()
+	version = d.U64()
+	if !d.Done() {
+		return nil, false, 0, errors.New("malformed ingest handshake response")
+	}
+	if alreadyB != 0 {
+		nc.Close()
+		return nil, true, version, nil
+	}
+	nc.SetDeadline(time.Time{})
+	s := &migSession{
+		nc:   nc,
+		bw:   bufio.NewWriterSize(nc, 64<<10),
+		kick: make(chan struct{}, 1),
+		dead: make(chan struct{}),
+	}
+	go s.readAcks(br)
+	return s, false, version, nil
+}
+
+// readAcks drains FrameMigAck frames, tracking applied counts and the
+// final done flag.
+func (s *migSession) readAcks(br *bufio.Reader) {
+	var scratch []byte
+	for {
+		_, code, payload, err := wire.ReadFrame(br, scratch)
+		if err != nil {
+			s.readErr = err
+			close(s.dead)
+			return
+		}
+		if cap(payload) > cap(scratch) {
+			scratch = payload[:0]
+		}
+		if code != wire.FrameMigAck {
+			s.readErr = fmt.Errorf("unexpected frame %d on migration stream", code)
+			close(s.dead)
+			return
+		}
+		d := wire.Dec{B: payload}
+		applied := d.U64()
+		done := d.U8()
+		if !d.Done() {
+			s.readErr = errors.New("malformed migration ack")
+			close(s.dead)
+			return
+		}
+		s.acked.Store(applied)
+		if done != 0 {
+			s.done.Store(true)
+		}
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// writeFrame buffers one frame, with a write deadline covering any
+// implicit flush.
+func (s *migSession) writeFrame(id uint64, code uint8, payload []byte) error {
+	select {
+	case <-s.dead:
+		return fmt.Errorf("migration stream closed: %w", s.readErr)
+	default:
+	}
+	s.nc.SetWriteDeadline(time.Now().Add(migIOTimeout))
+	return wire.WriteFrame(s.bw, id, code, payload)
+}
+
+// waitWindow flushes and pauses while the shipped-minus-acked window
+// is full, failing if the target makes no progress for migIOTimeout.
+func (s *migSession) waitWindow() error {
+	if s.shipped-s.acked.Load() < migWindow {
+		return nil
+	}
+	if err := s.flush(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(migIOTimeout)
+	for s.shipped-s.acked.Load() >= migWindow {
+		if time.Now().After(deadline) {
+			return errors.New("migration target stalled (ack window full)")
+		}
+		select {
+		case <-s.kick:
+			deadline = time.Now().Add(migIOTimeout)
+		case <-s.dead:
+			return fmt.Errorf("migration stream closed: %w", s.readErr)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// flush pushes buffered frames to the wire.
+func (s *migSession) flush() error {
+	s.nc.SetWriteDeadline(time.Now().Add(migIOTimeout))
+	return s.bw.Flush()
+}
+
+// awaitDone flushes and waits for the target's post-handoff ack.
+func (s *migSession) awaitDone() error {
+	if err := s.flush(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(migIOTimeout)
+	for !s.done.Load() {
+		if time.Now().After(deadline) {
+			return errors.New("timed out")
+		}
+		select {
+		case <-s.kick:
+		case <-s.dead:
+			if s.done.Load() {
+				return nil
+			}
+			return fmt.Errorf("stream closed: %w", s.readErr)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// close tears the session down.
+func (s *migSession) close() {
+	s.nc.Close()
+	<-s.dead // reader exits on the closed conn
+}

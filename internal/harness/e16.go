@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blinktree/client"
+	"blinktree/internal/cluster"
+	"blinktree/internal/server"
+	"blinktree/internal/shard"
+)
+
+// E16Migration measures what live shard migration delivers and what it
+// costs: aggregate write throughput before, during, and after half the
+// ranges move from one cluster member to another, plus the write-fence
+// pause each handoff imposes. Two durable members run in-process,
+// connected over TCP loopback exactly as production would be; a
+// cluster-aware client drives batched upserts throughout and rides the
+// redirects.
+//
+// The claim under test: migration is live — writes keep flowing while
+// ranges move, the only write-unavailability per range is the final
+// fence (milliseconds: drain in-flight batches + ship the fenced
+// tail), and after the rebalance two members sustain more aggregate
+// write throughput than one.
+func E16Migration(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E16: live migration — throughput before/during/after rebalance, fence cost",
+		Headers: []string{"config", "before ops/s", "during ops/s", "after ops/s", "migration ms", "fence ms max", "fence ms total", "records moved"},
+		Notes: []string{
+			"two durable cluster members over TCP loopback; writes = batched upserts from a",
+			"cluster-aware client (6 goroutines) running continuously; 'during' spans the",
+			"sequential migration of half the ranges; fence = per-handoff write pause on the",
+			"source (drain in-flight batches + ship the fenced WAL tail).",
+		},
+	}
+	for _, shards := range []int{4, 8} {
+		row, err := e16Cell(shards, s.n(16384))
+		if err != nil {
+			return err
+		}
+		tbl.Add(append([]any{fmt.Sprintf("s=%d", shards)}, row...)...)
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// e16Cell runs one two-member cluster and returns the measured row.
+func e16Cell(shards, keys int) ([]any, error) {
+	dirA, err := os.MkdirTemp("", "e16-a")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dirA)
+	dirB, err := os.MkdirTemp("", "e16-b")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dirB)
+
+	// Members need fixed addresses before their servers start (the
+	// cluster map names them), so reserve ports up front.
+	addrA, err := reserveAddr()
+	if err != nil {
+		return nil, err
+	}
+	addrB, err := reserveAddr()
+	if err != nil {
+		return nil, err
+	}
+
+	quiet := func(string, ...any) {}
+	start := func(addr, dir string) (*shard.Router, *server.Server, *cluster.Node, error) {
+		r, err := shard.NewRouter(shards, shard.Options{MinPairs: 16, Durable: true, Dir: dir})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			Self: addr, Shards: shards, InitialOwner: addrA, Dir: dir, Logf: quiet,
+		})
+		if err != nil {
+			r.Close()
+			return nil, nil, nil, err
+		}
+		s := server.New(r, server.Config{Addr: addr, Logf: quiet, Cluster: node})
+		if err := s.Start(); err != nil {
+			r.Close()
+			return nil, nil, nil, err
+		}
+		return r, s, node, nil
+	}
+	rA, sA, nodeA, err := start(addrA, dirA)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { sA.Close(); rA.Close() }()
+	rB, sB, _, err := start(addrB, dirB)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { sB.Close(); rB.Close() }()
+
+	ctx := context.Background()
+	cl, err := client.DialCluster(addrA, client.Options{Conns: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	// Preload so migrations have state to ship.
+	stride := ^uint64(0)/uint64(keys) + 1
+	key := func(i int) client.Key { return client.Key(uint64(i) * stride) }
+	pre := make([]client.Op, 0, 256)
+	for i := 0; i < keys; i += 256 {
+		pre = pre[:0]
+		for j := i; j < i+256 && j < keys; j++ {
+			pre = append(pre, client.Op{Kind: client.OpUpsert, Key: key(j), Value: client.Value(j)})
+		}
+		if _, err := cl.Batch(ctx, pre); err != nil {
+			return nil, err
+		}
+	}
+
+	// Continuous batched writers for the whole experiment.
+	var ops atomic.Uint64
+	var writeErr atomic.Value
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			batch := make([]client.Op, 128)
+			i := g * 7919
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range batch {
+					i += 13
+					batch[j] = client.Op{Kind: client.OpUpsert, Key: key(i % keys), Value: client.Value(i)}
+				}
+				results, err := cl.Batch(ctx, batch)
+				if err != nil {
+					writeErr.Store(err)
+					return
+				}
+				ok := 0
+				for _, res := range results {
+					if res.Err == nil {
+						ok++
+					}
+				}
+				ops.Add(uint64(ok))
+			}
+		}(g)
+	}
+	rate := func(window time.Duration) float64 {
+		before := ops.Load()
+		time.Sleep(window)
+		return float64(ops.Load()-before) / window.Seconds()
+	}
+
+	const window = 400 * time.Millisecond
+	beforeRate := rate(window)
+
+	// The rebalance: migrate the upper half of the ranges onto B, one
+	// at a time, writes flowing throughout.
+	migStart := time.Now()
+	migOps := ops.Load()
+	var fenceMax time.Duration
+	for sh := shards / 2; sh < shards; sh++ {
+		if err := cl.Migrate(ctx, sh, addrB); err != nil {
+			return nil, fmt.Errorf("e16: migrate range %d: %w", sh, err)
+		}
+		if f := nodeA.ClusterStats().LastFence; f > fenceMax {
+			fenceMax = f
+		}
+	}
+	migWindow := time.Since(migStart)
+	duringRate := float64(ops.Load()-migOps) / migWindow.Seconds()
+
+	afterRate := rate(window)
+	close(stop)
+	wg.Wait()
+	if err, ok := writeErr.Load().(error); ok && err != nil {
+		return nil, fmt.Errorf("e16: writer: %w", err)
+	}
+
+	cs := nodeA.ClusterStats()
+	if cs.Migrations != uint64(shards-shards/2) {
+		return nil, fmt.Errorf("e16: %d migrations committed, want %d", cs.Migrations, shards-shards/2)
+	}
+	return []any{
+		fmt.Sprintf("%.0f", beforeRate),
+		fmt.Sprintf("%.0f", duringRate),
+		fmt.Sprintf("%.0f", afterRate),
+		fmt.Sprintf("%.0f", float64(migWindow.Microseconds())/1000),
+		fmt.Sprintf("%.1f", float64(fenceMax.Microseconds())/1000),
+		fmt.Sprintf("%.1f", float64(cs.FenceTotal.Microseconds())/1000),
+		fmt.Sprintf("%d", cs.Shipped),
+	}, nil
+}
+
+// reserveAddr picks a concrete loopback address by binding an
+// ephemeral port and releasing it.
+func reserveAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}

@@ -228,7 +228,7 @@ func (f *Feed) stream(pos []Position) error {
 				continue
 			}
 			seg, off := readers[i].Pos()
-			appendRecords(&enc, seg, off, recs)
+			AppendRecords(&enc, seg, off, recs)
 			if err := f.writeFrame(uint64(i), wire.FrameRecords, enc.B); err != nil {
 				return err
 			}
@@ -270,7 +270,7 @@ func (f *Feed) bootstrap(i int, enc *wire.Buf) (*wal.TailReader, error) {
 		if err := f.waitWindow(); err != nil {
 			return err
 		}
-		appendRecords(enc, 0, 0, recs)
+		AppendRecords(enc, 0, 0, recs)
 		if err := f.writeFrame(uint64(i), wire.FrameRecords, enc.B); err != nil {
 			return err
 		}

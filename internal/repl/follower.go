@@ -302,7 +302,7 @@ func (f *Follower) apply(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (progr
 		}
 		switch code {
 		case wire.FrameRecords:
-			seg, endOff, rs, err := decodeRecords(payload, recs[:0])
+			seg, endOff, rs, err := DecodeRecords(payload, recs[:0])
 			if err != nil {
 				return err
 			}

@@ -61,10 +61,12 @@ func (p Position) fresh() bool { return p.Seg == 0 }
 // bytes per record a full frame stays ~9 KiB, far under wire.MaxFrame.
 const maxFrameRecords = 512
 
-// appendRecords encodes a FrameRecords payload: the resume position
+// AppendRecords encodes a FrameRecords payload: the resume position
 // after the batch, then the records. Snapshot bootstrap frames pass
 // seg 0 so the follower applies without advancing its position.
-func appendRecords(b *wire.Buf, seg uint64, endOff int64, recs []wal.Record) {
+// Exported because migration streams (internal/cluster) ship records
+// in the same shape.
+func AppendRecords(b *wire.Buf, seg uint64, endOff int64, recs []wal.Record) {
 	b.Reset()
 	b.U64(seg)
 	b.U64(uint64(endOff))
@@ -76,8 +78,8 @@ func appendRecords(b *wire.Buf, seg uint64, endOff int64, recs []wal.Record) {
 	}
 }
 
-// decodeRecords parses a FrameRecords payload into recs (reused).
-func decodeRecords(payload []byte, recs []wal.Record) (seg uint64, endOff int64, _ []wal.Record, err error) {
+// DecodeRecords parses a FrameRecords payload into recs (reused).
+func DecodeRecords(payload []byte, recs []wal.Record) (seg uint64, endOff int64, _ []wal.Record, err error) {
 	d := wire.Dec{B: payload}
 	seg = d.U64()
 	endOff = int64(d.U64())

@@ -141,4 +141,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, fs := range feeds {
 		fmt.Fprintf(w, "blinkrepl_resets_total{follower=%q} %d\n", fs.Remote, fs.Resets)
 	}
+
+	// Cluster: the ownership map and live-migration progress.
+	if cs, ok := s.ClusterStats(); ok {
+		cgauge := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP blinkcluster_%s %s\n# TYPE blinkcluster_%s gauge\nblinkcluster_%s %d\n",
+				name, help, name, name, v)
+		}
+		ccounter := func(name, help string, v uint64) {
+			fmt.Fprintf(w, "# HELP blinkcluster_%s %s\n# TYPE blinkcluster_%s counter\nblinkcluster_%s %d\n",
+				name, help, name, name, v)
+		}
+		cgauge("map_version", "cluster map version", int64(cs.Version))
+		cgauge("ranges_owned", "ranges served by this member", int64(cs.Owned))
+		cgauge("ranges_fenced", "ranges frozen mid-handoff", int64(cs.Fenced))
+		cgauge("migration_shard", "range being migrated out (-1 idle)", cs.MigratingShard)
+		cgauge("migration_phase", "0 idle, 1 snapshot, 2 chase, 3 fence", int64(cs.Phase))
+		ccounter("migration_records_shipped_total", "records shipped to migration targets", cs.Shipped)
+		ccounter("migration_records_ingested_total", "records applied from migration sources", cs.Ingested)
+		ccounter("migrations_out_total", "completed outbound handoffs", cs.Migrations)
+		ccounter("migrations_in_total", "completed inbound takeovers", cs.Takeovers)
+		ccounter("redirects_total", "ops refused with StatusWrongShard", cs.Redirects)
+		fmt.Fprintf(w, "# HELP blinkcluster_fence_seconds duration of the last write fence\n# TYPE blinkcluster_fence_seconds gauge\nblinkcluster_fence_seconds %g\n",
+			cs.LastFence.Seconds())
+		fmt.Fprintf(w, "# HELP blinkcluster_fence_seconds_total cumulative write-fence time\n# TYPE blinkcluster_fence_seconds_total counter\nblinkcluster_fence_seconds_total %g\n",
+			cs.FenceTotal.Seconds())
+	}
 }

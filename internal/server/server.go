@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"blinktree/internal/base"
+	"blinktree/internal/cluster"
 	"blinktree/internal/metrics"
 	"blinktree/internal/repl"
 	"blinktree/internal/shard"
@@ -64,6 +65,11 @@ type Config struct {
 	// maximum number of shipped-but-unacknowledged records before a
 	// feed pauses. Default 65536.
 	FollowWindow int
+	// Cluster, when set, makes this a cluster member: every op checks
+	// the node's range-ownership map, ops on ranges owned elsewhere
+	// (or fenced mid-migration) answer StatusWrongShard with a
+	// redirect payload, and the OpMigrate/OpClusterMap ops serve.
+	Cluster *cluster.Node
 }
 
 func (c *Config) fill() {
@@ -255,17 +261,20 @@ func (s *Server) handleConn(nc net.Conn) {
 	br := bufio.NewReaderSize(nc, 64<<10)
 	bw := bufio.NewWriterSize(nc, 64<<10)
 
-	// Hello exchange: validate the client before serving anything.
+	// Hello exchange: validate the client before serving anything,
+	// answering with the version we will speak — min(client, ours) —
+	// so an old client works against a new server.
 	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
-	if _, err := wire.ReadHello(br); err != nil {
+	clientV, err := wire.ReadHello(br)
+	if err != nil {
 		s.Metrics.Errors.Inc()
 		return
 	}
-	if err := wire.WriteHello(nc); err != nil {
+	if err := wire.WriteHelloVersion(nc, min(clientV, wire.Version)); err != nil {
 		return
 	}
 
-	c := &connState{s: s, nc: nc, br: br, bw: bw}
+	c := &connState{s: s, nc: nc, br: br, bw: bw, ingestShard: -1}
 	for {
 		c.reqs, c.ops, c.opRq = c.reqs[:0], c.ops[:0], c.opRq[:0]
 		gerr := s.gather(c)
@@ -273,11 +282,24 @@ func (s *Server) handleConn(nc net.Conn) {
 			start := time.Now()
 			s.execute(c)
 			if err := bw.Flush(); err != nil {
+				if c.ingestShard >= 0 {
+					s.cfg.Cluster.AbortIngest()
+				}
 				s.Metrics.ConnDrops.Inc()
 				return
 			}
 			s.Metrics.PollLat.Observe(time.Since(start))
 			s.Metrics.Polls.Inc()
+		}
+		if c.ingestShard >= 0 {
+			// The poll carried an accepted migration-ingest handshake
+			// (response flushed above): the connection now belongs to
+			// the migration stream until the handoff ends it.
+			err := s.cfg.Cluster.ServeIngest(nc, br, bw, s.r, c.ingestShard)
+			if err != nil && !isCleanClose(err) {
+				s.cfg.Logf("migration ingest %s: %v", nc.RemoteAddr(), err)
+			}
+			return
 		}
 		if c.followPos != nil {
 			// The poll carried an accepted OpFollow (response flushed
@@ -347,6 +369,10 @@ type connState struct {
 	// followPos, set by an accepted OpFollow, hands the connection to
 	// the replication feed once the poll's responses are flushed.
 	followPos []repl.Position
+	// ingestShard (≥ 0), set by an accepted OpMigrate ingest
+	// handshake, hands the connection to the migration ingest loop
+	// once the poll's responses are flushed.
+	ingestShard int
 	// skipWait disables the coalesce wait after a window expired dry
 	// (nothing more can arrive while callers await responses);
 	// pollSeq re-samples it every 32nd poll.
@@ -486,11 +512,7 @@ func (s *Server) execute(c *connState) {
 	s.Metrics.Requests.Add(uint64(len(c.reqs)))
 	var results []shard.Result
 	if len(c.ops) > 0 {
-		if s.readOnly.Load() {
-			results = s.applyReadOnly(c.ops)
-		} else {
-			results = s.r.ApplyBatch(c.ops)
-		}
+		results = s.applyOps(c.ops)
 		s.Metrics.BatchOps.Add(uint64(len(c.ops)))
 	}
 	next := 0 // cursor over c.opRq/results, aligned with request order
@@ -503,6 +525,58 @@ func (s *Server) execute(c *connState) {
 		}
 		s.serveUnit(c, rq)
 	}
+}
+
+// applyOps dispatches a point-op batch through whichever gate applies:
+// read-only follower, cluster ownership, or straight to the router.
+func (s *Server) applyOps(ops []shard.Op) []shard.Result {
+	if s.readOnly.Load() {
+		return s.applyReadOnly(ops)
+	}
+	if s.cfg.Cluster != nil {
+		return s.applyCluster(ops)
+	}
+	return s.r.ApplyBatch(ops)
+}
+
+// wrongShardErr marks a result refused because this server does not
+// serve the op's range; the response layer turns it into
+// StatusWrongShard with a redirect payload. It never leaves the server.
+type wrongShardErr struct{ sh int }
+
+func (e wrongShardErr) Error() string { return "server: wrong shard" }
+
+// applyCluster executes a point-op batch on a cluster member: ops on
+// ranges served here fuse into one shard-parallel batch, the rest are
+// refused with a redirect. The ownership check and the apply sit
+// under the node's fence read-lock — the migration fence takes the
+// write side once after marking a range fenced, so when it proceeds no
+// in-flight batch can still append to that range's WAL. Reads are
+// gated too: a range owned elsewhere may hold stale data.
+func (s *Server) applyCluster(ops []shard.Op) []shard.Result {
+	n := s.cfg.Cluster
+	n.FenceRLock()
+	defer n.FenceRUnlock()
+	results := make([]shard.Result, len(ops))
+	accepted := ops[:0:0]
+	var idx []int
+	for j, op := range ops {
+		if sh := s.r.ShardFor(op.Key); !n.Serving(sh) {
+			results[j].Err = wrongShardErr{sh: sh}
+		} else {
+			accepted = append(accepted, op)
+			idx = append(idx, j)
+		}
+	}
+	if len(idx) == len(ops) {
+		return s.r.ApplyBatch(ops)
+	}
+	if len(accepted) > 0 {
+		for jj, res := range s.r.ApplyBatch(accepted) {
+			results[idx[jj]] = res
+		}
+	}
+	return results
 }
 
 // applyReadOnly executes a point-op batch on a follower: searches
@@ -562,6 +636,10 @@ func decodePoint(op uint8, payload []byte) (shard.Op, bool) {
 
 // writePointResponse encodes one ApplyBatch result for its request.
 func (s *Server) writePointResponse(c *connState, rq *request, res shard.Result) {
+	if ws, ok := res.Err.(wrongShardErr); ok {
+		s.writeFrame(c, rq.id, wire.StatusWrongShard, s.cfg.Cluster.RedirectPayload(ws.sh))
+		return
+	}
 	if res.Err != nil {
 		s.writeErr(c, rq.id, res.Err)
 		return
@@ -591,7 +669,7 @@ func (s *Server) serveUnit(c *connState, rq *request) {
 		s.writeFrame(c, rq.id, wire.StatusOK, nil)
 	case wire.OpLen:
 		c.enc.Reset()
-		c.enc.U64(uint64(s.r.Len()))
+		c.enc.U64(uint64(s.servedLen()))
 		s.writeFrame(c, rq.id, wire.StatusOK, c.enc.B)
 	case wire.OpCheckpoint:
 		if err := s.r.Checkpoint(); err != nil {
@@ -614,19 +692,59 @@ func (s *Server) serveUnit(c *connState, rq *request) {
 		s.serveFollow(c, rq)
 	case wire.OpPromote:
 		s.servePromote(c, rq)
+	case wire.OpMigrate:
+		s.serveMigrate(c, rq)
+	case wire.OpClusterMap:
+		if s.cfg.Cluster == nil {
+			s.badRequest(c, rq.id, "not a cluster member")
+			return
+		}
+		s.writeFrame(c, rq.id, wire.StatusOK, s.cfg.Cluster.MapPayload())
 	default:
 		// Unknown ops and point ops whose payload failed to decode.
 		s.badRequest(c, rq.id, fmt.Sprintf("unknown op %d or malformed payload", rq.op))
 	}
 }
 
-// serveScan answers one bounded page of lo ≤ key ≤ hi.
+// servedLen counts the pairs this server answers for: everything on a
+// plain server, only the ranges it serves on a cluster member (data
+// for migrated-away ranges is garbage awaiting a wipe, not inventory).
+func (s *Server) servedLen() int {
+	n := s.cfg.Cluster
+	if n == nil {
+		return s.r.Len()
+	}
+	total := 0
+	for i := 0; i < s.r.Shards(); i++ {
+		if n.Serving(i) {
+			total += s.r.Engine(i).Tree.Len()
+		}
+	}
+	return total
+}
+
+// serveScan answers one bounded page of lo ≤ key ≤ hi. On a cluster
+// member the page is clamped to lo's range: a scan touching a range
+// served elsewhere redirects, and a page ending at a served range's
+// boundary reports more=1 so the client resumes (and re-routes) at the
+// next range.
 func (s *Server) serveScan(c *connState, id uint64, lo, hi base.Key, limit int) {
 	if limit <= 0 {
 		limit = wire.DefaultScanLimit
 	}
 	if limit > wire.MaxScanLimit {
 		limit = wire.MaxScanLimit
+	}
+	clamped := false
+	if n := s.cfg.Cluster; n != nil {
+		sh := s.r.ShardFor(lo)
+		if !n.Serving(sh) {
+			s.writeFrame(c, id, wire.StatusWrongShard, n.RedirectPayload(sh))
+			return
+		}
+		if _, rangeHi := s.r.ShardSpan(sh); hi > rangeHi {
+			hi, clamped = rangeHi, true
+		}
 	}
 	c.enc.Reset()
 	c.enc.U8(0)  // more, patched below
@@ -646,7 +764,7 @@ func (s *Server) serveScan(c *connState, id uint64, lo, hi base.Key, limit int) 
 		s.writeErr(c, id, err)
 		return
 	}
-	c.enc.B[0] = boolByte(more)
+	c.enc.B[0] = boolByte(more || clamped)
 	c.enc.B[1] = byte(count)
 	c.enc.B[2] = byte(count >> 8)
 	c.enc.B[3] = byte(count >> 16)
@@ -679,16 +797,17 @@ func (s *Server) serveBatch(c *connState, rq *request) {
 		}
 		ops[i] = shard.Op{Kind: sk, Key: key, Value: val, Old: old}
 	}
-	var results []shard.Result
-	if s.readOnly.Load() {
-		results = s.applyReadOnly(ops)
-	} else {
-		results = s.r.ApplyBatch(ops)
-	}
+	results := s.applyOps(ops)
 	s.Metrics.BatchOps.Add(uint64(n))
 	c.enc.Reset()
 	for i := range results {
-		c.enc.U8(wire.ErrStatus(results[i].Err))
+		// Batch slots are fixed-width, so a refused slot carries the
+		// status alone; the client refreshes its map via OpClusterMap.
+		if _, ok := results[i].Err.(wrongShardErr); ok {
+			c.enc.U8(wire.StatusWrongShard)
+		} else {
+			c.enc.U8(wire.ErrStatus(results[i].Err))
+		}
 		c.enc.U64(uint64(results[i].Value))
 		c.enc.U8(boolByte(results[i].OK))
 	}
@@ -733,6 +852,65 @@ func (s *Server) servePromote(c *connState, rq *request) {
 	c.enc.Reset()
 	c.enc.U8(boolByte(was))
 	s.writeFrame(c, rq.id, wire.StatusOK, c.enc.B)
+}
+
+// serveMigrate handles OpMigrate. Mode 0 (admin → source) runs a full
+// live migration inline — the admin connection blocks until the
+// handoff commits or fails, which keeps the trigger's semantics
+// obvious; other connections are unaffected. Mode 1 (source → target)
+// is the ingest handshake: it arms the connection handoff to the
+// migration ingest loop, mirroring serveFollow.
+func (s *Server) serveMigrate(c *connState, rq *request) {
+	n := s.cfg.Cluster
+	if n == nil {
+		s.badRequest(c, rq.id, "not a cluster member (start with -cluster-advertise)")
+		return
+	}
+	if !s.r.Durable() {
+		s.badRequest(c, rq.id, "migration requires a durable server (-durable)")
+		return
+	}
+	d := wire.Dec{B: rq.payload}
+	mode := d.U8()
+	sh := int(d.U32())
+	tlen := int(d.U16())
+	if d.Err != nil || len(rq.payload) != 7+tlen {
+		s.badRequest(c, rq.id, "migrate payload")
+		return
+	}
+	target := string(rq.payload[7:])
+	switch mode {
+	case 0:
+		if err := n.Migrate(s.r, sh, target); err != nil {
+			s.writeErr(c, rq.id, err)
+			return
+		}
+		s.writeFrame(c, rq.id, wire.StatusOK, nil)
+	case 1:
+		already, version, err := n.BeginIngest(sh)
+		if err != nil {
+			s.writeErr(c, rq.id, err)
+			return
+		}
+		if !already {
+			c.ingestShard = sh
+		}
+		c.enc.Reset()
+		c.enc.U8(boolByte(already))
+		c.enc.U64(version)
+		s.writeFrame(c, rq.id, wire.StatusOK, c.enc.B)
+	default:
+		s.badRequest(c, rq.id, fmt.Sprintf("migrate mode %d", mode))
+	}
+}
+
+// ClusterStats snapshots the cluster node's counters (zero Stats when
+// not a cluster member).
+func (s *Server) ClusterStats() (cluster.Stats, bool) {
+	if s.cfg.Cluster == nil {
+		return cluster.Stats{}, false
+	}
+	return s.cfg.Cluster.ClusterStats(), true
 }
 
 // batchKind maps a wire op code to the shard batch kind it executes as.

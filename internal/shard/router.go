@@ -96,6 +96,10 @@ func (r *Router) shardFor(k base.Key) int {
 	return int(uint64(k) / r.stride)
 }
 
+// ShardFor maps a key to its shard index — the range index the cluster
+// layer assigns owners to.
+func (r *Router) ShardFor(k base.Key) int { return r.shardFor(k) }
+
 // lowKey returns the smallest key shard i can own.
 func (r *Router) lowKey(i int) base.Key { return base.Key(uint64(i) * r.stride) }
 

@@ -94,9 +94,10 @@ func FuzzDecode(f *testing.F) {
 			}
 		}
 		// The hello validator must reject or accept without panicking,
-		// and only ever accept the exact magic + version.
+		// and only ever accept the exact magic plus a version this
+		// build speaks ([MinVersion, Version] — the negotiation range).
 		if v, err := ReadHello(bytes.NewReader(data)); err == nil {
-			if !bytes.Equal(data[:4], Magic[:]) || v != Version {
+			if !bytes.Equal(data[:4], Magic[:]) || v < MinVersion || v > Version {
 				t.Fatalf("ReadHello accepted %x as version %d", data[:8], v)
 			}
 		}

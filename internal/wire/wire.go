@@ -36,11 +36,18 @@ import (
 // Magic opens the hello exchange in both directions.
 var Magic = [4]byte{'B', 'L', 'N', 'K'}
 
-// Version is the protocol version this build speaks. Versioning rule:
-// a server accepts exactly the versions it knows; adding ops or status
-// codes is backward compatible (old clients never send the new op),
-// changing a payload shape requires a version bump.
-const Version uint16 = 1
+// Version is the newest protocol version this build speaks and
+// MinVersion the oldest it still accepts. Versioning rule: adding ops
+// or status codes is backward compatible (old clients never send the
+// new op), changing a payload shape requires a version bump. A server
+// answers the client's hello with the version it will speak —
+// min(client, server) — so an old client keeps working against a new
+// server; version 2 added the cluster vocabulary (OpMigrate,
+// OpClusterMap, StatusWrongShard) without changing any v1 payload.
+const (
+	Version    uint16 = 2
+	MinVersion uint16 = 1
+)
 
 // helloLen is the byte length of a hello in either direction.
 const helloLen = 8
@@ -99,6 +106,22 @@ const (
 	// replication and makes a read-only follower writable; a no-op
 	// (was = 0) on a server that was not following.
 	OpPromote uint8 = 15
+	// OpMigrate: mode u8 | shard u32 | targetLen u16 | target → "".
+	// Mode 0 (admin → source) triggers a live migration of the shard's
+	// key range to the cluster member at target and answers when the
+	// handoff completes (or failed). Mode 1 (source → target, target
+	// empty) is the ingest handshake: on StatusOK the response payload
+	// is already u8 — 1 means the target already owns the range (a
+	// prior handoff completed) and no stream follows; 0 means the
+	// connection leaves request/response mode and becomes a migration
+	// stream of FrameReset/FrameRecords/FrameHandoff frames (source →
+	// target) and FrameMigAck frames (target → source). Requires a
+	// cluster-enabled durable server; see docs/protocol.md.
+	OpMigrate uint8 = 16
+	// OpClusterMap: "" → an encoded ClusterMap (the server's current
+	// view of range ownership). Any cluster member answers; a
+	// non-cluster server answers StatusBadRequest.
+	OpClusterMap uint8 = 17
 )
 
 // Replication stream frame codes. After an OpFollow handshake the
@@ -122,11 +145,22 @@ const (
 	// streaming resumes at (seg, start-of-records); only now does the
 	// follower commit the shard's position.
 	FrameSnapEnd uint8 = 202
+	// FrameHandoff (migration source→target): version u64. Ends a
+	// migration stream: every record for the range has been shipped and
+	// the source is fenced. The target wipes nothing further, persists
+	// itself as the range's owner at the given map version, starts
+	// serving the range, and answers with a final FrameMigAck.
+	FrameHandoff uint8 = 203
 	// FrameAck (follower→primary): shards u32 | shards × (seg u64 |
 	// off u64) | applied u64. Periodic acknowledgement of the
 	// follower's durable positions and cumulative applied-record
 	// count; the primary uses it for lag gauges and backpressure.
 	FrameAck uint8 = 210
+	// FrameMigAck (migration target→source): applied u64. Cumulative
+	// count of records the target has applied; flow control for the
+	// migration stream, and — after FrameHandoff — the commit
+	// acknowledgement that the target owns the range.
+	FrameMigAck uint8 = 211
 )
 
 // StatsFields is the order of the u64 counters in an OpStats response:
@@ -151,6 +185,14 @@ const (
 	// StatusReadOnly reports a mutation sent to a read-only follower;
 	// writes must go to the primary.
 	StatusReadOnly uint8 = 9
+	// StatusWrongShard reports an op on a key range this server does
+	// not own (it was migrated away, is mid-handoff, or never lived
+	// here). The payload is an encoded ClusterMap naming the owner the
+	// client should retry against — during the brief fenced window of a
+	// live migration the named owner may itself redirect back until the
+	// handoff commits, so clients retry with a small backoff. The op
+	// was refused before any state change, so retrying is always safe.
+	StatusWrongShard uint8 = 10
 )
 
 // Limits. MaxFrame bounds a single frame's payload in both directions;
@@ -176,6 +218,9 @@ var (
 	// ErrReadOnly is the sentinel for StatusReadOnly: the target is a
 	// read-only follower and mutations must go to the primary.
 	ErrReadOnly = errors.New("wire: read-only follower (writes must go to the primary)")
+	// ErrWrongShard is the sentinel matched (via errors.Is) by the
+	// *RedirectError a StatusWrongShard response decodes to.
+	ErrWrongShard = errors.New("wire: wrong shard")
 )
 
 // Error is a server-reported failure that does not map to one of the
@@ -199,6 +244,8 @@ func (e *Error) Error() string {
 		name = "shutting down"
 	case StatusReadOnly:
 		name = "read-only follower"
+	case StatusWrongShard:
+		name = "wrong shard"
 	default:
 		name = fmt.Sprintf("status %d", e.Code)
 	}
@@ -228,8 +275,23 @@ func ErrStatus(err error) uint8 {
 	}
 }
 
+// RedirectError is the error form of StatusWrongShard. Payload is the
+// raw response payload — an encoded ClusterMap naming the range's
+// owner — preserved so a cluster-aware client can refresh its map and
+// retry; errors.Is(err, ErrWrongShard) matches it.
+type RedirectError struct{ Payload []byte }
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return "wire: wrong shard (range not owned by this server)"
+}
+
+// Is makes errors.Is(err, ErrWrongShard) true for any RedirectError.
+func (e *RedirectError) Is(target error) bool { return target == ErrWrongShard }
+
 // StatusError maps a wire status code back to an error. Codes with a
 // module sentinel return it (so errors.Is matches across the wire);
+// StatusWrongShard returns *RedirectError preserving the map payload;
 // the rest return *Error carrying msg.
 func StatusError(code uint8, msg string) error {
 	switch code {
@@ -245,22 +307,33 @@ func StatusError(code uint8, msg string) error {
 		return base.ErrCorrupt
 	case StatusReadOnly:
 		return ErrReadOnly
+	case StatusWrongShard:
+		return &RedirectError{Payload: []byte(msg)}
 	default:
 		return &Error{Code: code, Msg: msg}
 	}
 }
 
-// WriteHello writes the 8-byte hello.
+// WriteHello writes the 8-byte hello advertising Version.
 func WriteHello(w io.Writer) error {
+	return WriteHelloVersion(w, Version)
+}
+
+// WriteHelloVersion writes the 8-byte hello advertising an explicit
+// version — the server's negotiated answer to a client hello.
+func WriteHelloVersion(w io.Writer, v uint16) error {
 	var b [helloLen]byte
 	copy(b[:4], Magic[:])
-	binary.LittleEndian.PutUint16(b[4:6], Version)
+	binary.LittleEndian.PutUint16(b[4:6], v)
 	_, err := w.Write(b[:])
 	return err
 }
 
 // ReadHello reads and validates the peer's hello, returning its
-// version. ErrBadMagic and ErrVersion are the two rejections.
+// version. Any version in [MinVersion, Version] is accepted — a server
+// answers with min(peer, Version), the version it will speak, so an
+// old client works against a new server. ErrBadMagic and ErrVersion
+// are the two rejections.
 func ReadHello(r io.Reader) (uint16, error) {
 	var b [helloLen]byte
 	if _, err := io.ReadFull(r, b[:]); err != nil {
@@ -270,8 +343,8 @@ func ReadHello(r io.Reader) (uint16, error) {
 		return 0, ErrBadMagic
 	}
 	v := binary.LittleEndian.Uint16(b[4:6])
-	if v != Version {
-		return 0, fmt.Errorf("%w: peer speaks %d, this build speaks %d", ErrVersion, v, Version)
+	if v < MinVersion || v > Version {
+		return 0, fmt.Errorf("%w: peer speaks %d, this build speaks %d–%d", ErrVersion, v, MinVersion, Version)
 	}
 	return v, nil
 }
@@ -352,6 +425,9 @@ func (b *Buf) Reset() { b.B = b.B[:0] }
 // U8 appends one byte.
 func (b *Buf) U8(v uint8) { b.B = append(b.B, v) }
 
+// U16 appends a little-endian uint16.
+func (b *Buf) U16(v uint16) { b.B = binary.LittleEndian.AppendUint16(b.B, v) }
+
 // U32 appends a little-endian uint32.
 func (b *Buf) U32(v uint32) { b.B = binary.LittleEndian.AppendUint32(b.B, v) }
 
@@ -384,6 +460,17 @@ func (d *Dec) U8() uint8 {
 	return v
 }
 
+// U16 reads a little-endian uint16.
+func (d *Dec) U16() uint16 {
+	if d.Err != nil || d.off+2 > len(d.B) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.B[d.off:])
+	d.off += 2
+	return v
+}
+
 // U32 reads a little-endian uint32.
 func (d *Dec) U32() uint32 {
 	if d.Err != nil || d.off+4 > len(d.B) {
@@ -408,3 +495,76 @@ func (d *Dec) U64() uint64 {
 
 // Done reports whether the cursor consumed the payload exactly.
 func (d *Dec) Done() bool { return d.Err == nil && d.off == len(d.B) }
+
+// Cluster-map limits: a map is one entry per range (the servers' shard
+// count) and each owner is a host:port string.
+const (
+	MaxClusterRanges = 1 << 12
+	MaxAddrLen       = 255
+)
+
+// ClusterMap is the versioned range-ownership table exchanged via
+// OpClusterMap responses and StatusWrongShard redirect payloads.
+// Owners[i] is the address of the server owning range i of the static
+// range partition (range i = [i·stride, (i+1)·stride) with stride =
+// ^uint64(0)/len + 1, matching the router's shard spans). Version
+// increases with every completed migration; a client replaces its map
+// when it sees a newer one.
+type ClusterMap struct {
+	Version uint64
+	Owners  []string
+}
+
+// Range returns the index of the range containing k.
+func (m *ClusterMap) Range(k uint64) int {
+	if len(m.Owners) <= 1 {
+		return 0
+	}
+	stride := ^uint64(0)/uint64(len(m.Owners)) + 1
+	return int(k / stride)
+}
+
+// Clone returns a deep copy.
+func (m *ClusterMap) Clone() *ClusterMap {
+	return &ClusterMap{Version: m.Version, Owners: append([]string(nil), m.Owners...)}
+}
+
+// AppendClusterMap encodes m: version u64 | ranges u32 | ranges ×
+// (len u16 | owner bytes).
+func AppendClusterMap(b *Buf, m *ClusterMap) {
+	b.U64(m.Version)
+	b.U32(uint32(len(m.Owners)))
+	for _, o := range m.Owners {
+		b.U16(uint16(len(o)))
+		b.B = append(b.B, o...)
+	}
+}
+
+// DecodeClusterMap decodes an AppendClusterMap payload.
+func DecodeClusterMap(payload []byte) (*ClusterMap, error) {
+	d := Dec{B: payload}
+	m := &ClusterMap{Version: d.U64()}
+	n := d.U32()
+	if d.Err == nil && (n == 0 || n > MaxClusterRanges) {
+		return nil, fmt.Errorf("wire: cluster map with %d ranges", n)
+	}
+	for i := uint32(0); i < n && d.Err == nil; i++ {
+		l := int(d.U16())
+		if l > MaxAddrLen {
+			return nil, fmt.Errorf("wire: cluster map owner %d bytes long", l)
+		}
+		if d.off+l > len(d.B) {
+			d.fail()
+			break
+		}
+		m.Owners = append(m.Owners, string(d.B[d.off:d.off+l]))
+		d.off += l
+	}
+	if d.Err != nil || !d.Done() {
+		if d.Err != nil {
+			return nil, d.Err
+		}
+		return nil, errors.New("wire: cluster map with trailing bytes")
+	}
+	return m, nil
+}

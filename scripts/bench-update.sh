@@ -1,0 +1,13 @@
+#!/bin/sh
+# Promote the last scripts/bench.sh run (BENCH_latest.json) as the
+# committed baseline. Review the numbers first: a baseline captured
+# during a slow run makes the regression gate blind.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ ! -f BENCH_latest.json ]; then
+    echo "bench-update: no BENCH_latest.json — run scripts/bench.sh first" >&2
+    exit 1
+fi
+cp BENCH_latest.json BENCH_baseline.json
+echo "bench-update: BENCH_baseline.json updated (commit it)"
