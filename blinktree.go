@@ -77,6 +77,7 @@ import (
 	"blinktree/internal/base"
 	"blinktree/internal/blink"
 	"blinktree/internal/shard"
+	"blinktree/internal/verify"
 )
 
 // Key is a 64-bit search key; the full range is usable.
@@ -402,6 +403,23 @@ type Stats = shard.Stats
 // loops.
 func (t *Tree) Stats() (Stats, error) { return t.eng.Stats() }
 
+// Verified reports whether the tree maintains the integrity hash tree
+// (Options.Verified).
+func (t *Tree) Verified() bool { return t.eng.Verified() }
+
+// Root returns the tree's state root: the deterministic hash of its
+// full content under the integrity layer's hash tree. Two trees with
+// the same pairs (and bucketing) have the same root. Concurrent with
+// writers the result is fuzzy-but-recent; quiesced it is exact.
+// Errors unless Options.Verified was set.
+func (t *Tree) Root() ([32]byte, error) {
+	r, err := t.eng.VerifyRoot()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return verify.CombineShards([]verify.Hash{r}, t.eng.VerifyBuckets()), nil
+}
+
 // Sharded is the scaled front-end: N independent trees
 // range-partitioned over the keyspace (shard i owns keys
 // [i·2^64/N, (i+1)·2^64/N)). Point operations route to one shard;
@@ -580,6 +598,15 @@ func (s *Sharded) Checkpoint() error { return s.r.Checkpoint() }
 // Stats aggregates all shards' counters; see Stats for the merge
 // rules. Occupancy walks every shard; avoid calling it in hot loops.
 func (s *Sharded) Stats() (Stats, error) { return s.r.Stats() }
+
+// Verified reports whether the index maintains the integrity hash
+// tree (Options.Verified).
+func (s *Sharded) Verified() bool { return s.r.Verified() }
+
+// Root returns the index state root — per-shard roots combined into
+// one engine root. Same determinism contract as Tree.Root: equal
+// content (under equal shard count and bucketing) means equal root.
+func (s *Sharded) Root() ([32]byte, error) { return s.r.Root() }
 
 // ShardStat is one shard's row of ShardStats.
 type ShardStat = shard.ShardStat

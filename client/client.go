@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"blinktree/internal/base"
+	"blinktree/internal/verify"
 	"blinktree/internal/wire"
 )
 
@@ -34,6 +35,17 @@ var ErrReadOnly = wire.ErrReadOnly
 
 // ErrClientClosed is returned by calls made after Close.
 var ErrClientClosed = errors.New("client: closed")
+
+// ErrNoPinnedRoot is returned by VerifiedGet before any root has been
+// pinned with PinRoot.
+var ErrNoPinnedRoot = errors.New("client: no pinned root (call PinRoot first)")
+
+// Proof verification errors, re-exported so callers can classify a
+// VerifiedGet rejection without importing another package.
+var (
+	ErrBadProof     = verify.ErrBadProof
+	ErrRootMismatch = verify.ErrRootMismatch
+)
 
 // Options tunes Dial. The zero value works.
 type Options struct {
@@ -104,6 +116,9 @@ type Client struct {
 	// until it passes, so a dead replica costs one dial timeout per
 	// cooldown window instead of one per read.
 	replicaDownUntil atomic.Int64
+	// pinnedRoot is the trusted state root VerifiedGet checks proofs
+	// against (nil until PinRoot).
+	pinnedRoot atomic.Pointer[[32]byte]
 }
 
 // replicaCooldown is how long reads avoid the replica after it fails.
@@ -468,6 +483,82 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	}, nil
 }
 
+// --- verified serving (protocol v3, server started with -verified) ---
+
+// Root fetches the server's current Merkle state root. The root is a
+// commitment to the entire key/value state: two servers with the same
+// contents report the same root. Idempotent (and replica-first when a
+// replica is configured — a replica's root lags the primary's until
+// replication catches up).
+func (c *Client) Root(ctx context.Context) ([32]byte, error) {
+	var root [32]byte
+	pl, err := c.do(ctx, wire.OpRoot, nil, true)
+	if err != nil {
+		return root, err
+	}
+	if len(pl) != len(root) {
+		return root, errors.New("client: malformed root response")
+	}
+	copy(root[:], pl)
+	return root, nil
+}
+
+// PinRoot pins the trusted state root that every later VerifiedGet
+// checks its proof against. Pin a root obtained out of band, or from
+// Root over a connection made while you trust the server. After any
+// mutation the server's root moves on, and VerifiedGet fails with
+// ErrRootMismatch until a fresh root is pinned — which is the point:
+// against a pinned root the server cannot answer from different state
+// without detection.
+func (c *Client) PinRoot(root [32]byte) {
+	r := root
+	c.pinnedRoot.Store(&r)
+}
+
+// PinnedRoot returns the currently pinned root, if any.
+func (c *Client) PinnedRoot() ([32]byte, bool) {
+	if p := c.pinnedRoot.Load(); p != nil {
+		return *p, true
+	}
+	return [32]byte{}, false
+}
+
+// Prove fetches the server's inclusion/exclusion proof for k without
+// checking it against any root. Most callers want VerifiedGet; Prove
+// is for tooling that inspects or stores proofs. Idempotent.
+func (c *Client) Prove(ctx context.Context, k Key) (*verify.Proof, error) {
+	var b wire.Buf
+	b.U64(uint64(k))
+	pl, err := c.do(ctx, wire.OpProve, b.B, true)
+	if err != nil {
+		return nil, err
+	}
+	return verify.DecodeProof(pl)
+}
+
+// VerifiedGet looks up k and cryptographically verifies the answer
+// against the root pinned with PinRoot: the server returns a Merkle
+// proof, and the value (or its absence — absence is proven too) is
+// accepted only if the proof folds up to exactly the pinned root.
+// Returns the value and whether k is present; ErrRootMismatch if the
+// proof is well-formed but commits to different state than the pinned
+// root, ErrBadProof if it is malformed or self-inconsistent.
+func (c *Client) VerifiedGet(ctx context.Context, k Key) (Value, bool, error) {
+	p := c.pinnedRoot.Load()
+	if p == nil {
+		return 0, false, ErrNoPinnedRoot
+	}
+	proof, err := c.Prove(ctx, k)
+	if err != nil {
+		return 0, false, err
+	}
+	v, present, err := proof.Verify(uint64(k), *p)
+	if err != nil {
+		return 0, false, err
+	}
+	return Value(v), present, nil
+}
+
 // --- transport ---
 
 // do runs one round trip: pick a pooled connection (redialing a dead
@@ -822,6 +913,10 @@ func opName(op uint8) string {
 		return "migrate"
 	case wire.OpClusterMap:
 		return "cluster-map"
+	case wire.OpRoot:
+		return "root"
+	case wire.OpProve:
+		return "prove"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	blinkcli [-k 16] [-path tree.db] [-dir walDir]
+//	blinkcli [-k 16] [-path tree.db] [-dir walDir] [-verified]
+//	blinkcli -addr host:4640
 //
 // Commands:
 //
@@ -18,11 +19,20 @@
 //	compact                  full compression pass
 //	checkpoint               durable snapshot + log truncation (-dir mode)
 //	check                    validate invariants
+//	root                     Merkle state root (-verified, or a -verified server)
 //	help | quit
+//
+// With -addr the shell speaks to a running blinkserver instead of a
+// local tree, and gains the integrity commands of a -verified server:
+//
+//	prove <key>              fetch the inclusion/exclusion proof, show its shape
+//	pin                      pin the server's current root for vget
+//	vget <key>               VerifiedGet: lookup whose proof must match the pin
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -31,17 +41,41 @@ import (
 	"strings"
 
 	"blinktree"
+	"blinktree/client"
 )
 
 func main() {
 	k := flag.Int("k", 16, "minimum pairs per node (the paper's k)")
 	path := flag.String("path", "", "optional file-backed page store")
 	dir := flag.String("dir", "", "durability directory: WAL + checkpoints, recovered on open")
+	verified := flag.Bool("verified", false, "maintain a Merkle state root (the 'root' command)")
+	addr := flag.String("addr", "", "speak to a running blinkserver at this address instead of a local tree")
 	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	if *addr != "" {
+		cl, err := client.Dial(*addr, client.Options{Conns: 1})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dial:", err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		fmt.Printf("blinkcli — connected to %s. Type 'help'.\n", *addr)
+		for {
+			fmt.Print("> ")
+			if !sc.Scan() {
+				return
+			}
+			if done := execRemote(cl, strings.Fields(sc.Text())); done {
+				return
+			}
+		}
+	}
 
 	tr, err := blinktree.Open(blinktree.Options{
 		MinPairs: *k, Path: *path,
 		Durable: *dir != "", Dir: *dir,
+		Verified: *verified,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
@@ -50,7 +84,6 @@ func main() {
 	defer tr.Close()
 
 	fmt.Println("blinkcli — Sagiv B*-tree with overtaking. Type 'help'.")
-	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
 		if !sc.Scan() {
@@ -60,6 +93,167 @@ func main() {
 			return
 		}
 	}
+}
+
+// execRemote runs one command line against a server; true on quit.
+func execRemote(cl *client.Client, args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	ctx := context.Background()
+	fail := func(err error) { fmt.Println("error:", err) }
+	needKey := func(usage string) (blinktree.Key, bool) {
+		if len(args) != 2 {
+			fmt.Println("usage:", usage)
+			return 0, false
+		}
+		k, err := parseKey(args[1])
+		if err != nil {
+			fmt.Println("bad number")
+			return 0, false
+		}
+		return k, true
+	}
+	switch args[0] {
+	case "quit", "exit":
+		return true
+	case "help":
+		fmt.Println("insert <k> <v> | get <k> | delete <k> | scan <lo> <hi> | len | checkpoint | root | prove <k> | pin | vget <k> | quit")
+	case "insert":
+		if len(args) != 3 {
+			fmt.Println("usage: insert <key> <value>")
+			return false
+		}
+		k, err1 := parseKey(args[1])
+		v, err2 := strconv.ParseUint(args[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			fmt.Println("bad number")
+			return false
+		}
+		if err := cl.Insert(ctx, k, blinktree.Value(v)); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("ok")
+		}
+	case "get":
+		k, ok := needKey("get <key>")
+		if !ok {
+			return false
+		}
+		v, err := cl.Search(ctx, k)
+		switch {
+		case errors.Is(err, blinktree.ErrNotFound):
+			fmt.Println("(not found)")
+		case err != nil:
+			fail(err)
+		default:
+			fmt.Println(v)
+		}
+	case "delete":
+		k, ok := needKey("delete <key>")
+		if !ok {
+			return false
+		}
+		if err := cl.Delete(ctx, k); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("ok")
+		}
+	case "scan":
+		if len(args) != 3 {
+			fmt.Println("usage: scan <lo> <hi>")
+			return false
+		}
+		lo, err1 := parseKey(args[1])
+		hi, err2 := parseKey(args[2])
+		if err1 != nil || err2 != nil {
+			fmt.Println("bad number")
+			return false
+		}
+		n := 0
+		err := cl.Range(ctx, lo, hi, 256, func(k blinktree.Key, v blinktree.Value) bool {
+			fmt.Printf("  %d -> %d\n", k, v)
+			n++
+			return n < 1000
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("(%d pairs)\n", n)
+	case "len":
+		n, err := cl.Len(ctx)
+		if err != nil {
+			fail(err)
+		} else {
+			fmt.Println(n)
+		}
+	case "checkpoint":
+		if err := cl.Checkpoint(ctx); err != nil {
+			fail(err)
+		} else {
+			fmt.Println("ok: state snapshotted, log truncated")
+		}
+	case "root":
+		root, err := cl.Root(ctx)
+		if err != nil {
+			fail(err)
+		} else {
+			fmt.Printf("%x\n", root)
+		}
+	case "prove":
+		k, ok := needKey("prove <key>")
+		if !ok {
+			return false
+		}
+		p, err := cl.Prove(ctx, k)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		v, present, err := p.Lookup(uint64(k))
+		if err != nil {
+			fail(err)
+			return false
+		}
+		root, err := p.Root()
+		if err != nil {
+			fail(err)
+			return false
+		}
+		if present {
+			fmt.Printf("key %d -> %d (inclusion)\n", k, v)
+		} else {
+			fmt.Printf("key %d absent (exclusion)\n", k)
+		}
+		fmt.Printf("  shard %d/%d, bucket %d/%d, %d leaf pairs, %d siblings\n",
+			p.ShardIdx, p.Shards, p.Bucket, p.Buckets, len(p.Keys), len(p.Siblings))
+		fmt.Printf("  folds to root %x\n", root)
+	case "pin":
+		root, err := cl.Root(ctx)
+		if err != nil {
+			fail(err)
+			return false
+		}
+		cl.PinRoot(root)
+		fmt.Printf("pinned %x\n", root)
+	case "vget":
+		k, ok := needKey("vget <key>")
+		if !ok {
+			return false
+		}
+		v, present, err := cl.VerifiedGet(ctx, k)
+		switch {
+		case err != nil:
+			fail(err)
+		case !present:
+			fmt.Println("(proven absent)")
+		default:
+			fmt.Printf("%d (proof verified against pinned root)\n", v)
+		}
+	default:
+		fmt.Printf("unknown command %q (try 'help')\n", args[0])
+	}
+	return false
 }
 
 func parseKey(s string) (blinktree.Key, error) {
@@ -77,7 +271,7 @@ func exec(tr *blinktree.Tree, args []string) bool {
 	case "quit", "exit":
 		return true
 	case "help":
-		fmt.Println("insert <k> <v> | get <k> | delete <k> | scan <lo> <hi> | len | height | stats | compact | checkpoint | check | quit")
+		fmt.Println("insert <k> <v> | get <k> | delete <k> | scan <lo> <hi> | len | height | stats | compact | checkpoint | check | root | quit")
 	case "insert":
 		if len(args) != 3 {
 			fmt.Println("usage: insert <key> <value>")
@@ -188,6 +382,17 @@ func exec(tr *blinktree.Tree, args []string) bool {
 			fail(err)
 		} else {
 			fmt.Println("ok: all invariants hold")
+		}
+	case "root":
+		if !tr.Verified() {
+			fmt.Println("error: not a -verified tree")
+			return false
+		}
+		root, err := tr.Root()
+		if err != nil {
+			fail(err)
+		} else {
+			fmt.Printf("%x\n", root)
 		}
 	default:
 		fmt.Printf("unknown command %q (try 'help')\n", args[0])

@@ -10,6 +10,7 @@
 //	            [-disk-native] [-cache-bytes 67108864]
 //	            [-coalesce 200us] [-max-batch 1024] [-max-inflight 1048576]
 //	            [-follow primary:4640]
+//	            [-verified] [-verify-buckets 4096] [-root-every 1s]
 //
 // With -durable, every acknowledged mutation is on disk (group-commit
 // WAL under -dir, one segment set per shard) before its response is
@@ -32,6 +33,14 @@
 // promotable), serves reads, and refuses writes with the read-only
 // status until a client sends Promote. The shard counts of primary and
 // follower must match, and the primary must be durable.
+//
+// With -verified, the server maintains an incremental Merkle state
+// root over its contents (docs/protocol.md §integrity): OpRoot
+// and OpProve are served, checkpoints carry a state root that recovery
+// recomputes and compares, and — when both sides of a -follow pair run
+// verified — the follower independently recomputes every root the
+// primary publishes (-root-every, default 1s per shard) and refuses to
+// continue on divergence.
 //
 // Shutdown is graceful: SIGINT/SIGTERM stop accepting, let in-flight
 // polls finish, then close the index (flushing the WAL).
@@ -102,6 +111,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 1<<20, "per-connection in-flight request bytes (backpressure)")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only on demand)")
 	follow := flag.String("follow", "", "run as a read-only replica of this primary address (promote over the wire)")
+	verified := flag.Bool("verified", false, "maintain a Merkle state root: OpRoot/OpProve, checkpoint root verification, verified replication")
+	verifyBuckets := flag.Int("verify-buckets", 0, "with -verified: leaf buckets per shard in the hash tree (power of two, default 4096)")
+	rootEvery := flag.Duration("root-every", 0, "with -verified: how often each follower feed publishes a sealed state root (default 1s)")
 	clusterAdvertise := flag.String("cluster-advertise", "", "serve as a cluster member advertising this address to peers and clients (requires -durable)")
 	clusterInitial := flag.String("cluster-initial", "", "with -cluster-advertise: address owning every range on a fresh -dir (default: this node)")
 	migrate := flag.String("migrate", "", "admin mode RANGE=TARGET: ask the cluster at -addr to migrate the range, print the new map, exit")
@@ -116,6 +128,12 @@ func main() {
 	if *durable && *dir == "" {
 		log.Fatal("blinkserver: -durable requires -dir")
 	}
+	if *verifyBuckets != 0 && !*verified {
+		log.Fatal("blinkserver: -verify-buckets requires -verified")
+	}
+	if *rootEvery != 0 && !*verified {
+		log.Fatal("blinkserver: -root-every requires -verified")
+	}
 	opts := shard.Options{
 		MinPairs:          *k,
 		CompressorWorkers: *compressors,
@@ -123,6 +141,8 @@ func main() {
 		Dir:               *dir,
 		DiskNative:        *diskNative,
 		CacheBytes:        *cacheBytes,
+		Verified:          *verified,
+		VerifyBuckets:     *verifyBuckets,
 	}
 	r, err := shard.NewRouter(*shards, opts)
 	if err != nil {
@@ -134,6 +154,7 @@ func main() {
 		Coalesce:    *coalesce,
 		MaxBatch:    *maxBatch,
 		MaxInflight: *maxInflight,
+		RootEvery:   *rootEvery,
 	}
 	var node *cluster.Node
 	if *clusterAdvertise != "" {
@@ -142,6 +163,11 @@ func main() {
 		}
 		if *follow != "" {
 			log.Fatal("blinkserver: -cluster-advertise is incompatible with -follow")
+		}
+		if *verified {
+			// A cluster member's shards migrate between nodes, so no
+			// single node can bind one root to the whole keyspace.
+			log.Fatal("blinkserver: -cluster-advertise is incompatible with -verified")
 		}
 		node, err = cluster.NewNode(cluster.NodeConfig{
 			Self:         *clusterAdvertise,
@@ -195,6 +221,13 @@ func main() {
 	}
 	if *follow != "" {
 		fmt.Printf(", following %s (read-only until promoted)", *follow)
+	}
+	if *verified {
+		root, err := r.Root()
+		if err != nil {
+			log.Fatalf("blinkserver: state root: %v", err)
+		}
+		fmt.Printf(", verified (root %x)", root[:8])
 	}
 	if node != nil {
 		cs := node.ClusterStats()

@@ -104,13 +104,19 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "internal: with -net-serve -disk-native, pool budget per shard")
 	pageSize := flag.Int("page-size", 0, "internal: with -net-serve -disk-native, page size in bytes")
 	clusterMode := flag.Bool("cluster", false, "two-node cluster: live range migration under load, kill -9 of either node mid-migration, exact oracle")
+	auditMode := flag.Bool("audit", false, "verified replication audit: tamper with the follower's checkpoint and WAL (CRCs fixed), every injection must be detected, zero false alarms")
+	verifiedFlag := flag.Bool("verified", false, "internal: with -net-serve, maintain a Merkle state root")
 	serveAddr := flag.String("serve-addr", "", "internal: with -net-serve, explicit TCP listen address")
 	clusterAdvertise := flag.String("cluster-advertise", "", "internal: with -net-serve, serve as a cluster member at this address")
 	clusterInitial := flag.String("cluster-initial", "", "internal: with -net-serve, initial owner of every range")
 	flag.Parse()
 
 	if *netServe {
-		runNetServe(*shards, *k, *compressors, *durable, *dirFlag, *followFlag, *diskNative, *cacheBytes, *pageSize, *serveAddr, *clusterAdvertise, *clusterInitial)
+		runNetServe(*shards, *k, *compressors, *durable, *dirFlag, *followFlag, *diskNative, *cacheBytes, *pageSize, *serveAddr, *clusterAdvertise, *clusterInitial, *verifiedFlag)
+		return
+	}
+	if *auditMode {
+		runAudit(*shards, *k, *compressors, *dirFlag)
 		return
 	}
 	if *clusterMode {

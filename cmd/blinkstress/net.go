@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/exec"
@@ -30,10 +31,11 @@ import (
 // "LISTENING <addr>", and serves until SIGTERM. With follow non-empty
 // the child is a read-only replica of that primary, promotable over
 // the wire.
-func runNetServe(shards, k, compressors int, durable bool, dir, follow string, diskNative bool, cacheBytes int64, pageSize int, addr, clusterSelf, clusterInitial string) {
+func runNetServe(shards, k, compressors int, durable bool, dir, follow string, diskNative bool, cacheBytes int64, pageSize int, addr, clusterSelf, clusterInitial string, verified bool) {
 	opts := shard.Options{
 		MinPairs: k, CompressorWorkers: compressors, Durable: durable, Dir: dir,
 		DiskNative: diskNative, CacheBytes: cacheBytes, PageSize: pageSize,
+		Verified: verified,
 	}
 	r, err := shard.NewRouter(shards, opts)
 	if err != nil {
@@ -43,6 +45,10 @@ func runNetServe(shards, k, compressors int, durable bool, dir, follow string, d
 		addr = "127.0.0.1:0"
 	}
 	cfg := server.Config{Addr: addr}
+	if verified {
+		// Publish roots fast so the audit parent sees checks quickly.
+		cfg.RootEvery = 250 * time.Millisecond
+	}
 	if clusterSelf != "" {
 		node, err := cluster.NewNode(cluster.NodeConfig{
 			Self:         clusterSelf,
@@ -66,7 +72,12 @@ func runNetServe(shards, k, compressors int, durable bool, dir, follow string, d
 		if durable {
 			fdir = dir
 		}
-		follower, err = repl.NewFollower(r, repl.FollowerConfig{Primary: follow, Dir: fdir})
+		fcfg := repl.FollowerConfig{Primary: follow, Dir: fdir}
+		if verified {
+			// Alarm lines must reach the parent's captured stderr.
+			fcfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+		}
+		follower, err = repl.NewFollower(r, fcfg)
 		if err != nil {
 			fatal("child follower", err)
 		}
@@ -123,9 +134,27 @@ type spawnOpts struct {
 	pageSize                    int
 	addr                        string
 	clusterSelf, clusterInitial string
+	// verified makes the child maintain a Merkle state root (and, as
+	// a follower, recompute and check every root the primary
+	// publishes).
+	verified bool
+	// stderr overrides the child's stderr (default: inherit), so the
+	// audit mode can assert on alarm lines.
+	stderr io.Writer
 }
 
 func spawn(o spawnOpts) *child {
+	c, err := trySpawn(o)
+	if err != nil {
+		fatal("spawn", err)
+	}
+	return c
+}
+
+// trySpawn is spawn for callers that expect the child may legitimately
+// fail to come up — the audit mode starts followers on deliberately
+// corrupted directories and wants the refusal, not a crash.
+func trySpawn(o spawnOpts) (*child, error) {
 	args := []string{
 		"-net-serve",
 		"-shards", strconv.Itoa(o.shards),
@@ -153,14 +182,20 @@ func spawn(o spawnOpts) *child {
 			"-cache-bytes", strconv.FormatInt(o.cacheBytes, 10),
 			"-page-size", strconv.Itoa(o.pageSize))
 	}
+	if o.verified {
+		args = append(args, "-verified")
+	}
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Stderr = os.Stderr
+	if o.stderr != nil {
+		cmd.Stderr = o.stderr
+	}
 	out, err := cmd.StdoutPipe()
 	if err != nil {
-		fatal("spawn pipe", err)
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		fatal("spawn", err)
+		return nil, err
 	}
 	sc := bufio.NewScanner(out)
 	for sc.Scan() {
@@ -172,13 +207,12 @@ func spawn(o spawnOpts) *child {
 				for sc.Scan() {
 				}
 			}()
-			return &child{cmd: cmd, addr: addr}
+			return &child{cmd: cmd, addr: addr}, nil
 		}
 	}
 	cmd.Process.Kill()
 	cmd.Wait()
-	fatal("spawn", fmt.Errorf("server child exited before announcing its address"))
-	return nil
+	return nil, fmt.Errorf("server child exited before announcing its address")
 }
 
 // stop terminates the child gracefully (SIGTERM) and reaps it.

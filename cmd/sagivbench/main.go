@@ -1,11 +1,11 @@
 // Command sagivbench regenerates the evaluation tables E1–E8 (plus
 // the E12 durability, E13 network-pipelining, E14 replication, E15
-// disk-native and E16 live-migration tables) described in DESIGN.md and recorded in
+// disk-native, E16 live-migration and E17 verified-serving tables) described in DESIGN.md and recorded in
 // EXPERIMENTS.md.
 //
 // Usage:
 //
-//	sagivbench [-experiment all|E1|E2|...|E8|E12|E13|E14|E15|E16] [-scale 1.0]
+//	sagivbench [-experiment all|E1|E2|...|E8|E12|E13|E14|E15|E16|E17] [-scale 1.0]
 //	           [-json results.json]
 //
 // -scale shrinks run sizes proportionally (e.g. 0.05 for a quick look).
@@ -51,7 +51,7 @@ type jsonReport struct {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (E1..E8, E12, E13, E14, E15, E16) or 'all'")
+	exp := flag.String("experiment", "all", "experiment id (E1..E8, E12, E13, E14, E15, E16, E17) or 'all'")
 	scale := flag.Float64("scale", 1.0, "size multiplier for run lengths")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	flag.Parse()
@@ -75,6 +75,7 @@ func main() {
 		{"E14", harness.E14Replication},
 		{"E15", harness.E15DiskNative},
 		{"E16", harness.E16Migration},
+		{"E17", harness.E17Verify},
 	}
 
 	report := jsonReport{
@@ -119,7 +120,7 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8, E12, E13, E14, E15, E16 or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E8, E12, E13, E14, E15, E16, E17 or all)\n", *exp)
 		os.Exit(2)
 	}
 	if *jsonPath != "" {

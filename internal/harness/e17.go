@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"blinktree/internal/base"
+	"blinktree/internal/shard"
+)
+
+// E17Verify measures what the integrity layer costs where it hurts
+// most: write throughput, across writer counts and shard counts. Every
+// mutation in verified mode marks its leaf bucket dirty and a
+// background hasher re-hashes dirty buckets, so the tax is one overlay
+// mark per write plus the rehash work racing the writers. Volatile
+// engines isolate that tax from the (much larger) group-commit fsync
+// cost.
+//
+// The claim under test: verified-mode write throughput stays within
+// ~2x of unverified at 8 shards — root maintenance amortizes, because
+// a bucket re-hash covers every write that dirtied it since the last
+// pass (the rehashes column vs total writes is that amortization).
+func E17Verify(w io.Writer, s Scale) error {
+	tbl := &Table{
+		Title:   "E17: verified-mode write overhead (Merkle root maintenance), upsert ops/s",
+		Headers: []string{"config", "w=1", "w=8", "w=64", "rehashes@64"},
+		Notes: []string{
+			"verified = every write marks its hash bucket dirty, a background hasher",
+			"re-hashes marked buckets; rehashes@64 counts bucket re-hashes during the",
+			"64-writer cell — each covers all writes to that bucket since the last pass",
+		},
+	}
+	for _, cfg := range []struct {
+		name     string
+		shards   int
+		verified bool
+	}{
+		{"tree/unverified", 1, false},
+		{"tree/verified", 1, true},
+		{"sharded8/unverified", 8, false},
+		{"sharded8/verified", 8, true},
+	} {
+		row := []any{cfg.name}
+		var rehashes uint64
+		for _, workers := range []int{1, 8, 64} {
+			tput, rh, err := e17Cell(cfg.shards, cfg.verified, workers, s.n(60000))
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.0f", tput))
+			rehashes = rh
+		}
+		if cfg.verified {
+			row = append(row, fmt.Sprintf("%d", rehashes))
+		} else {
+			row = append(row, "-")
+		}
+		tbl.Add(row...)
+	}
+	tbl.Render(w)
+	return nil
+}
+
+// e17Cell runs one E17 cell: workers goroutines upserting totalOps
+// golden-ratio-scattered keys into a fresh volatile router, with or
+// without the integrity layer, returning throughput and the number of
+// bucket re-hashes the background hasher performed.
+func e17Cell(shards int, verified bool, workers, totalOps int) (float64, uint64, error) {
+	// A fast rehash interval makes the background hasher genuinely
+	// race the writers — the honest worst case for the overhead claim.
+	r, err := shard.NewRouter(shards, shard.Options{MinPairs: 16, Verified: verified,
+		RehashEvery: 2 * time.Millisecond})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.Close()
+	opsPer := totalOps / workers
+	if opsPer < 1 {
+		opsPer = 1
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				k := base.Key(uint64(i*workers+wk) * 11400714819323198485)
+				if _, _, err := r.Upsert(k, base.Value(i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, 0, err
+	default:
+	}
+	st, err := r.Stats()
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(opsPer*workers) / elapsed.Seconds(), st.VerifyRehashes, nil
+}

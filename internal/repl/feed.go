@@ -11,6 +11,7 @@ import (
 
 	"blinktree/internal/base"
 	"blinktree/internal/shard"
+	"blinktree/internal/verify"
 	"blinktree/internal/wal"
 	"blinktree/internal/wire"
 )
@@ -34,6 +35,14 @@ type FeedConfig struct {
 	AckTimeout time.Duration
 	// Logf receives feed-level notices. Default: discard.
 	Logf func(format string, args ...any)
+	// Version is the connection's negotiated protocol version. Root
+	// frames (verified replication) are published only at ≥ 3 — an
+	// older follower would reject the unknown frame code.
+	Version uint16
+	// RootEvery is how often a verified primary seals and publishes a
+	// per-shard state root to this follower. Default 1s. Ignored when
+	// the primary is unverified or Version < 3.
+	RootEvery time.Duration
 }
 
 func (c *FeedConfig) fill() {
@@ -46,18 +55,23 @@ func (c *FeedConfig) fill() {
 	if c.AckTimeout <= 0 {
 		c.AckTimeout = 30 * time.Second
 	}
+	if c.RootEvery <= 0 {
+		c.RootEvery = time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
 }
 
 // FeedStats is a snapshot of one feed's counters for metrics: Lag is
-// records shipped but not yet acknowledged by the follower.
+// records shipped but not yet acknowledged by the follower; Roots is
+// the number of sealed state roots published on a verified feed.
 type FeedStats struct {
 	Remote  string
 	Shipped uint64
 	Acked   uint64
 	Resets  uint64
+	Roots   uint64
 	LastAck time.Time
 }
 
@@ -116,6 +130,7 @@ type Feed struct {
 	shipped atomic.Uint64
 	acked   atomic.Uint64
 	resets  atomic.Uint64
+	roots   atomic.Uint64
 	lastAck atomic.Int64 // unix nanos
 
 	ackKick chan struct{} // 1-buffered; readAcks nudges waitWindow
@@ -129,6 +144,7 @@ func (f *Feed) stats() FeedStats {
 		Shipped: f.shipped.Load(),
 		Acked:   f.acked.Load(),
 		Resets:  f.resets.Load(),
+		Roots:   f.roots.Load(),
 	}
 	if ns := f.lastAck.Load(); ns != 0 {
 		s.LastAck = time.Unix(0, ns)
@@ -176,6 +192,15 @@ func ServeFeed(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, r *shard.Router,
 // stream is the feed's single writer loop: round-robin over shards,
 // ship whatever each WAL tail holds, bootstrap shards the log no
 // longer covers, sleep briefly when everything is caught up.
+// rootSeal is a state root pinned to the exact WAL position it
+// covers, waiting for the feed to ship every record at or below that
+// position before it can be published as a FrameRoot.
+type rootSeal struct {
+	root verify.Hash
+	seg  uint64
+	off  int64
+}
+
 func (f *Feed) stream(pos []Position) error {
 	shards := f.r.Shards()
 	readers := make([]*wal.TailReader, shards)
@@ -192,6 +217,9 @@ func (f *Feed) stream(pos []Position) error {
 		}
 	}
 	recs := make([]wal.Record, 0, maxFrameRecords)
+	verified := f.cfg.Version >= 3 && f.r.Verified()
+	seals := make([]*rootSeal, shards)
+	lastRoot := make([]time.Time, shards)
 	var enc wire.Buf
 	for {
 		if err := f.checkLive(); err != nil {
@@ -205,14 +233,56 @@ func (f *Feed) stream(pos []Position) error {
 					return err
 				}
 				readers[i] = t
+				seals[i] = nil
 				shippedThisRound++
 				continue
+			}
+			if verified && seals[i] == nil && time.Since(lastRoot[i]) >= f.cfg.RootEvery {
+				root, sseg, soff, err := f.r.Engine(i).SealedRoot()
+				if err != nil {
+					return err
+				}
+				seals[i] = &rootSeal{root: root, seg: sseg, off: soff}
 			}
 			if err := f.waitWindow(); err != nil {
 				return err
 			}
+			maxN := maxFrameRecords
+			if s := seals[i]; s != nil {
+				rseg, roff := readers[i].Pos()
+				switch {
+				case rseg > s.seg || (rseg == s.seg && roff > s.off):
+					// The reader already passed the sealed position (it
+					// was overshot mid-frame by an earlier round): this
+					// seal can no longer be published at an exact
+					// boundary, so drop it and seal afresh later.
+					seals[i] = nil
+				case rseg == s.seg && roff == s.off:
+					// Every record at or below the seal has shipped and
+					// nothing above it: publish the root at this exact
+					// boundary.
+					enc.Reset()
+					enc.U64(s.seg)
+					enc.U64(uint64(s.off))
+					enc.B = append(enc.B, s.root[:]...)
+					if err := f.writeFrame(uint64(i), wire.FrameRoot, enc.B); err != nil {
+						return err
+					}
+					f.roots.Add(1)
+					lastRoot[i] = time.Now()
+					seals[i] = nil
+					shippedThisRound++
+					continue
+				case rseg == s.seg:
+					// Cap the read so the next frame ends exactly at
+					// the sealed position (records are fixed-length).
+					if remain := int((s.off - roff) / wal.RecordLen); remain < maxN {
+						maxN = remain
+					}
+				}
+			}
 			var err error
-			recs, err = readers[i].Next(maxFrameRecords, recs[:0])
+			recs, err = readers[i].Next(maxN, recs[:0])
 			if errors.Is(err, wal.ErrTruncated) {
 				// A checkpoint outran this follower: the suffix it needs
 				// is gone. Fall back to a snapshot bootstrap next round.

@@ -15,6 +15,7 @@ import (
 
 	"blinktree/internal/base"
 	"blinktree/internal/shard"
+	"blinktree/internal/verify"
 	"blinktree/internal/wal"
 	"blinktree/internal/wire"
 )
@@ -71,6 +72,9 @@ type FollowerStats struct {
 	Connected bool
 	// Positions are the current per-shard WAL positions.
 	Positions []Position
+	// RootChecks counts primary-published state roots this follower
+	// recomputed locally and matched (verified replication).
+	RootChecks uint64
 	// LastErr is the most recent session error ("" when none).
 	LastErr string
 }
@@ -91,9 +95,10 @@ type Follower struct {
 	pos     []Position
 	lastErr string
 
-	applied   atomic.Uint64
-	resets    atomic.Uint64
-	connected atomic.Bool
+	applied    atomic.Uint64
+	resets     atomic.Uint64
+	rootChecks atomic.Uint64
+	connected  atomic.Bool
 
 	stopMu  sync.Mutex // serializes Stop (e.g. concurrent promotions)
 	stop    chan struct{}
@@ -164,11 +169,12 @@ func (f *Follower) Stats() FollowerStats {
 	lastErr := f.lastErr
 	f.mu.Unlock()
 	return FollowerStats{
-		Applied:   f.applied.Load(),
-		Resets:    f.resets.Load(),
-		Connected: f.connected.Load(),
-		Positions: pos,
-		LastErr:   lastErr,
+		Applied:    f.applied.Load(),
+		Resets:     f.resets.Load(),
+		Connected:  f.connected.Load(),
+		Positions:  pos,
+		RootChecks: f.rootChecks.Load(),
+		LastErr:    lastErr,
 	}
 }
 
@@ -326,6 +332,40 @@ func (f *Follower) apply(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (progr
 		case wire.FrameReset:
 			f.resets.Add(1)
 			return f.wipeShard(sh)
+		case wire.FrameRoot:
+			if len(payload) != 48 {
+				return fmt.Errorf("repl: malformed root frame")
+			}
+			seg := binary.LittleEndian.Uint64(payload[0:8])
+			off := int64(binary.LittleEndian.Uint64(payload[8:16]))
+			var root verify.Hash
+			copy(root[:], payload[16:])
+			if !f.r.Verified() {
+				return nil // primary is verified, follower isn't: nothing to compare
+			}
+			f.mu.Lock()
+			pos := f.pos[sh]
+			f.mu.Unlock()
+			if pos.Seg != seg || pos.Off != off {
+				// Not at the sealed boundary (mid-bootstrap, or a
+				// resumed session skipped frames the primary already
+				// counted): comparing here would false-alarm, skip.
+				return nil
+			}
+			// This goroutine is the only mutator of the follower's
+			// router, so the root is exact at this position.
+			own, err := f.r.Engine(sh).VerifyRoot()
+			if err != nil {
+				return err
+			}
+			if own != root {
+				f.cfg.Logf("repl follower: ALARM: state root divergence at shard %d seg %d off %d: primary %x, follower %x",
+					sh, seg, off, root[:8], own[:8])
+				return fmt.Errorf("%w: state root divergence at shard %d (seg %d off %d): data divergence or tampering detected, refusing to continue",
+					errPermanent, sh, seg, off)
+			}
+			f.rootChecks.Add(1)
+			return nil
 		case wire.FrameSnapEnd:
 			d := wire.Dec{B: payload}
 			seg := d.U64()

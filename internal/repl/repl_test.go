@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -384,5 +385,94 @@ func TestReplicaReadRouting(t *testing.T) {
 	sr.Close()
 	if v, err := cl.Search(ctx, 1); err != nil || v != 100 {
 		t.Fatalf("fallback read: (%d, %v), want 100 from the primary", v, err)
+	}
+}
+
+// TestVerifiedReplicationRootChecks runs a verified primary/follower
+// pair and proves both halves of the tier-3 contract: a clean follower
+// recomputes and matches the primary's published roots (no false
+// alarms), and a follower whose state is tampered with detects the
+// divergence at the next root boundary and refuses to continue.
+func TestVerifiedReplicationRootChecks(t *testing.T) {
+	vopts := shard.Options{MinPairs: 4, Durable: true, WALNoSync: true,
+		Verified: true, VerifyBuckets: 64}
+
+	popts := vopts
+	popts.Dir = t.TempDir()
+	r1, err := shard.NewRouter(4, popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(r1, server.Config{Addr: "127.0.0.1:0",
+		RootEvery: 25 * time.Millisecond, Logf: func(string, ...any) {}})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close(); r1.Close() })
+
+	want := make(map[base.Key]base.Value)
+	for i := uint64(0); i < 2000; i++ {
+		k := scatter(i)
+		if _, _, err := r1.Upsert(k, base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = base.Value(i)
+	}
+
+	fopts := vopts
+	fopts.Dir = t.TempDir()
+	r2, err := shard.NewRouter(4, fopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := repl.NewFollower(r2, repl.FollowerConfig{
+		Primary: s.Addr().String(), Dir: fopts.Dir, AckEvery: 64,
+		Logf: func(format string, args ...any) { t.Logf("follower: "+format, args...) },
+	})
+	if err != nil {
+		r2.Close()
+		t.Fatal(err)
+	}
+	f.Start()
+	t.Cleanup(func() { f.Stop(); r2.Close() })
+	waitConverge(t, r2, want)
+
+	// Clean run: roots get published, recomputed, and matched — and
+	// keep matching while writes continue.
+	deadline := time.Now().Add(15 * time.Second)
+	for f.Stats().RootChecks < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no root checks after convergence: %+v", f.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := uint64(0); i < 500; i++ {
+		k := scatter(i)
+		if _, _, err := r1.Upsert(k, base.Value(i*3)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = base.Value(i * 3)
+	}
+	waitConverge(t, r2, want)
+	if st := f.Stats(); st.LastErr != "" {
+		t.Fatalf("false alarm on a clean verified pair: %q", st.LastErr)
+	}
+
+	// Tamper with the follower's local state behind replication's
+	// back: the next exactly-positioned root must expose it and the
+	// follower must give up for good.
+	if _, _, err := r2.Upsert(scatter(7), 0xdead); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		st := f.Stats()
+		if strings.Contains(st.LastErr, "divergence") && !st.Connected {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tampered follower did not alarm: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

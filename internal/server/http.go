@@ -142,6 +142,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(w, "blinkrepl_resets_total{follower=%q} %d\n", fs.Remote, fs.Resets)
 	}
 
+	// Integrity: whether state-root hashing is on, how much rehash
+	// work the background hasher has done, and how many sealed roots
+	// this primary has published per follower feed.
+	verified := int64(0)
+	if s.r.Verified() {
+		verified = 1
+	}
+	fmt.Fprintf(w, "# HELP blinkverify_enabled 1 while the integrity layer (state root hashing) is on\n# TYPE blinkverify_enabled gauge\nblinkverify_enabled %d\n", verified)
+	if verified == 1 {
+		if rs, err := s.r.Stats(); err == nil {
+			fmt.Fprintf(w, "# HELP blinkverify_rehashes_total dirty leaf buckets re-hashed\n# TYPE blinkverify_rehashes_total counter\nblinkverify_rehashes_total %d\n", rs.VerifyRehashes)
+		}
+		fmt.Fprintf(w, "# HELP blinkverify_roots_published_total sealed state roots published, per follower\n# TYPE blinkverify_roots_published_total counter\n")
+		for _, fs := range feeds {
+			fmt.Fprintf(w, "blinkverify_roots_published_total{follower=%q} %d\n", fs.Remote, fs.Roots)
+		}
+	}
+
 	// Cluster: the ownership map and live-migration progress.
 	if cs, ok := s.ClusterStats(); ok {
 		cgauge := func(name, help string, v int64) {

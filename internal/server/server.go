@@ -17,6 +17,7 @@ import (
 	"blinktree/internal/metrics"
 	"blinktree/internal/repl"
 	"blinktree/internal/shard"
+	"blinktree/internal/verify"
 	"blinktree/internal/wire"
 )
 
@@ -65,6 +66,9 @@ type Config struct {
 	// maximum number of shipped-but-unacknowledged records before a
 	// feed pauses. Default 65536.
 	FollowWindow int
+	// RootEvery is how often a verified server publishes a sealed
+	// state root on each follower feed. Default 1s.
+	RootEvery time.Duration
 	// Cluster, when set, makes this a cluster member: every op checks
 	// the node's range-ownership map, ops on ranges owned elsewhere
 	// (or fenced mid-migration) answer StatusWrongShard with a
@@ -270,11 +274,12 @@ func (s *Server) handleConn(nc net.Conn) {
 		s.Metrics.Errors.Inc()
 		return
 	}
-	if err := wire.WriteHelloVersion(nc, min(clientV, wire.Version)); err != nil {
+	negotiated := min(clientV, wire.Version)
+	if err := wire.WriteHelloVersion(nc, negotiated); err != nil {
 		return
 	}
 
-	c := &connState{s: s, nc: nc, br: br, bw: bw, ingestShard: -1}
+	c := &connState{s: s, nc: nc, br: br, bw: bw, ingestShard: -1, version: negotiated}
 	for {
 		c.reqs, c.ops, c.opRq = c.reqs[:0], c.ops[:0], c.opRq[:0]
 		gerr := s.gather(c)
@@ -306,7 +311,8 @@ func (s *Server) handleConn(nc net.Conn) {
 			// above): the connection now belongs to the replication
 			// feed until the follower disconnects or the server drains.
 			err := repl.ServeFeed(nc, br, bw, s.r,
-				c.followPos, repl.FeedConfig{Window: s.cfg.FollowWindow, Logf: s.cfg.Logf},
+				c.followPos, repl.FeedConfig{Window: s.cfg.FollowWindow, Logf: s.cfg.Logf,
+					Version: c.version, RootEvery: s.cfg.RootEvery},
 				s.stopCh, &s.feeds)
 			if err != nil && !isCleanClose(err) {
 				s.cfg.Logf("follower %s: %v", nc.RemoteAddr(), err)
@@ -360,6 +366,7 @@ type connState struct {
 	nc      net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
+	version uint16 // negotiated protocol version for this connection
 	reqs    []request
 	ops     []shard.Op // batchable slots of the current poll
 	opRq    []int      // ops[j] answers reqs[opRq[j]]
@@ -700,6 +707,10 @@ func (s *Server) serveUnit(c *connState, rq *request) {
 			return
 		}
 		s.writeFrame(c, rq.id, wire.StatusOK, s.cfg.Cluster.MapPayload())
+	case wire.OpRoot:
+		s.serveRoot(c, rq)
+	case wire.OpProve:
+		s.serveProve(c, rq, &d)
 	default:
 		// Unknown ops and point ops whose payload failed to decode.
 		s.badRequest(c, rq.id, fmt.Sprintf("unknown op %d or malformed payload", rq.op))
@@ -902,6 +913,53 @@ func (s *Server) serveMigrate(c *connState, rq *request) {
 	default:
 		s.badRequest(c, rq.id, fmt.Sprintf("migrate mode %d", mode))
 	}
+}
+
+// serveRoot answers the server's current engine state root (v3).
+func (s *Server) serveRoot(c *connState, rq *request) {
+	if c.version < 3 {
+		s.badRequest(c, rq.id, "root requires protocol v3")
+		return
+	}
+	if !s.r.Verified() {
+		s.badRequest(c, rq.id, "server is not verified (start with -verified)")
+		return
+	}
+	root, err := s.r.Root()
+	if err != nil {
+		s.writeErr(c, rq.id, err)
+		return
+	}
+	s.writeFrame(c, rq.id, wire.StatusOK, root[:])
+}
+
+// serveProve answers an inclusion/exclusion proof for one key (v3).
+func (s *Server) serveProve(c *connState, rq *request, d *wire.Dec) {
+	if c.version < 3 {
+		s.badRequest(c, rq.id, "prove requires protocol v3")
+		return
+	}
+	if !s.r.Verified() {
+		s.badRequest(c, rq.id, "server is not verified (start with -verified)")
+		return
+	}
+	key := base.Key(d.U64())
+	if !d.Done() {
+		s.badRequest(c, rq.id, "prove payload")
+		return
+	}
+	p, err := s.r.Prove(key)
+	if err != nil {
+		s.writeErr(c, rq.id, err)
+		return
+	}
+	payload := verify.EncodeProof(nil, p)
+	if len(payload) > wire.MaxFrame {
+		s.writeFrame(c, rq.id, wire.StatusTooLarge,
+			[]byte(fmt.Sprintf("proof of %d bytes exceeds the frame limit; raise VerifyBuckets", len(payload))))
+		return
+	}
+	s.writeFrame(c, rq.id, wire.StatusOK, payload)
 }
 
 // ClusterStats snapshots the cluster node's counters (zero Stats when

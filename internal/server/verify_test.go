@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"blinktree/client"
+	"blinktree/internal/shard"
+)
+
+// golden spreads dense ints over the keyspace so every shard is hit.
+const golden = 0x9e3779b97f4a7c15
+
+func TestVerifiedServingOverWire(t *testing.T) {
+	_, _, c := start(t, 4, Config{}, shard.Options{Verified: true, VerifyBuckets: 64})
+	ctx := context.Background()
+	key := func(i uint64) client.Key { return client.Key(i * golden) }
+	for i := uint64(0); i < 500; i++ {
+		if err := c.Insert(ctx, key(i), client.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// VerifiedGet before any pin must refuse, not trust blindly.
+	if _, _, err := c.VerifiedGet(ctx, key(7)); !errors.Is(err, client.ErrNoPinnedRoot) {
+		t.Fatalf("VerifiedGet without pin = %v, want ErrNoPinnedRoot", err)
+	}
+
+	root, err := c.Root(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PinRoot(root)
+
+	// Inclusion: a present key verifies and returns its value.
+	v, present, err := c.VerifiedGet(ctx, key(7))
+	if err != nil || !present || v != 7 {
+		t.Fatalf("VerifiedGet(present) = %d, %v, %v; want 7, true, nil", v, present, err)
+	}
+	// Exclusion: absence is proven too, against the same root.
+	if _, present, err := c.VerifiedGet(ctx, client.Key(12345)); err != nil || present {
+		t.Fatalf("VerifiedGet(absent) = %v, %v; want false, nil", present, err)
+	}
+
+	// One mutation anywhere moves the whole-state commitment: every
+	// proof — even for untouched keys in other shards — must now be
+	// rejected against the stale pinned root.
+	if _, _, err := c.Upsert(ctx, key(7), 999); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.VerifiedGet(ctx, key(7)); !errors.Is(err, client.ErrRootMismatch) {
+		t.Fatalf("VerifiedGet(mutated key) = %v, want ErrRootMismatch", err)
+	}
+	if _, _, err := c.VerifiedGet(ctx, key(100)); !errors.Is(err, client.ErrRootMismatch) {
+		t.Fatalf("VerifiedGet(untouched key after mutation) = %v, want ErrRootMismatch", err)
+	}
+
+	// Re-pinning the moved root restores verified reads.
+	root2, err := c.Root(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root2 == root {
+		t.Fatal("state root did not change after a mutation")
+	}
+	c.PinRoot(root2)
+	if v, present, err := c.VerifiedGet(ctx, key(7)); err != nil || !present || v != 999 {
+		t.Fatalf("VerifiedGet(re-pinned) = %d, %v, %v; want 999, true, nil", v, present, err)
+	}
+}
+
+func TestUnverifiedServerRejectsVerifyOps(t *testing.T) {
+	_, _, c := start(t, 2, Config{}, shard.Options{})
+	ctx := context.Background()
+	if _, err := c.Root(ctx); err == nil {
+		t.Fatal("Root on an unverified server should fail")
+	}
+	if _, err := c.Prove(ctx, 1); err == nil {
+		t.Fatal("Prove on an unverified server should fail")
+	}
+}

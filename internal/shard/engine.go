@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blinktree/internal/base"
 	"blinktree/internal/blink"
@@ -16,6 +17,7 @@ import (
 	"blinktree/internal/reclaim"
 	"blinktree/internal/snap"
 	"blinktree/internal/storage"
+	"blinktree/internal/verify"
 	"blinktree/internal/wal"
 )
 
@@ -93,6 +95,22 @@ type Options struct {
 	// page write. Independent of the WAL — it hardens the paged
 	// substrate itself, at a large cost; see storage.FileStore.
 	SyncPageWrites bool
+	// Verified maintains an incremental hash tree over the engine's
+	// content (internal/verify): mutations dirty their key's bucket, a
+	// background hasher re-hashes dirty buckets, and the fold of all
+	// bucket leaves is the shard's state root. The root is persisted
+	// with every checkpoint and recomputed-and-compared at recovery, so
+	// snapshot corruption or tampering fails the open instead of
+	// silently serving wrong data.
+	Verified bool
+	// VerifyBuckets is the number of hash-tree leaves (a power of two;
+	// default verify.DefaultBuckets). More buckets mean cheaper
+	// re-hashing per mutation and longer proofs. Ignored unless
+	// Verified.
+	VerifyBuckets int
+	// RehashEvery is the background hasher's drain interval (default
+	// verify.DefaultRehashInterval). Ignored unless Verified.
+	RehashEvery time.Duration
 }
 
 // Engine bundles one blink.Tree with the private substrate the paper's
@@ -124,6 +142,12 @@ type Engine struct {
 	// tmpPages is the scratch page file of a DiskNative engine without
 	// a durability Dir, removed at Close.
 	tmpPages string
+
+	// Integrity layer (nil overlay = unverified engine). verifyNB is
+	// the overlay's bucket count, fixed for the engine's lifetime.
+	overlay  *verify.Overlay
+	vhasher  *verify.Hasher
+	verifyNB int
 }
 
 // walStripes is the number of key stripes ordering apply+append pairs.
@@ -164,6 +188,11 @@ type Stats struct {
 	// Pooled reports whether a buffer pool is present (distinguishes
 	// an all-zero Pool from "no pool at all").
 	Pooled bool
+	// Verified reports whether the integrity overlay is maintained;
+	// VerifyRehashes counts bucket re-hashes it has performed. For a
+	// sharded index VerifyRehashes sums across shards.
+	Verified       bool
+	VerifyRehashes uint64
 }
 
 // OpenEngine assembles a complete engine per opts: store (memory or
@@ -172,6 +201,15 @@ type Stats struct {
 func OpenEngine(opts Options) (*Engine, error) {
 	if opts.MinPairs == 0 {
 		opts.MinPairs = blink.DefaultMinPairs
+	}
+	if opts.Verified {
+		if opts.VerifyBuckets == 0 {
+			opts.VerifyBuckets = verify.DefaultBuckets
+		}
+		if !verify.ValidBuckets(opts.VerifyBuckets) {
+			return nil, fmt.Errorf("blinktree: VerifyBuckets must be a power of two in [1, %d], got %d",
+				verify.MaxBuckets, opts.VerifyBuckets)
+		}
 	}
 	tmpPages := ""
 	adopted := false
@@ -270,6 +308,12 @@ func OpenEngine(opts Options) (*Engine, error) {
 		pool:     pool,
 		tmpPages: tmpPages,
 	}
+	if opts.Verified {
+		// verifyNB must be settled before openDurable: the recovery path
+		// compares the recomputed checkpoint root against the persisted
+		// one, and roots are only comparable under the same bucketing.
+		e.verifyNB = opts.VerifyBuckets
+	}
 	adopted = true // from here Close owns the scratch page file
 	e.scanner = compress.NewScanner(st, lt, opts.MinPairs, rec)
 	if opts.Compression != CompressionOff {
@@ -287,6 +331,14 @@ func OpenEngine(opts Options) (*Engine, error) {
 			e.Close()
 			return nil, err
 		}
+	}
+	if opts.Verified {
+		// The overlay starts all-dirty, which covers whatever recovery
+		// just rebuilt; the background hasher then amortizes the initial
+		// full hash and every later re-hash off the mutation paths.
+		e.overlay = verify.NewOverlay(e.verifyNB, e.scanRange)
+		e.vhasher = verify.NewHasher(e.overlay, opts.RehashEvery)
+		e.vhasher.Start()
 	}
 	return e, nil
 }
@@ -313,12 +365,29 @@ func (e *Engine) openDurable(opts Options) error {
 		if err != nil {
 			return err
 		}
+		// On a verified engine, tee the load into a stream hasher: the
+		// snapshot was hashed in this same key order when it was written,
+		// so recomputing from the file bytes and comparing against the
+		// persisted root detects any corruption of the checkpoint —
+		// beyond what its CRC footer can promise.
+		var sh *verify.StreamHasher
+		if e.verifyNB != 0 {
+			sh = verify.NewStreamHasher(e.verifyNB)
+		}
 		err = snap.Read(f, func(k base.Key, v base.Value) error {
+			if sh != nil {
+				sh.Add(uint64(k), uint64(v))
+			}
 			return e.Tree.Insert(k, v)
 		})
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("blinktree: checkpoint %s: %w", filepath.Base(path), err)
+		}
+		if sh != nil {
+			if err := e.compareCheckpointRoot(seg, sh.Root()); err != nil {
+				return err
+			}
 		}
 		startSeg = seg
 	}
@@ -391,8 +460,20 @@ func (e *Engine) Checkpoint() error {
 	if e.comp != nil && e.mode == CompressionBackground {
 		e.comp.Pause()
 	}
+	// A verified engine hashes the pairs exactly as they stream into the
+	// snapshot; the resulting root describes this checkpoint's bytes and
+	// is persisted beside it for the recovery compare.
+	var sh *verify.StreamHasher
+	if e.verifyNB != 0 {
+		sh = verify.NewStreamHasher(e.verifyNB)
+	}
 	err = snap.Write(f, e.Tree.Len(), func(fn func(base.Key, base.Value) bool) error {
-		return e.Tree.Range(0, base.Key(^uint64(0)), fn)
+		return e.Tree.Range(0, base.Key(^uint64(0)), func(k base.Key, v base.Value) bool {
+			if sh != nil {
+				sh.Add(uint64(k), uint64(v))
+			}
+			return fn(k, v)
+		})
 	})
 	if e.comp != nil && e.mode == CompressionBackground {
 		e.comp.Resume()
@@ -413,11 +494,25 @@ func (e *Engine) Checkpoint() error {
 	if err := wal.SyncDir(e.dir); err != nil {
 		return err
 	}
+	// The root file lands after the checkpoint rename: a crash between
+	// the two leaves a checkpoint without a root, which recovery
+	// tolerates (missing root = no compare), never a root without its
+	// checkpoint.
+	if sh != nil {
+		if err := writeRootFile(e.dir, seg, e.verifyNB, sh.Root()); err != nil {
+			return err
+		}
+	}
 	if err := e.wal.RemoveBelow(seg); err != nil {
 		return err
 	}
 	if err := wal.RemoveCheckpointsBelow(e.dir, seg); err != nil {
 		return err
+	}
+	if e.verifyNB != 0 {
+		if err := removeRootFilesBelow(e.dir, seg); err != nil {
+			return err
+		}
 	}
 	e.checkpoints.Add(1)
 	return nil
@@ -573,6 +668,10 @@ func (e *Engine) Stats() (Stats, error) {
 		s.Pool = e.pool.Stats()
 		s.Pooled = true
 	}
+	if e.overlay != nil {
+		s.Verified = true
+		s.VerifyRehashes = e.overlay.Rehashed.Load()
+	}
 	return s, nil
 }
 
@@ -589,6 +688,9 @@ func (e *Engine) PoolStats() (storage.PoolStats, bool) {
 // ahead log, and closes the store. The engine must not be used
 // afterwards.
 func (e *Engine) Close() error {
+	if e.vhasher != nil {
+		e.vhasher.Stop()
+	}
 	if e.comp != nil && e.mode == CompressionBackground {
 		e.comp.Stop()
 	}

@@ -35,13 +35,18 @@ func (e *Engine) Insert(k base.Key, v base.Value) error {
 
 func (e *Engine) insertT(k base.Key, v base.Value) (wal.Ticket, error) {
 	if e.wal == nil {
-		return wal.Ticket{}, e.Tree.Insert(k, v)
+		err := e.Tree.Insert(k, v)
+		if err == nil {
+			e.markVerify(k)
+		}
+		return wal.Ticket{}, err
 	}
 	s := e.stripe(k)
 	s.Lock()
 	err := e.Tree.Insert(k, v)
 	var t wal.Ticket
 	if err == nil {
+		e.markVerify(k)
 		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: v})
 	}
 	s.Unlock()
@@ -59,13 +64,18 @@ func (e *Engine) Delete(k base.Key) error {
 
 func (e *Engine) deleteT(k base.Key) (wal.Ticket, error) {
 	if e.wal == nil {
-		return wal.Ticket{}, e.Tree.Delete(k)
+		err := e.Tree.Delete(k)
+		if err == nil {
+			e.markVerify(k)
+		}
+		return wal.Ticket{}, err
 	}
 	s := e.stripe(k)
 	s.Lock()
 	err := e.Tree.Delete(k)
 	var t wal.Ticket
 	if err == nil {
+		e.markVerify(k)
 		t = e.wal.Append(wal.Record{Kind: wal.KindDel, Key: k})
 	}
 	s.Unlock()
@@ -85,6 +95,9 @@ func (e *Engine) Upsert(k base.Key, v base.Value) (base.Value, bool, error) {
 func (e *Engine) upsertT(k base.Key, v base.Value) (base.Value, bool, wal.Ticket, error) {
 	if e.wal == nil {
 		old, existed, err := e.Tree.Upsert(k, v)
+		if err == nil {
+			e.markVerify(k)
+		}
 		return old, existed, wal.Ticket{}, err
 	}
 	s := e.stripe(k)
@@ -92,6 +105,7 @@ func (e *Engine) upsertT(k base.Key, v base.Value) (base.Value, bool, wal.Ticket
 	old, existed, err := e.Tree.Upsert(k, v)
 	var t wal.Ticket
 	if err == nil {
+		e.markVerify(k)
 		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: v})
 	}
 	s.Unlock()
@@ -112,6 +126,9 @@ func (e *Engine) GetOrInsert(k base.Key, v base.Value) (base.Value, bool, error)
 func (e *Engine) getOrInsertT(k base.Key, v base.Value) (base.Value, bool, wal.Ticket, error) {
 	if e.wal == nil {
 		actual, loaded, err := e.Tree.GetOrInsert(k, v)
+		if err == nil && !loaded {
+			e.markVerify(k)
+		}
 		return actual, loaded, wal.Ticket{}, err
 	}
 	s := e.stripe(k)
@@ -119,6 +136,7 @@ func (e *Engine) getOrInsertT(k base.Key, v base.Value) (base.Value, bool, wal.T
 	actual, loaded, err := e.Tree.GetOrInsert(k, v)
 	var t wal.Ticket
 	if err == nil && !loaded {
+		e.markVerify(k)
 		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: actual})
 	}
 	s.Unlock()
@@ -130,13 +148,18 @@ func (e *Engine) getOrInsertT(k base.Key, v base.Value) (base.Value, bool, wal.T
 // resolved value, never the closure.
 func (e *Engine) Update(k base.Key, fn func(base.Value) base.Value) (base.Value, error) {
 	if e.wal == nil {
-		return e.Tree.Update(k, fn)
+		v, err := e.Tree.Update(k, fn)
+		if err == nil {
+			e.markVerify(k)
+		}
+		return v, err
 	}
 	s := e.stripe(k)
 	s.Lock()
 	v, err := e.Tree.Update(k, fn)
 	var t wal.Ticket
 	if err == nil {
+		e.markVerify(k)
 		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: v})
 	}
 	s.Unlock()
@@ -159,6 +182,9 @@ func (e *Engine) CompareAndSwap(k base.Key, old, new base.Value) (bool, error) {
 func (e *Engine) compareAndSwapT(k base.Key, old, new base.Value) (bool, wal.Ticket, error) {
 	if e.wal == nil {
 		swapped, err := e.Tree.CompareAndSwap(k, old, new)
+		if err == nil && swapped {
+			e.markVerify(k)
+		}
 		return swapped, wal.Ticket{}, err
 	}
 	s := e.stripe(k)
@@ -166,6 +192,7 @@ func (e *Engine) compareAndSwapT(k base.Key, old, new base.Value) (bool, wal.Tic
 	swapped, err := e.Tree.CompareAndSwap(k, old, new)
 	var t wal.Ticket
 	if err == nil && swapped {
+		e.markVerify(k)
 		t = e.wal.Append(wal.Record{Kind: wal.KindPut, Key: k, Value: new})
 	}
 	s.Unlock()
@@ -184,6 +211,9 @@ func (e *Engine) CompareAndDelete(k base.Key, old base.Value) (bool, error) {
 func (e *Engine) compareAndDeleteT(k base.Key, old base.Value) (bool, wal.Ticket, error) {
 	if e.wal == nil {
 		deleted, err := e.Tree.CompareAndDelete(k, old)
+		if err == nil && deleted {
+			e.markVerify(k)
+		}
 		return deleted, wal.Ticket{}, err
 	}
 	s := e.stripe(k)
@@ -191,6 +221,7 @@ func (e *Engine) compareAndDeleteT(k base.Key, old base.Value) (bool, wal.Ticket
 	deleted, err := e.Tree.CompareAndDelete(k, old)
 	var t wal.Ticket
 	if err == nil && deleted {
+		e.markVerify(k)
 		t = e.wal.Append(wal.Record{Kind: wal.KindDel, Key: k})
 	}
 	s.Unlock()
@@ -204,6 +235,11 @@ func (e *Engine) compareAndDeleteT(k base.Key, old base.Value) (bool, wal.Ticket
 func (e *Engine) BulkLoad(pairs func() (base.Key, base.Value, bool), fill float64) error {
 	if err := e.Tree.BulkLoad(pairs, fill); err != nil {
 		return err
+	}
+	// Bulk loading bypasses the per-key mutation paths, so the overlay
+	// cannot track which buckets changed — all of them did.
+	if e.overlay != nil {
+		e.overlay.MarkAll()
 	}
 	return e.Checkpoint()
 }

@@ -130,7 +130,12 @@ func (r *Router) Insert(k base.Key, v base.Value) error {
 // need exclusive access and must Checkpoint afterwards to make the
 // loaded state durable (no-ops when volatile).
 func (r *Router) InsertDirect(k base.Key, v base.Value) error {
-	return r.engines[r.shardFor(k)].Tree.Insert(k, v)
+	e := r.engines[r.shardFor(k)]
+	if err := e.Tree.Insert(k, v); err != nil {
+		return err
+	}
+	e.markVerify(k)
+	return nil
 }
 
 // Search returns the value stored under k, or base.ErrNotFound.
@@ -417,6 +422,8 @@ func (r *Router) Stats() (Stats, error) {
 		agg.Checkpoints += s.Checkpoints
 		agg.Pool.Merge(s.Pool)
 		agg.Pooled = agg.Pooled || s.Pooled
+		agg.Verified = agg.Verified || s.Verified
+		agg.VerifyRehashes += s.VerifyRehashes
 		o := s.Occupancy
 		agg.Occupancy.Nodes += o.Nodes
 		agg.Occupancy.Leaves += o.Leaves

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -200,6 +201,106 @@ func TestStreamStateRacesCompression(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		if _, err := e.StreamState(func(base.Key, base.Value) error { return nil }); err != nil {
 			t.Fatalf("StreamState under load: %v", err)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	checkCapture(t, e, captureState(t, e))
+	if err := r.Check(); err != nil {
+		t.Fatalf("structural check after scans: %v", err)
+	}
+}
+
+// TestStreamStateStrictOrderExactlyOnce pins the ordering contract the
+// integrity layer leans on: every StreamState scan emits keys in
+// strictly ascending order, each key exactly once — even while writers
+// mutate, Checkpoint rotates and truncates segments, and a delete-heavy
+// workload keeps the compressors moving pairs leftward. StreamHasher
+// folds the checkpoint stream into the state root in emission order, so
+// a duplicate or out-of-order pair would silently corrupt every root.
+func TestStreamStateStrictOrderExactlyOnce(t *testing.T) {
+	r := mustRouter(t, 1, Options{MinPairs: 8, CompressorWorkers: 2, Durable: true, Dir: t.TempDir(), WALNoSync: true})
+	e := r.Engine(0)
+
+	// A permanent floor of keys nobody deletes: every scan must see at
+	// least these, so an empty emission is a genuine skip, not timing.
+	const floor = 100
+	for i := uint64(0); i < floor; i++ {
+		if _, _, err := e.Upsert(base.Key(5000000+i*17), base.Value(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Churn writers: dense insert waves followed by sparse deletes keep
+	// a steady supply of underfull nodes in the compression queue.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			wave := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := uint64(g)*1000000 + uint64(wave%8)*50000
+				for i := uint64(0); i < 256; i++ {
+					if _, _, err := e.Upsert(base.Key(lo+i), base.Value(wave)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				for i := uint64(0); i < 256; i++ {
+					if i%5 == 0 {
+						continue
+					}
+					if err := e.Delete(base.Key(lo + i)); err != nil && !errors.Is(err, base.ErrNotFound) {
+						t.Error(err)
+						return
+					}
+				}
+				wave++
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := e.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	for scan := 0; scan < 8; scan++ {
+		var prev base.Key
+		n := 0
+		_, err := e.StreamState(func(k base.Key, v base.Value) error {
+			if n > 0 && k <= prev {
+				return fmt.Errorf("scan %d emitted key %d after %d (pair %d): order/once violated", scan, k, prev, n)
+			}
+			prev = k
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("StreamState: %v", err)
+		}
+		if n < floor {
+			t.Fatalf("scan %d emitted %d pairs, below the permanent floor of %d", scan, n, floor)
 		}
 	}
 

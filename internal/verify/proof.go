@@ -1,0 +1,193 @@
+package verify
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Proof is the server's evidence for one key: the complete pair list
+// of the key's bucket in its owning shard, the sibling hashes that
+// fold that bucket's leaf to the shard root, and every shard root. A
+// verifier recomputes the leaf from the pairs, folds it up the
+// siblings, substitutes the result into the shard roots, combines
+// them into an engine root, and compares that against a root it
+// trusts — the proof itself carries no authority, only consistency.
+//
+// The same proof shows inclusion (the key is listed, with its value)
+// and exclusion (the key is absent from the one bucket that could
+// hold it).
+type Proof struct {
+	Shards     int    // engine shard count
+	ShardIdx   int    // shard the key maps to
+	Buckets    int    // nb: buckets per shard
+	Bucket     int    // bucket the key maps to
+	ShardRoots []Hash // one root per shard, in shard order
+	Siblings   []Hash // fold path, bottom-up: Depth(nb) hashes
+	Keys       []uint64
+	Vals       []uint64 // parallel to Keys: the bucket's full pair list
+}
+
+// Proof decoding limits: a hostile payload must never drive a large
+// allocation before its length has paid for it.
+const (
+	maxProofShards = 4096
+	maxProofDepth  = 24 // log2(MaxBuckets)
+)
+
+// ErrBadProof reports a proof that is malformed or internally
+// inconsistent (its pairs do not fold to its own roots).
+var ErrBadProof = errors.New("verify: malformed or inconsistent proof")
+
+// ErrRootMismatch reports a well-formed proof whose engine root is not
+// the root the verifier trusts — the server's state is not the pinned
+// state.
+var ErrRootMismatch = errors.New("verify: proof root does not match pinned root")
+
+// EncodeProof appends the wire form of p to b:
+//
+//	shards u32 | shardIdx u32 | nb u32 | bucket u32 |
+//	shards × root [32] | depth u8 | depth × sibling [32] |
+//	npairs u32 | npairs × (key u64 | value u64)
+func EncodeProof(b []byte, p *Proof) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Shards))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.ShardIdx))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Buckets))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Bucket))
+	for i := range p.ShardRoots {
+		b = append(b, p.ShardRoots[i][:]...)
+	}
+	b = append(b, byte(len(p.Siblings)))
+	for i := range p.Siblings {
+		b = append(b, p.Siblings[i][:]...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Keys)))
+	for i := range p.Keys {
+		b = binary.LittleEndian.AppendUint64(b, p.Keys[i])
+		b = binary.LittleEndian.AppendUint64(b, p.Vals[i])
+	}
+	return b
+}
+
+// DecodeProof parses the wire form. It never panics on corrupt input
+// and bounds every allocation by the payload that backs it.
+func DecodeProof(b []byte) (*Proof, error) {
+	if len(b) < 16 {
+		return nil, ErrBadProof
+	}
+	p := &Proof{
+		Shards:   int(binary.LittleEndian.Uint32(b[0:4])),
+		ShardIdx: int(binary.LittleEndian.Uint32(b[4:8])),
+		Buckets:  int(binary.LittleEndian.Uint32(b[8:12])),
+		Bucket:   int(binary.LittleEndian.Uint32(b[12:16])),
+	}
+	b = b[16:]
+	if p.Shards < 1 || p.Shards > maxProofShards ||
+		p.ShardIdx < 0 || p.ShardIdx >= p.Shards ||
+		!ValidBuckets(p.Buckets) ||
+		p.Bucket < 0 || p.Bucket >= p.Buckets {
+		return nil, ErrBadProof
+	}
+	if len(b) < p.Shards*HashSize+1 {
+		return nil, ErrBadProof
+	}
+	p.ShardRoots = make([]Hash, p.Shards)
+	for i := range p.ShardRoots {
+		copy(p.ShardRoots[i][:], b[i*HashSize:])
+	}
+	b = b[p.Shards*HashSize:]
+	depth := int(b[0])
+	b = b[1:]
+	if depth != Depth(p.Buckets) || depth > maxProofDepth || len(b) < depth*HashSize+4 {
+		return nil, ErrBadProof
+	}
+	p.Siblings = make([]Hash, depth)
+	for i := range p.Siblings {
+		copy(p.Siblings[i][:], b[i*HashSize:])
+	}
+	b = b[depth*HashSize:]
+	n := int(binary.LittleEndian.Uint32(b[0:4]))
+	b = b[4:]
+	if n != len(b)/16 || len(b) != n*16 {
+		return nil, ErrBadProof
+	}
+	p.Keys = make([]uint64, n)
+	p.Vals = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		p.Keys[i] = binary.LittleEndian.Uint64(b[i*16:])
+		p.Vals[i] = binary.LittleEndian.Uint64(b[i*16+8:])
+	}
+	return p, nil
+}
+
+// Root recomputes the engine root the proof commits to: leaf from the
+// pair list, folded up the siblings into the shard root slot, then the
+// shard combination. It errs if the fold does not land on the shard
+// root the proof itself lists — such a proof is self-contradictory and
+// proves nothing.
+func (p *Proof) Root() (Hash, error) {
+	h := PathRoot(LeafOf(p.Keys, p.Vals), p.Bucket, p.Siblings)
+	if h != p.ShardRoots[p.ShardIdx] {
+		return Hash{}, fmt.Errorf("%w: fold does not reach the listed shard root", ErrBadProof)
+	}
+	return CombineShards(p.ShardRoots, p.Buckets), nil
+}
+
+// PathRoot folds a leaf hash up its sibling path (bottom-up, idx the
+// leaf's bucket index) to the shard root — the shared step of proof
+// construction and proof verification.
+func PathRoot(leaf Hash, idx int, sibs []Hash) Hash {
+	h := leaf
+	for _, sib := range sibs {
+		if idx&1 == 1 {
+			h = Combine(sib, h)
+		} else {
+			h = Combine(h, sib)
+		}
+		idx >>= 1
+	}
+	return h
+}
+
+// Lookup verifies the proof applies to key and answers it: the key's
+// shard and bucket must be the ones the proof covers, the pair list
+// must be strictly ascending and confined to the bucket, and then the
+// list settles presence. It does not compare against any trusted
+// root — callers combine it with Root.
+func (p *Proof) Lookup(key uint64) (value uint64, present bool, err error) {
+	if ShardOf(key, p.Shards) != p.ShardIdx || BucketOf(key, p.Buckets) != p.Bucket {
+		return 0, false, fmt.Errorf("%w: proof covers the wrong shard or bucket for the key", ErrBadProof)
+	}
+	for i := range p.Keys {
+		if i > 0 && p.Keys[i] <= p.Keys[i-1] {
+			return 0, false, fmt.Errorf("%w: pair list not strictly ascending", ErrBadProof)
+		}
+		if BucketOf(p.Keys[i], p.Buckets) != p.Bucket {
+			return 0, false, fmt.Errorf("%w: pair outside the proof's bucket", ErrBadProof)
+		}
+		if p.Keys[i] == key {
+			value, present = p.Vals[i], true
+		}
+	}
+	return value, present, nil
+}
+
+// Verify is the full client-side check: the proof must be
+// self-consistent, must cover key, and must fold to trusted. It
+// returns the key's value and presence on success, ErrRootMismatch
+// when the proof is sound but describes a different state, and
+// ErrBadProof otherwise.
+func (p *Proof) Verify(key uint64, trusted Hash) (value uint64, present bool, err error) {
+	value, present, err = p.Lookup(key)
+	if err != nil {
+		return 0, false, err
+	}
+	root, err := p.Root()
+	if err != nil {
+		return 0, false, err
+	}
+	if root != trusted {
+		return 0, false, ErrRootMismatch
+	}
+	return value, present, nil
+}

@@ -1,0 +1,231 @@
+// Package verify is the opt-in integrity layer (Options.Verified): a
+// deterministic hash tree over the index's key/value pairs whose root
+// commits to the exact state of every shard. The design follows the
+// transparency-log shape of rsc's MPT sketch — publish one root per
+// database state, let clients and auditors check answers against it —
+// adapted to the repo's fixed-width keyspace:
+//
+//   - The 2^64 key space is cut into nb equal **buckets** (nb a power
+//     of two, default 4096): bucket(k) = k >> (64 − log2 nb). Each
+//     engine hashes the pairs it stores per bucket into a **leaf
+//     hash**, folds the nb leaves pairwise into a perfect binary tree,
+//     and the fold's apex is the **shard root**.
+//   - The shard roots combine, in shard order, into one **engine
+//     root** — the value OpRoot serves, /metrics exposes, checkpoints
+//     persist, and followers compare.
+//   - An inclusion/exclusion **proof** for key k is the full pair list
+//     of k's bucket plus the log2(nb) sibling hashes up the fold plus
+//     every shard root: a verifier recomputes the leaf from the pairs,
+//     folds to the shard root, combines to the engine root, and
+//     compares against a root it trusts. The pair list answers
+//     presence (k is listed with its value) and absence (it is not)
+//     with the same evidence.
+//
+// Everything here is pure computation over stdlib crypto — the package
+// deliberately imports neither the tree nor the wire layer, so the
+// shard engine (which feeds it scans) and the wire codec's fuzz tests
+// (which feed it garbage) can both depend on it without cycles.
+package verify
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+)
+
+// HashSize is the byte length of every hash in the tree (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is one node of the hash tree.
+type Hash = [HashSize]byte
+
+// DefaultBuckets is the bucket count used when Options.VerifyBuckets
+// is zero: fine enough that a proof's pair list stays small (pairs are
+// ~total/4096), coarse enough that the overlay is 128 KiB per shard.
+const DefaultBuckets = 4096
+
+// MaxBuckets bounds bucket counts accepted from configuration and from
+// the wire (a proof names its nb; a decoder must not let a hostile
+// value drive allocation).
+const MaxBuckets = 1 << 24
+
+// domain separators: leaves and interior nodes must never collide.
+const (
+	tagLeaf     = 0x00
+	tagInterior = 0x01
+)
+
+// rootLabel domain-separates the final shard-root combination.
+var rootLabel = []byte("blinkroot/v1")
+
+// ValidBuckets reports whether nb is a usable bucket count: a power of
+// two in [1, MaxBuckets].
+func ValidBuckets(nb int) bool {
+	return nb >= 1 && nb <= MaxBuckets && nb&(nb-1) == 0
+}
+
+// Depth returns log2(nb) — the sibling count of a proof path. nb must
+// be a valid bucket count.
+func Depth(nb int) int {
+	d := 0
+	for 1<<d < nb {
+		d++
+	}
+	return d
+}
+
+// BucketOf maps a key to its bucket: the top log2(nb) bits of the key,
+// so buckets are contiguous key ranges and a key-ordered scan visits
+// them in order.
+func BucketOf(k uint64, nb int) int {
+	return int(k >> (64 - uint(Depth(nb))))
+}
+
+// BucketSpan returns the inclusive key range bucket b covers.
+func BucketSpan(b, nb int) (lo, hi uint64) {
+	shift := 64 - uint(Depth(nb))
+	lo = uint64(b) << shift
+	if b == nb-1 {
+		return lo, ^uint64(0)
+	}
+	return lo, uint64(b+1)<<shift - 1
+}
+
+// ShardOf maps a key to its shard index under the router's static
+// range partitioning (stride = ceil(2^64 / shards)) — the same formula
+// the server uses, so a proof verifier can check that the shard a
+// proof names is the shard that must own the key.
+func ShardOf(k uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	stride := ^uint64(0)/uint64(shards) + 1
+	return int(k / stride)
+}
+
+// LeafHasher incrementally hashes one bucket's pairs, fed in ascending
+// key order. The zero value is an empty bucket; Sum resets it so one
+// hasher can walk bucket after bucket.
+type LeafHasher struct {
+	st hash.Hash
+}
+
+// Add folds one pair into the leaf.
+func (l *LeafHasher) Add(k, v uint64) {
+	if l.st == nil {
+		l.st = sha256.New()
+		l.st.Write([]byte{tagLeaf})
+	}
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:8], k)
+	binary.LittleEndian.PutUint64(b[8:16], v)
+	l.st.Write(b[:])
+}
+
+// Sum finalizes the leaf hash and resets the hasher to empty.
+func (l *LeafHasher) Sum() Hash {
+	if l.st == nil {
+		return EmptyLeaf()
+	}
+	var out Hash
+	l.st.Sum(out[:0])
+	l.st = nil
+	return out
+}
+
+// emptyLeaf is H(tagLeaf): the hash of a bucket with no pairs.
+var emptyLeaf = sha256.Sum256([]byte{tagLeaf})
+
+// EmptyLeaf returns the hash of an empty bucket.
+func EmptyLeaf() Hash { return emptyLeaf }
+
+// LeafOf hashes a complete pair list (ascending key order) in one call.
+func LeafOf(keys, vals []uint64) Hash {
+	var l LeafHasher
+	for i := range keys {
+		l.Add(keys[i], vals[i])
+	}
+	return l.Sum()
+}
+
+// Combine hashes two sibling nodes into their parent.
+func Combine(l, r Hash) Hash {
+	var b [1 + 2*HashSize]byte
+	b[0] = tagInterior
+	copy(b[1:], l[:])
+	copy(b[1+HashSize:], r[:])
+	return sha256.Sum256(b[:])
+}
+
+// FoldLeaves folds nb leaf hashes pairwise into the shard root. The
+// slice is consumed as scratch; pass a copy if it must survive.
+func FoldLeaves(leaves []Hash) Hash {
+	n := len(leaves)
+	if n == 0 {
+		return EmptyLeaf()
+	}
+	for n > 1 {
+		for i := 0; i < n; i += 2 {
+			leaves[i/2] = Combine(leaves[i], leaves[i+1])
+		}
+		n /= 2
+	}
+	return leaves[0]
+}
+
+// CombineShards folds the per-shard roots into the engine root — the
+// published value. It commits to the shard count and bucket count, so
+// configurations that would bucket keys differently can never share a
+// root by accident.
+func CombineShards(shardRoots []Hash, nb int) Hash {
+	h := sha256.New()
+	h.Write(rootLabel)
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(shardRoots)))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(nb))
+	h.Write(b[:])
+	for i := range shardRoots {
+		h.Write(shardRoots[i][:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// StreamHasher computes one shard root from a key-ordered,
+// exactly-once pair stream — the checkpoint/StreamState scan. Feed it
+// every pair in ascending key order, then Root.
+type StreamHasher struct {
+	nb     int
+	cur    int
+	leaf   LeafHasher
+	leaves []Hash
+}
+
+// NewStreamHasher prepares a hasher for nb buckets (which must be a
+// valid bucket count).
+func NewStreamHasher(nb int) *StreamHasher {
+	s := &StreamHasher{nb: nb, leaves: make([]Hash, nb)}
+	for i := range s.leaves {
+		s.leaves[i] = emptyLeaf
+	}
+	return s
+}
+
+// Add folds one pair; keys must arrive in strictly ascending order
+// (the scan contract Engine.StreamState pins).
+func (s *StreamHasher) Add(k, v uint64) {
+	b := BucketOf(k, s.nb)
+	if b != s.cur {
+		s.leaves[s.cur] = s.leaf.Sum()
+		s.cur = b
+	}
+	s.leaf.Add(k, v)
+}
+
+// Root finalizes and returns the shard root. The hasher must not be
+// reused afterwards.
+func (s *StreamHasher) Root() Hash {
+	s.leaves[s.cur] = s.leaf.Sum()
+	return FoldLeaves(s.leaves)
+}

@@ -48,6 +48,11 @@ const (
 	recLen       = recHeaderLen + payloadLen
 )
 
+// RecordLen is the on-disk byte length of one record — the unit
+// replication uses to cut a Records frame exactly at a sealed-root
+// position.
+const RecordLen = recLen
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // appendRecord encodes r onto buf.

@@ -490,6 +490,31 @@ func (l *Log) Rotate() (uint64, error) {
 	return l.curSeg, nil
 }
 
+// Position flushes any pending group and returns the exact log
+// position after the last committed record: the current segment id and
+// the byte offset one past its final record — the same coordinates
+// wal.TailReader reports, so a position taken here names a cut a
+// replication reader will land on exactly. The integrity layer's
+// sealed roots rely on this: with mutators quiesced, (Position, state
+// hash) binds a root to one precise point in the log.
+func (l *Log) Position() (uint64, int64, error) {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	l.mu.Lock()
+	closed, failed := l.closed, l.failed
+	l.mu.Unlock()
+	if failed != nil {
+		return 0, 0, failed
+	}
+	if closed {
+		return 0, 0, ErrClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		return 0, 0, err
+	}
+	return l.curSeg, l.segBytes, nil
+}
+
 // RemoveBelow deletes every segment with id < seg — called after a
 // checkpoint covering them is durably in place. Segment ids only ever
 // grow, so this races safely with concurrent rotation.

@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"blinktree/internal/verify"
 )
 
 // frame assembles one wire frame for seeding.
@@ -53,6 +55,32 @@ func FuzzDecode(f *testing.F) {
 	b.U64(0)
 	f.Add(frame(6, OpFollow, b.B))
 	f.Add(frame(7, FrameAck, []byte{1, 0, 0, 0}))
+	// v3 integrity vocabulary: root fetch, proof fetch, and the
+	// replication root announcement (seg u64 | off u64 | root [32]).
+	f.Add(frame(12, OpRoot, nil))
+	f.Add(frame(12, OpRoot, make([]byte, 32)))
+	b.Reset()
+	b.U64(42)
+	f.Add(frame(13, OpProve, b.B))
+	pf := verify.EncodeProof(nil, &verify.Proof{
+		Shards: 2, ShardIdx: 1, Buckets: 4, Bucket: 3,
+		ShardRoots: make([]verify.Hash, 2),
+		Siblings:   make([]verify.Hash, 2),
+		Keys:       []uint64{42}, Vals: []uint64{7},
+	})
+	f.Add(frame(13, OpProve, pf))
+	// Broken proofs: truncated mid-roots, depth lying about nb, and a
+	// pair count that outruns the payload.
+	f.Add(frame(13, OpProve, pf[:20]))
+	lied := append([]byte(nil), pf...)
+	lied[16+2*32] = 9
+	f.Add(frame(13, OpProve, lied))
+	f.Add(frame(13, OpProve, append(pf[:len(pf)-16], 0xff, 0xff, 0xff, 0xff)))
+	rootFrame := make([]byte, 48)
+	binary.LittleEndian.PutUint64(rootFrame[0:8], 3)
+	binary.LittleEndian.PutUint64(rootFrame[8:16], 16)
+	f.Add(frame(0, FrameRoot, rootFrame))
+	f.Add(frame(0, FrameRoot, rootFrame[:17]))
 	// Two frames back to back: the loop must consume both.
 	f.Add(append(frame(8, OpLen, nil), frame(9, OpStats, nil)...))
 	// Torn header, torn payload, zero length, oversized length.
@@ -92,6 +120,17 @@ func FuzzDecode(f *testing.F) {
 				t.Fatalf("round-trip mismatch: (%d,%d,%x,%v) vs (%d,%d,%x)",
 					id2, code2, payload2, err, id, code, payload)
 			}
+		}
+		// Proof decoding faces the same untrusted bytes (an OpProve
+		// response payload). It must never panic, and any proof it
+		// accepts must re-encode to the exact bytes it was parsed from
+		// — the encoding is canonical.
+		if p, err := verify.DecodeProof(data); err == nil {
+			if enc := verify.EncodeProof(nil, p); !bytes.Equal(enc, data) {
+				t.Fatalf("proof round-trip mismatch: %x vs %x", enc, data)
+			}
+			p.Lookup(42)
+			p.Root()
 		}
 		// The hello validator must reject or accept without panicking,
 		// and only ever accept the exact magic plus a version this

@@ -43,9 +43,11 @@ var Magic = [4]byte{'B', 'L', 'N', 'K'}
 // answers the client's hello with the version it will speak —
 // min(client, server) — so an old client keeps working against a new
 // server; version 2 added the cluster vocabulary (OpMigrate,
-// OpClusterMap, StatusWrongShard) without changing any v1 payload.
+// OpClusterMap, StatusWrongShard) and version 3 the integrity
+// vocabulary (OpRoot, OpProve, FrameRoot), each without changing any
+// earlier payload.
 const (
-	Version    uint16 = 2
+	Version    uint16 = 3
 	MinVersion uint16 = 1
 )
 
@@ -122,6 +124,18 @@ const (
 	// view of range ownership). Any cluster member answers; a
 	// non-cluster server answers StatusBadRequest.
 	OpClusterMap uint8 = 17
+	// OpRoot: "" → root [32]. The server's current state root under the
+	// integrity layer's hash tree (v3). Concurrent with writers the
+	// root is fuzzy-but-recent; quiesced it is the exact deterministic
+	// hash of the full content. StatusBadRequest on an unverified
+	// server.
+	OpRoot uint8 = 18
+	// OpProve: key u64 → an encoded inclusion/exclusion proof (v3; see
+	// verify.EncodeProof and docs/protocol.md §Proof encoding). The
+	// proof pins the key's presence or absence, and its value when
+	// present, to a state root the client checks against one it
+	// trusts. StatusBadRequest on an unverified server.
+	OpProve uint8 = 19
 )
 
 // Replication stream frame codes. After an OpFollow handshake the
@@ -151,6 +165,15 @@ const (
 	// itself as the range's owner at the given map version, starts
 	// serving the range, and answers with a final FrameMigAck.
 	FrameHandoff uint8 = 203
+	// FrameRoot (primary→follower, v3 streams only): seg u64 | off u64 |
+	// root [32]. The primary's sealed per-shard state root at an exact
+	// WAL position: every record at or below (seg, off) is reflected in
+	// root and every record above it is not. A follower that reaches
+	// exactly that position computes its own shard root and compares;
+	// divergence means follower corruption or a tampered stream, and
+	// the follower refuses to continue. The frame id carries the shard
+	// index, like every primary→follower frame.
+	FrameRoot uint8 = 204
 	// FrameAck (follower→primary): shards u32 | shards × (seg u64 |
 	// off u64) | applied u64. Periodic acknowledgement of the
 	// follower's durable positions and cumulative applied-record
