@@ -3,6 +3,7 @@ package client
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -61,8 +62,9 @@ type Options struct {
 	// network failure. Mutations are never retried — a lost response
 	// does not prove a lost write. Default 1; negative disables.
 	RetryReads int
-	// ReadBuffer / WriteBuffer size each connection's bufio layers.
-	// Default 64 KiB.
+	// ReadBuffer sizes each connection's buffered reader; WriteBuffer
+	// sizes the writer goroutine's burst buffer (whole bursts go out
+	// in a single Write). Default 64 KiB each.
 	ReadBuffer, WriteBuffer int
 	// ReplicaAddr, when non-empty, is a read replica (a follower, see
 	// docs/protocol.md): idempotent reads — Search, Scan/Range, Len,
@@ -175,99 +177,54 @@ func (c *Client) Close() error {
 
 // Ping round-trips an empty frame. Idempotent (retried on reconnect).
 func (c *Client) Ping(ctx context.Context) error {
-	_, err := c.do(ctx, wire.OpPing, nil, true)
+	_, _, err := c.doPoint(ctx, wire.OpPing, 0, 0, 0, true)
 	return err
 }
 
 // Search returns the value stored under k, or ErrNotFound. Idempotent.
 func (c *Client) Search(ctx context.Context, k Key) (Value, error) {
-	var b wire.Buf
-	b.U64(uint64(k))
-	pl, err := c.do(ctx, wire.OpSearch, b.B, true)
-	if err != nil {
-		return 0, err
-	}
-	d := wire.Dec{B: pl}
-	v := Value(d.U64())
-	return v, d.Err
+	v, _, err := c.doPoint(ctx, wire.OpSearch, uint64(k), 0, 0, true)
+	return Value(v), err
 }
 
 // Insert stores v under k; ErrDuplicate if k is present.
 func (c *Client) Insert(ctx context.Context, k Key, v Value) error {
-	var b wire.Buf
-	b.U64(uint64(k))
-	b.U64(uint64(v))
-	_, err := c.do(ctx, wire.OpInsert, b.B, false)
+	_, _, err := c.doPoint(ctx, wire.OpInsert, uint64(k), uint64(v), 0, false)
 	return err
 }
 
 // Delete removes k, or returns ErrNotFound.
 func (c *Client) Delete(ctx context.Context, k Key) error {
-	var b wire.Buf
-	b.U64(uint64(k))
-	_, err := c.do(ctx, wire.OpDelete, b.B, false)
+	_, _, err := c.doPoint(ctx, wire.OpDelete, uint64(k), 0, 0, false)
 	return err
 }
 
 // Upsert stores v under k unconditionally, returning the previous
 // value and whether one existed.
 func (c *Client) Upsert(ctx context.Context, k Key, v Value) (old Value, existed bool, err error) {
-	var b wire.Buf
-	b.U64(uint64(k))
-	b.U64(uint64(v))
-	pl, err := c.do(ctx, wire.OpUpsert, b.B, false)
-	if err != nil {
-		return 0, false, err
-	}
-	d := wire.Dec{B: pl}
-	old, existed = Value(d.U64()), d.U8() != 0
-	return old, existed, d.Err
+	prev, existed, err := c.doPoint(ctx, wire.OpUpsert, uint64(k), uint64(v), 0, false)
+	return Value(prev), existed, err
 }
 
 // GetOrInsert returns the value under k, inserting v first when k is
 // absent; loaded reports whether it was already present.
 func (c *Client) GetOrInsert(ctx context.Context, k Key, v Value) (actual Value, loaded bool, err error) {
-	var b wire.Buf
-	b.U64(uint64(k))
-	b.U64(uint64(v))
-	pl, err := c.do(ctx, wire.OpGetOrInsert, b.B, false)
-	if err != nil {
-		return 0, false, err
-	}
-	d := wire.Dec{B: pl}
-	actual, loaded = Value(d.U64()), d.U8() != 0
-	return actual, loaded, d.Err
+	got, loaded, err := c.doPoint(ctx, wire.OpGetOrInsert, uint64(k), uint64(v), 0, false)
+	return Value(got), loaded, err
 }
 
 // CompareAndSwap replaces k's value with new only when it equals old.
 // A missing key is ErrNotFound; a mismatch is (false, nil).
 func (c *Client) CompareAndSwap(ctx context.Context, k Key, old, new Value) (bool, error) {
-	var b wire.Buf
-	b.U64(uint64(k))
-	b.U64(uint64(old))
-	b.U64(uint64(new))
-	pl, err := c.do(ctx, wire.OpCompareAndSwap, b.B, false)
-	if err != nil {
-		return false, err
-	}
-	d := wire.Dec{B: pl}
-	swapped := d.U8() != 0
-	return swapped, d.Err
+	_, swapped, err := c.doPoint(ctx, wire.OpCompareAndSwap, uint64(k), uint64(old), uint64(new), false)
+	return swapped, err
 }
 
 // CompareAndDelete removes k only when its value equals old, with the
 // same convention as CompareAndSwap.
 func (c *Client) CompareAndDelete(ctx context.Context, k Key, old Value) (bool, error) {
-	var b wire.Buf
-	b.U64(uint64(k))
-	b.U64(uint64(old))
-	pl, err := c.do(ctx, wire.OpCompareAndDelete, b.B, false)
-	if err != nil {
-		return false, err
-	}
-	d := wire.Dec{B: pl}
-	deleted := d.U8() != 0
-	return deleted, d.Err
+	_, deleted, err := c.doPoint(ctx, wire.OpCompareAndDelete, uint64(k), uint64(old), 0, false)
+	return deleted, err
 }
 
 // Pair is one key/value of a scan page.
@@ -610,6 +567,120 @@ func (c *Client) do(ctx context.Context, op uint8, payload []byte, idempotent bo
 	return nil, fmt.Errorf("client: %s failed after %d attempt(s): %w", opName(op), attempts, &netError{lastErr})
 }
 
+// doPoint is do for the fixed-shape point operations (ping, search,
+// insert, delete, upsert, get-or-insert, compare-and-swap,
+// compare-and-delete): the request is encoded into the pooled call's
+// own storage and the response decoded from it before the call is
+// pooled again, so the steady-state round trip allocates nothing. The
+// x/y/z argument meaning is per-op (see encodePoint); val/ok carry the
+// decoded response fields the op defines (see decodePoint).
+func (c *Client) doPoint(ctx context.Context, op uint8, x, y, z uint64, idempotent bool) (val uint64, ok bool, err error) {
+	if c.closed.Load() {
+		return 0, false, ErrClientClosed
+	}
+	if idempotent && c.replica != nil && time.Now().UnixNano() > c.replicaDownUntil.Load() {
+		val, ok, err := c.replica.doPoint(ctx, op, x, y, z, true)
+		var ne *netError
+		if err == nil || !errors.As(err, &ne) {
+			return val, ok, err
+		}
+		// Replica unreachable: remember that for a cooldown and serve
+		// from the primary.
+		c.replicaDownUntil.Store(time.Now().Add(replicaCooldown).UnixNano())
+	}
+	cl := callPool.Get().(*call)
+	n := encodePoint(cl, op, x, y, z)
+	attempts := 1
+	if idempotent {
+		attempts += c.opt.RetryReads
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		cn, err := c.conn()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		val, ok, abandoned, err := cn.roundtripPoint(ctx, op, cl, n)
+		if abandoned {
+			// The call's frame may still sit unwritten in the dead
+			// attempt's queue, referencing cl.req: pooling cl now could
+			// let a reuse rewrite those bytes into a different valid
+			// request. Leave cl to the garbage collector.
+			return 0, false, err
+		}
+		if err == nil {
+			callPool.Put(cl)
+			return val, ok, nil
+		}
+		var ne *netError
+		if !errors.As(err, &ne) {
+			callPool.Put(cl)
+			return 0, false, err // server status or ctx error: no retry
+		}
+		lastErr = ne.err
+	}
+	callPool.Put(cl)
+	return 0, false, fmt.Errorf("client: %s failed after %d attempt(s): %w", opName(op), attempts, &netError{lastErr})
+}
+
+// encodePoint writes op's request payload (per docs/protocol.md) into
+// cl.req and returns its length. Argument meaning per op: x is the key
+// (unused by ping); y is the value for insert/upsert/get-or-insert and
+// the expected old value for the compare ops; z is compare-and-swap's
+// new value.
+func encodePoint(cl *call, op uint8, x, y, z uint64) int {
+	le := binary.LittleEndian
+	switch op {
+	case wire.OpPing:
+		return 0
+	case wire.OpSearch, wire.OpDelete:
+		le.PutUint64(cl.req[0:8], x)
+		return 8
+	case wire.OpCompareAndSwap:
+		le.PutUint64(cl.req[0:8], x)
+		le.PutUint64(cl.req[8:16], y)
+		le.PutUint64(cl.req[16:24], z)
+		return 24
+	default: // insert, upsert, get-or-insert, compare-and-delete
+		le.PutUint64(cl.req[0:8], x)
+		le.PutUint64(cl.req[8:16], y)
+		return 16
+	}
+}
+
+// errMalformedPoint reports a point response whose payload length does
+// not match its op's fixed shape.
+var errMalformedPoint = errors.New("client: malformed point response")
+
+// decodePoint decodes op's fixed-shape response payload: val is the
+// searched/previous/actual value, ok the existed/loaded/swapped/
+// deleted flag.
+func decodePoint(op uint8, pl []byte) (val uint64, ok bool, err error) {
+	switch op {
+	case wire.OpSearch:
+		if len(pl) != 8 {
+			return 0, false, errMalformedPoint
+		}
+		return binary.LittleEndian.Uint64(pl), false, nil
+	case wire.OpUpsert, wire.OpGetOrInsert:
+		if len(pl) != 9 {
+			return 0, false, errMalformedPoint
+		}
+		return binary.LittleEndian.Uint64(pl), pl[8] != 0, nil
+	case wire.OpCompareAndSwap, wire.OpCompareAndDelete:
+		if len(pl) != 1 {
+			return 0, false, errMalformedPoint
+		}
+		return 0, pl[0] != 0, nil
+	default: // ping, insert, delete: empty response
+		if len(pl) != 0 {
+			return 0, false, errMalformedPoint
+		}
+		return 0, false, nil
+	}
+}
+
 // conn returns a live pooled connection, round-robin, dialing if the
 // slot is empty or its connection died.
 func (c *Client) conn() (*conn, error) {
@@ -654,7 +725,7 @@ func (c *Client) dial() (*conn, error) {
 	cn := &conn{
 		nc:      nc,
 		br:      br,
-		bw:      bufio.NewWriterSize(nc, c.opt.WriteBuffer),
+		wbufCap: c.opt.WriteBuffer,
 		wake:    make(chan struct{}, 1),
 		dead:    make(chan struct{}),
 		pending: make(map[uint64]*call),
@@ -678,14 +749,52 @@ type wreq struct {
 	payload []byte
 }
 
-// call is one in-flight request. Calls are pooled: the done channel is
-// reused across requests, so the per-op cost is map traffic and one
-// channel send/receive, no allocation.
+// call is one in-flight request. Calls are pooled and carry their own
+// request and response storage, so a steady-state point operation
+// allocates nothing: the request is encoded into req (24 bytes holds
+// the largest point payload, compare-and-swap), the reader copies any
+// response that fits into resp (the largest point response is 9
+// bytes), and the caller decodes from resp before returning the call
+// to the pool. Larger responses arrive in payload, freshly allocated
+// by the reader.
+//
+// Lifetime rule for req: the writer goroutine reads it exactly once,
+// before the response can possibly arrive (the server answers only
+// what it received), so decoding-then-Put after done fires is safe. A
+// call abandoned on context cancellation is the one exception — its
+// frame may still sit unwritten in the queue, so it must NOT be
+// pooled (a reuse could rewrite the bytes into a different valid
+// request); it is left to the garbage collector instead.
 type call struct {
 	done    chan struct{}
-	payload []byte // response payload (owned by the receiver)
+	payload []byte // large response payload (owned by this call)
+	err     error  // transport-level failure
 	status  uint8
-	err     error // transport-level failure
+	respLen uint8    // bytes of resp in use when payload is nil
+	resp    [16]byte // small response storage (point ops land here)
+	req     [24]byte // request payload storage for point ops
+}
+
+// respSlice returns the response payload without copying; valid only
+// until the call is pooled.
+func (cl *call) respSlice() []byte {
+	if cl.payload != nil {
+		return cl.payload
+	}
+	return cl.resp[:cl.respLen]
+}
+
+// ownedResp returns the response payload as a slice safe to hold after
+// the call is pooled: large payloads are already owned, small ones are
+// copied out.
+func (cl *call) ownedResp() []byte {
+	if cl.payload != nil {
+		return cl.payload
+	}
+	if cl.respLen == 0 {
+		return nil
+	}
+	return append([]byte(nil), cl.resp[:cl.respLen]...)
 }
 
 var callPool = sync.Pool{
@@ -698,10 +807,10 @@ var callPool = sync.Pool{
 // the whole queue out and writes it as one burst with a single flush,
 // and the reader goroutine dispatches responses by id.
 type conn struct {
-	nc  net.Conn
-	br  *bufio.Reader
-	bw  *bufio.Writer
-	ids atomic.Uint64
+	nc      net.Conn
+	br      *bufio.Reader
+	wbufCap int // initial capacity of the writer's burst buffer
+	ids     atomic.Uint64
 
 	mu      sync.Mutex
 	queue   []wreq
@@ -771,11 +880,12 @@ func (cn *conn) takePending(id uint64) *call {
 	return cl
 }
 
-// roundtrip sends one request and waits for its response.
+// roundtrip sends one request (payload owned by the caller) and waits
+// for its response, returning an owned response slice.
 func (cn *conn) roundtrip(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
 	id := cn.ids.Add(1)
 	cl := callPool.Get().(*call)
-	cl.payload, cl.status, cl.err = nil, 0, nil
+	cl.payload, cl.status, cl.err, cl.respLen = nil, 0, nil, 0
 	if err := cn.enqueue(id, op, payload, cl); err != nil {
 		callPool.Put(cl)
 		return nil, &netError{err}
@@ -783,54 +893,97 @@ func (cn *conn) roundtrip(ctx context.Context, op uint8, payload []byte) ([]byte
 	if ctx.Done() == nil {
 		// No cancellation possible: skip the select machinery.
 		<-cl.done
-		payload, status, err := cl.payload, cl.status, cl.err
-		callPool.Put(cl)
-		if err != nil {
-			return nil, err
-		}
-		if status != wire.StatusOK {
-			return nil, wire.StatusError(status, string(payload))
-		}
-		return payload, nil
+		return cl.finish()
 	}
 	select {
 	case <-cl.done:
 	case <-ctx.Done():
 		if cn.takePending(id) != nil {
 			// Abandoned before delivery: the reader can no longer see
-			// this call, so it is ours to reuse; its response (if it
-			// ever arrives) is dropped by the id lookup missing.
+			// this call, so it is ours to reuse (the queued frame
+			// references the caller's payload, not the call); its
+			// response, if it ever arrives, is dropped by the id
+			// lookup missing.
 			callPool.Put(cl)
 			return nil, ctx.Err()
 		}
 		// The reader already took the call: the result is in flight.
 		<-cl.done
 	}
-	payload, status, err := cl.payload, cl.status, cl.err
-	callPool.Put(cl)
-	if err != nil {
+	return cl.finish()
+}
+
+// finish extracts a delivered call's outcome as an owned payload or
+// error and returns the call to the pool.
+func (cl *call) finish() ([]byte, error) {
+	if err := cl.err; err != nil {
+		callPool.Put(cl)
 		return nil, err
 	}
-	if status != wire.StatusOK {
-		return nil, wire.StatusError(status, string(payload))
+	if cl.status != wire.StatusOK {
+		err := wire.StatusError(cl.status, string(cl.respSlice()))
+		callPool.Put(cl)
+		return nil, err
 	}
+	payload := cl.ownedResp()
+	callPool.Put(cl)
 	return payload, nil
 }
 
+// roundtripPoint sends one point request already encoded in cl.req
+// (length n) and decodes the response in place. It never pools cl:
+// success and failure alike leave that to the caller, except that
+// abandoned=true marks a context cancellation that left the frame
+// possibly still queued — the caller must then drop cl without
+// pooling it (see the call doc comment).
+func (cn *conn) roundtripPoint(ctx context.Context, op uint8, cl *call, n int) (val uint64, ok, abandoned bool, err error) {
+	id := cn.ids.Add(1)
+	cl.payload, cl.status, cl.err, cl.respLen = nil, 0, nil, 0
+	if err := cn.enqueue(id, op, cl.req[:n], cl); err != nil {
+		return 0, false, false, &netError{err}
+	}
+	if ctx.Done() == nil {
+		<-cl.done
+	} else {
+		select {
+		case <-cl.done:
+		case <-ctx.Done():
+			if cn.takePending(id) != nil {
+				return 0, false, true, ctx.Err()
+			}
+			<-cl.done
+		}
+	}
+	if cl.err != nil {
+		return 0, false, false, cl.err
+	}
+	if cl.status != wire.StatusOK {
+		return 0, false, false, wire.StatusError(cl.status, string(cl.respSlice()))
+	}
+	val, ok, err = decodePoint(op, cl.respSlice())
+	return val, ok, false, err
+}
+
+// wburstRetain bounds the writer burst buffer kept across bursts: a
+// burst that ballooned past it (concurrent large batches) is dropped
+// back to the configured size instead of pinning the high-water mark.
+const wburstRetain = 256 << 10
+
 // writeLoop writes queued frames in bursts: swap the whole queue out
-// under the lock, write every frame, flush once when the queue runs
-// dry. This is what turns N concurrent callers into one pipelined
-// burst — which the server's coalescing loop then turns into one
-// ApplyBatch.
+// under the lock, append every frame into one owned buffer, and put
+// the whole burst on the wire with a single Write — one syscall per
+// burst, no intermediate bufio layer. This is what turns N concurrent
+// callers into one pipelined burst — which the server's coalescing
+// loop then turns into one ApplyBatch.
 func (cn *conn) writeLoop() {
 	var spare []wreq
+	out := make([]byte, 0, cn.wbufCap)
 	for {
 		select {
 		case <-cn.wake:
 		case <-cn.dead:
 			return
 		}
-		wrote := 0
 		for {
 			cn.mu.Lock()
 			batch := cn.queue
@@ -841,28 +994,40 @@ func (cn *conn) writeLoop() {
 			cn.queue = spare[:0]
 			cn.mu.Unlock()
 			for i := range batch {
-				if err := wire.WriteFrame(cn.bw, batch[i].id, batch[i].op, batch[i].payload); err != nil {
+				var err error
+				out, err = wire.AppendFrame(out, batch[i].id, batch[i].op, batch[i].payload)
+				if err != nil {
 					cn.fail(err)
 					return
 				}
 				batch[i].payload = nil
 			}
-			wrote += len(batch)
 			spare = batch
 		}
-		if wrote > 0 {
-			if err := cn.bw.Flush(); err != nil {
+		if len(out) > 0 {
+			if _, err := cn.nc.Write(out); err != nil {
 				cn.fail(err)
 				return
+			}
+			if cap(out) > wburstRetain {
+				out = make([]byte, 0, cn.wbufCap)
+			} else {
+				out = out[:0]
 			}
 		}
 	}
 }
 
-// readLoop dispatches responses to their pending calls by id.
+// readLoop dispatches responses to their pending calls by id. The
+// scratch buffer is sized so every point response (≤ 9 bytes payload)
+// is read into it and copied to the call's own resp array — no
+// allocation; anything larger misses the scratch, so ReadFrame
+// freshly allocates it and the buffer is handed to the waiter
+// outright, owned.
 func (cn *conn) readLoop() {
+	var scratch [16]byte
 	for {
-		id, status, payload, err := wire.ReadFrame(cn.br, nil)
+		id, status, payload, err := wire.ReadFrame(cn.br, scratch[:0])
 		if err != nil {
 			cn.fail(err)
 			return
@@ -871,9 +1036,13 @@ func (cn *conn) readLoop() {
 		if cl == nil {
 			continue // cancelled call; drop its response
 		}
-		// ReadFrame(nil) allocates the payload, so handing it to the
-		// waiter is safe.
-		cl.payload, cl.status = payload, status
+		if len(payload) <= len(cl.resp) {
+			cl.respLen = uint8(copy(cl.resp[:], payload))
+			cl.payload = nil
+		} else {
+			cl.payload = payload
+		}
+		cl.status = status
 		cl.done <- struct{}{}
 	}
 }

@@ -1,23 +1,30 @@
-// Command benchcompare gates E-series throughput regressions: it
+// Command benchcompare gates E-series performance regressions: it
 // compares two sagivbench -json reports and exits non-zero when any
 // throughput cell in the latest run falls more than a threshold below
-// the committed baseline.
+// the committed baseline, or any allocation cell rises more than a
+// threshold above it.
 //
 // Usage:
 //
 //	benchcompare -baseline BENCH_baseline.json -latest results.json
 //
-// The threshold is -max-regression-pct, overridable with the
-// BENCH_MAX_REGRESSION_PCT environment variable (default 15 — E-series
-// runs at CI scale are noisy; the gate is for cliffs, not jitter).
+// The throughput threshold is -max-regression-pct, overridable with
+// the BENCH_MAX_REGRESSION_PCT environment variable (default 15 —
+// E-series runs at CI scale are noisy; the gate is for cliffs, not
+// jitter). The allocation threshold is -max-alloc-regression-pct /
+// BENCH_MAX_ALLOC_REGRESSION_PCT (default 15, plus one absolute
+// alloc/op of slack so near-zero baselines don't trip on a single
+// stray allocation).
 //
 // What counts as a throughput cell: a numeric cell whose column header
 // contains "ops/s", or any numeric non-config cell of a table whose
-// title announces ops/s. Cells are matched by (experiment, table
-// title, first cell of the row, column header); pairs present in only
-// one report are reported but never fail the gate, so adding an
-// experiment or a row does not require regenerating the baseline —
-// only a *shape change* to an existing table does (see
+// title announces ops/s. An allocation cell is one whose column
+// header contains "allocs/op" (B/op columns ride along informationally
+// but are not gated — bytes track allocs). Cells are matched by
+// (experiment, table title, first cell of the row, column header);
+// pairs present in only one report are reported but never fail the
+// gate, so adding an experiment or a row does not require regenerating
+// the baseline — only a *shape change* to an existing table does (see
 // scripts/bench-update.sh).
 //
 // Baselines and comparison runs must come from the same machine class
@@ -30,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -81,6 +89,9 @@ func throughputCells(r *report) map[cellKey]float64 {
 					if i == 0 || i >= len(tbl.Headers) {
 						continue
 					}
+					if strings.Contains(tbl.Headers[i], "allocs/op") || strings.Contains(tbl.Headers[i], "B/op") {
+						continue // allocation columns gate separately
+					}
 					if !strings.Contains(tbl.Headers[i], "ops/s") && !titleTput {
 						continue
 					}
@@ -96,19 +107,112 @@ func throughputCells(r *report) map[cellKey]float64 {
 	return out
 }
 
+// allocCells extracts every allocation-rate cell (columns headed
+// "allocs/op") of a report. Zero is a valid value here — a zero-alloc
+// steady state is exactly what the gate protects.
+func allocCells(r *report) map[cellKey]float64 {
+	out := make(map[cellKey]float64)
+	for _, exp := range r.Experiments {
+		for _, tbl := range exp.Tables {
+			for _, row := range tbl.Rows {
+				if len(row) == 0 {
+					continue
+				}
+				for i, cell := range row {
+					if i == 0 || i >= len(tbl.Headers) || !strings.Contains(tbl.Headers[i], "allocs/op") {
+						continue
+					}
+					v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+					if err != nil || v < 0 {
+						continue
+					}
+					out[cellKey{exp.ID, tbl.Title, row[0], tbl.Headers[i]}] = v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pctEnv overrides *pct from the named environment variable.
+func pctEnv(name string, pct *float64) {
+	env := os.Getenv(name)
+	if env == "" {
+		return
+	}
+	v, err := strconv.ParseFloat(env, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: bad %s %q: %v\n", name, env, err)
+		os.Exit(2)
+	}
+	*pct = v
+}
+
+// sortedKeys returns the union of both maps' keys in deterministic
+// report order.
+func sortedKeys(a, b map[cellKey]float64) []cellKey {
+	seen := make(map[cellKey]bool, len(a)+len(b))
+	keys := make([]cellKey, 0, len(a)+len(b))
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.exp != b.exp {
+			return a.exp < b.exp
+		}
+		if a.table != b.table {
+			return a.table < b.table
+		}
+		if a.config != b.config {
+			return a.config < b.config
+		}
+		return a.column < b.column
+	})
+	return keys
+}
+
+// printDeltas renders the full baseline/latest comparison as an
+// aligned table, one row per cell present in either report.
+func printDeltas(unit string, baseCells, latestCells map[cellKey]float64) {
+	fmt.Printf("%-4s  %-28s  %-16s  %12s  %12s  %8s\n", "exp", "config", "column", "baseline", "latest", "delta")
+	for _, k := range sortedKeys(baseCells, latestCells) {
+		b, inBase := baseCells[k]
+		l, inLatest := latestCells[k]
+		switch {
+		case !inLatest:
+			fmt.Printf("%-4s  %-28s  %-16s  %12.1f  %12s  %8s\n", k.exp, k.config, k.column, b, "-", "gone")
+		case !inBase:
+			fmt.Printf("%-4s  %-28s  %-16s  %12s  %12.1f  %8s\n", k.exp, k.config, k.column, "-", l, "new")
+		default:
+			delta := 0.0
+			if b != 0 {
+				delta = (l - b) / b * 100
+			}
+			fmt.Printf("%-4s  %-28s  %-16s  %12.1f  %12.1f  %+7.1f%%\n", k.exp, k.config, k.column, b, l, delta)
+		}
+	}
+	_ = unit
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 	latestPath := flag.String("latest", "", "report to gate (required)")
 	maxPct := flag.Float64("max-regression-pct", 15, "fail when a throughput cell drops more than this percent below baseline (env BENCH_MAX_REGRESSION_PCT overrides)")
+	maxAllocPct := flag.Float64("max-alloc-regression-pct", 15, "fail when an allocs/op cell rises more than this percent (plus 1 alloc/op of slack) above baseline (env BENCH_MAX_ALLOC_REGRESSION_PCT overrides)")
+	deltas := flag.Bool("deltas", false, "print the full per-cell delta table, not just regressions")
 	flag.Parse()
-	if env := os.Getenv("BENCH_MAX_REGRESSION_PCT"); env != "" {
-		v, err := strconv.ParseFloat(env, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchcompare: bad BENCH_MAX_REGRESSION_PCT %q: %v\n", env, err)
-			os.Exit(2)
-		}
-		*maxPct = v
-	}
+	pctEnv("BENCH_MAX_REGRESSION_PCT", maxPct)
+	pctEnv("BENCH_MAX_ALLOC_REGRESSION_PCT", maxAllocPct)
 	if *latestPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -latest required")
 		os.Exit(2)
@@ -153,13 +257,50 @@ func main() {
 			onlyLatest++
 		}
 	}
-	fmt.Printf("benchcompare: %d throughput cells compared, %d regressions beyond %.0f%% (%d baseline-only, %d new)\n",
-		compared, failures, *maxPct, onlyBase, onlyLatest)
+
+	// Allocation gate: allocs/op must not rise. The one-alloc absolute
+	// slack keeps near-zero baselines from tripping on measurement
+	// noise (one stray allocation against a 2-allocs/op baseline is
+	// +50% but means nothing).
+	baseAllocs := allocCells(base)
+	latestAllocs := allocCells(latest)
+	allocCompared, allocFailures := 0, 0
+	for key, b := range baseAllocs {
+		l, ok := latestAllocs[key]
+		if !ok {
+			onlyBase++
+			continue
+		}
+		allocCompared++
+		if l > b*(1+*maxAllocPct/100)+1 {
+			allocFailures++
+			fmt.Printf("ALLOC REGRESSION %s / %q / %s / %s: %.1f -> %.1f allocs/op (limit +%.0f%% +1)\n",
+				key.exp, key.table, key.config, key.column, b, l, *maxAllocPct)
+		}
+	}
+	for key := range latestAllocs {
+		if _, ok := baseAllocs[key]; !ok {
+			onlyLatest++
+		}
+	}
+
+	if *deltas {
+		fmt.Println()
+		printDeltas("ops/s", baseCells, latestCells)
+		if len(baseAllocs)+len(latestAllocs) > 0 {
+			fmt.Println()
+			printDeltas("allocs/op", baseAllocs, latestAllocs)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("benchcompare: %d throughput cells compared (%d regressions beyond %.0f%%), %d alloc cells compared (%d regressions), %d baseline-only, %d new\n",
+		compared, failures, *maxPct, allocCompared, allocFailures, onlyBase, onlyLatest)
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchcompare: no comparable throughput cells — wrong files?")
 		os.Exit(2)
 	}
-	if failures > 0 {
+	if failures+allocFailures > 0 {
 		os.Exit(1)
 	}
 }

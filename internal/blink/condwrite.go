@@ -68,14 +68,15 @@ func (t *Tree) condWrite(k base.Key, probe condProbe) (condResult, error) {
 	g, withEpoch := t.enter()
 	defer t.exit(g, withEpoch)
 
-	h := locks.NewHolder(t.lt)
+	sc := getScratch()
+	sc.h.Init(t.lt)
 	defer func() {
-		h.UnlockAll() // error-path safety; no-op on clean paths
-		t.stats.condFP.Record(h)
+		sc.h.UnlockAll() // error-path safety; no-op on clean paths
+		t.stats.condFP.Record(&sc.h)
+		putScratch(sc)
 	}()
 
-	var stack []base.PageID
-	cur, _, err := t.descendRetry(k, &stack)
+	cur, _, err := t.descendRetry(k, &sc.stack)
 	if err != nil {
 		return condResult{}, err
 	}
@@ -86,7 +87,7 @@ func (t *Tree) condWrite(k base.Key, probe condProbe) (condResult, error) {
 	var pend pending
 	restarts := 0
 	for {
-		status, next, r, err := t.condStep(h, k, probe, cur, &stack, &pend)
+		status, next, r, err := t.condStep(&sc.h, k, probe, cur, &sc.stack, &pend)
 		if err == nil {
 			switch status {
 			case condDone:
@@ -107,8 +108,7 @@ func (t *Tree) condWrite(k base.Key, probe condProbe) (condResult, error) {
 		if restarts++; restarts > maxRestarts {
 			return condResult{}, ErrLivelock
 		}
-		stack = stack[:0]
-		if cur, _, err = t.descendRetry(k, &stack); err != nil {
+		if cur, _, err = t.descendRetry(k, &sc.stack); err != nil {
 			return condResult{}, err
 		}
 	}
@@ -116,7 +116,7 @@ func (t *Tree) condWrite(k base.Key, probe condProbe) (condResult, error) {
 	// Upward phase: the leaf write is committed; what remains is the
 	// ordinary separator propagation of an unsafe insertion.
 	for restarts = 0; ; {
-		done, next, err := t.insertStep(h, &pend, cur, &stack)
+		done, next, err := t.insertStep(&sc.h, &pend, cur, &sc.stack)
 		if err == nil {
 			if done {
 				return res, nil

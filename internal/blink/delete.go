@@ -19,21 +19,22 @@ func (t *Tree) Delete(k base.Key) error {
 	defer t.exit(g, withEpoch)
 	t.stats.deletes.Add(1)
 
-	h := locks.NewHolder(t.lt)
+	sc := getScratch()
+	sc.h.Init(t.lt)
 	defer func() {
-		h.UnlockAll()
-		t.stats.deleteFP.Record(h)
+		sc.h.UnlockAll()
+		t.stats.deleteFP.Record(&sc.h)
+		putScratch(sc)
 	}()
 
-	var stack []base.PageID
-	leafID, _, err := t.descendRetry(k, &stack)
+	leafID, _, err := t.descendRetry(k, &sc.stack)
 	if err != nil {
 		return err
 	}
 
 	cur := leafID
 	for restarts := 0; ; {
-		done, next, err := t.deleteStep(h, k, cur, stack)
+		done, next, err := t.deleteStep(&sc.h, k, cur, sc.stack)
 		if err == nil {
 			if done {
 				t.length.Add(-1)
@@ -49,8 +50,7 @@ func (t *Tree) Delete(k base.Key) error {
 		if restarts++; restarts > maxRestarts {
 			return ErrLivelock
 		}
-		stack = stack[:0]
-		if cur, _, err = t.descendRetry(k, &stack); err != nil {
+		if cur, _, err = t.descendRetry(k, &sc.stack); err != nil {
 			return err
 		}
 	}

@@ -32,14 +32,15 @@ func (t *Tree) Insert(k base.Key, v base.Value) error {
 	defer t.exit(g, withEpoch)
 	t.stats.inserts.Add(1)
 
-	h := locks.NewHolder(t.lt)
+	sc := getScratch()
+	sc.h.Init(t.lt)
 	defer func() {
-		h.UnlockAll() // error-path safety; no-op on clean paths
-		t.stats.insertFP.Record(h)
+		sc.h.UnlockAll() // error-path safety; no-op on clean paths
+		t.stats.insertFP.Record(&sc.h)
+		putScratch(sc)
 	}()
 
-	var stack []base.PageID
-	leafID, _, err := t.descendRetry(k, &stack)
+	leafID, _, err := t.descendRetry(k, &sc.stack)
 	if err != nil {
 		return err
 	}
@@ -47,7 +48,7 @@ func (t *Tree) Insert(k base.Key, v base.Value) error {
 	pend := pending{key: k, val: v, level: 0}
 	cur := leafID
 	for restarts := 0; ; {
-		done, next, err := t.insertStep(h, &pend, cur, &stack)
+		done, next, err := t.insertStep(&sc.h, &pend, cur, &sc.stack)
 		if err == nil {
 			if done {
 				t.length.Add(1)

@@ -5,6 +5,13 @@ import (
 	"blinktree/internal/node"
 )
 
+// descentStackCap sizes the stack-allocated backing array for the
+// movedown-and-stack traversal record (Fig. 5). A 16-level tree holds
+// ≥ 2^16 nodes even at minimum fanout, so the array covers every
+// realistic height and the per-operation stack never reaches the heap;
+// a taller tree merely makes append spill over, which stays correct.
+const descentStackCap = 16
+
 // errRestart is the internal signal that a process reached a wrong node
 // (§5.2) and must restart its search.
 type errRestart struct{}
@@ -126,21 +133,23 @@ func (t *Tree) Search(k base.Key) (base.Value, error) {
 }
 
 func (t *Tree) searchOnce(k base.Key) (base.Value, error) {
-	var stack []base.PageID
+	var sc *opScratch
 	var stackp *[]base.PageID
 	if t.pol == RestartBacktrack {
-		stackp = &stack
+		sc = getScratch()
+		defer putScratch(sc)
+		stackp = &sc.stack
 	}
 	id, n, err := t.descend(k, stackp)
 	if err != nil {
 		if isRestart(err) && t.pol == RestartBacktrack {
-			return t.searchBacktrack(k, stack)
+			return t.searchBacktrack(k, sc.stack)
 		}
 		return 0, err
 	}
 	if _, n, err = t.moveright(id, n, k); err != nil {
 		if isRestart(err) && t.pol == RestartBacktrack {
-			return t.searchBacktrack(k, stack)
+			return t.searchBacktrack(k, sc.stack)
 		}
 		return 0, err
 	}

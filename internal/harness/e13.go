@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"time"
 
@@ -41,39 +42,82 @@ func E13NetPipeline(w io.Writer, s Scale) error {
 			"net/batch = client.Batch frames of d ops. Same scattered keys everywhere.",
 		},
 	}
+	atbl := &Table{
+		Title:   "E13a: whole-process allocations per upsert by pipeline depth",
+		Headers: []string{"config", "allocs/op d=64", "B/op d=64", "allocs/op d=256", "B/op d=256"},
+		Notes: []string{
+			"runtime.MemStats deltas across the timed section divided by ops; net modes",
+			"count client and server together (one process). The steady-state codec and",
+			"transport contribute zero — what remains is the tree's copy-on-write.",
+		},
+	}
 	depths := []int{1, 16, 64, 256}
 	for _, shards := range []int{1, 8} {
 		for _, mode := range []string{"inproc/batch", "net/pipelined", "net/batch"} {
 			row := []any{fmt.Sprintf("%s s=%d", mode, shards)}
+			arow := []any{fmt.Sprintf("%s s=%d", mode, shards)}
 			for _, d := range depths {
 				ops := s.n(100000)
 				if mode == "net/pipelined" && d == 1 {
 					ops = s.n(20000) // serial round trips: keep the cell honest but quick
 				}
-				tput, err := e13Cell(mode, shards, d, ops)
+				cell, err := e13Cell(mode, shards, d, ops)
 				if err != nil {
 					return err
 				}
-				row = append(row, fmt.Sprintf("%.0f", tput))
+				row = append(row, fmt.Sprintf("%.0f", cell.tput))
+				if d >= 64 {
+					arow = append(arow, fmt.Sprintf("%.1f", cell.allocsPerOp), fmt.Sprintf("%.0f", cell.bytesPerOp))
+				}
 			}
 			tbl.Add(row...)
+			atbl.Add(arow...)
 		}
 	}
 	tbl.Render(w)
+	atbl.Render(w)
 	return nil
 }
 
-// e13Cell runs one E13 cell and returns upsert throughput.
-func e13Cell(mode string, shards, depth, totalOps int) (float64, error) {
+// e13Res is one E13 cell: throughput plus the process-wide allocation
+// rate over the timed section.
+type e13Res struct {
+	tput        float64
+	allocsPerOp float64
+	bytesPerOp  float64
+}
+
+// memStart samples the allocation counters at the start of a timed
+// section; finish converts the deltas to per-op rates.
+func memStart() runtime.MemStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m
+}
+
+func (r *e13Res) finish(m0 runtime.MemStats, ops int, elapsed time.Duration) {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	r.tput = float64(ops) / elapsed.Seconds()
+	r.allocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+	r.bytesPerOp = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(ops)
+}
+
+// e13Cell runs one E13 cell and returns upsert throughput plus the
+// process-wide allocation rate over the timed section.
+func e13Cell(mode string, shards, depth, totalOps int) (e13Res, error) {
+	var out e13Res
 	r, err := shard.NewRouter(shards, shard.Options{MinPairs: 16})
 	if err != nil {
-		return 0, err
+		return out, err
 	}
 	defer r.Close()
 	key := func(i int) uint64 { return uint64(i) * 11400714819323198485 }
 
 	if mode == "inproc/batch" {
 		ops := make([]shard.Op, depth)
+		var sc shard.BatchScratch
+		m0 := memStart()
 		start := time.Now()
 		done := 0
 		for done < totalOps {
@@ -81,19 +125,20 @@ func e13Cell(mode string, shards, depth, totalOps int) (float64, error) {
 			for j := 0; j < n; j++ {
 				ops[j] = shard.Op{Kind: shard.OpUpsert, Key: base.Key(key(done + j)), Value: base.Value(j)}
 			}
-			for _, res := range r.ApplyBatch(ops[:n]) {
+			for _, res := range r.ApplyBatchInto(ops[:n], &sc) {
 				if res.Err != nil {
-					return 0, res.Err
+					return out, res.Err
 				}
 			}
 			done += n
 		}
-		return float64(totalOps) / time.Since(start).Seconds(), nil
+		out.finish(m0, totalOps, time.Since(start))
+		return out, nil
 	}
 
 	srv := server.New(r, server.Config{Addr: "127.0.0.1:0", Logf: func(string, ...any) {}})
 	if err := srv.Start(); err != nil {
-		return 0, err
+		return out, err
 	}
 	defer srv.Close()
 	conns := 2
@@ -102,7 +147,7 @@ func e13Cell(mode string, shards, depth, totalOps int) (float64, error) {
 	}
 	cl, err := client.Dial(srv.Addr().String(), client.Options{Conns: conns})
 	if err != nil {
-		return 0, err
+		return out, err
 	}
 	defer cl.Close()
 	ctx := context.Background()
@@ -115,6 +160,7 @@ func e13Cell(mode string, shards, depth, totalOps int) (float64, error) {
 		}
 		var wg sync.WaitGroup
 		errCh := make(chan error, depth)
+		m0 := memStart()
 		start := time.Now()
 		for g := 0; g < depth; g++ {
 			wg.Add(1)
@@ -132,13 +178,15 @@ func e13Cell(mode string, shards, depth, totalOps int) (float64, error) {
 		elapsed := time.Since(start)
 		select {
 		case err := <-errCh:
-			return 0, err
+			return out, err
 		default:
 		}
-		return float64(per*depth) / elapsed.Seconds(), nil
+		out.finish(m0, per*depth, elapsed)
+		return out, nil
 
 	case "net/batch":
 		ops := make([]client.Op, depth)
+		m0 := memStart()
 		start := time.Now()
 		done := 0
 		for done < totalOps {
@@ -148,16 +196,17 @@ func e13Cell(mode string, shards, depth, totalOps int) (float64, error) {
 			}
 			results, err := cl.Batch(ctx, ops[:n])
 			if err != nil {
-				return 0, err
+				return out, err
 			}
 			for _, res := range results {
 				if res.Err != nil {
-					return 0, res.Err
+					return out, res.Err
 				}
 			}
 			done += n
 		}
-		return float64(totalOps) / time.Since(start).Seconds(), nil
+		out.finish(m0, totalOps, time.Since(start))
+		return out, nil
 	}
-	return 0, fmt.Errorf("e13: unknown mode %q", mode)
+	return out, fmt.Errorf("e13: unknown mode %q", mode)
 }

@@ -19,11 +19,28 @@ type Holder struct {
 	held    []base.PageID // pages currently locked, in acquisition order
 	maxHeld int
 	locks   int // total acquisitions by this operation
+	// heldBuf backs held for the common case. The paper's algorithms
+	// hold at most a handful of locks at once (Sagiv holds one), so a
+	// per-op Holder never allocates: Init points held at this array and
+	// the point-op hot path declares Holders as stack values.
+	heldBuf [4]base.PageID
 }
 
 // NewHolder returns a Holder acquiring through l.
 func NewHolder(l Locker) *Holder {
-	return &Holder{l: l, held: make([]base.PageID, 0, 4)}
+	h := &Holder{}
+	h.Init(l)
+	return h
+}
+
+// Init prepares a zero Holder to acquire through l — the
+// allocation-free alternative to NewHolder for callers that keep the
+// Holder as a stack value.
+func (h *Holder) Init(l Locker) {
+	h.l = l
+	h.held = h.heldBuf[:0]
+	h.maxHeld = 0
+	h.locks = 0
 }
 
 // Reset prepares the Holder for a new operation. It panics if locks are

@@ -13,7 +13,6 @@ package node
 
 import (
 	"fmt"
-	"sort"
 
 	"blinktree/internal/base"
 )
@@ -62,7 +61,7 @@ func (n *Node) HighLess(k base.Key) bool { return n.High.Less(k) }
 
 // searchKeys returns the position of k in Keys and whether it is present.
 func (n *Node) searchKeys(k base.Key) (int, bool) {
-	i := sort.Search(len(n.Keys), func(i int) bool { return n.Keys[i] >= k })
+	i := findKey(n.Keys, k)
 	return i, i < len(n.Keys) && n.Keys[i] == k
 }
 
@@ -83,8 +82,7 @@ func (n *Node) ChildFor(k base.Key) base.PageID {
 	if n.Leaf {
 		panic("node: ChildFor on leaf")
 	}
-	i := sort.Search(len(n.Keys), func(i int) bool { return n.Keys[i] >= k })
-	return n.Children[i]
+	return n.Children[findKey(n.Keys, k)]
 }
 
 // Next implements the paper's next(A, v): the link if v is beyond the

@@ -1,0 +1,41 @@
+// In-node key search. This is the innermost loop of every descent —
+// each level of the tree runs exactly one findKey — so it is hand
+// rolled rather than written with sort.Search: the closure form costs
+// an indirect call per probe and kept the comparison from inlining
+// (both visible in the point-op CPU profile as searchKeys.func1 /
+// ChildFor.func1 before this file existed).
+package node
+
+import "blinktree/internal/base"
+
+// linearMax is the node size at or below which findKey scans linearly.
+// For a handful of keys a branch-predictable sequential scan over one
+// cache line beats the data-dependent branches of a binary search; 8
+// uint64 keys is one 64-byte line. Above it, binary search wins —
+// production nodes run at MinPairs 16–64, i.e. up to ~128 keys.
+const linearMax = 8
+
+// findKey returns the smallest index i with keys[i] >= k (len(keys) if
+// none). It is the common kernel of searchKeys and ChildFor and must
+// agree exactly with the obvious linear scan — TestFindKeyDifferential
+// checks that on randomized nodes.
+func findKey(keys []base.Key, k base.Key) int {
+	if len(keys) <= linearMax {
+		for i, kk := range keys {
+			if kk >= k {
+				return i
+			}
+		}
+		return len(keys)
+	}
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

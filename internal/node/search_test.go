@@ -1,0 +1,103 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"blinktree/internal/base"
+)
+
+// findKeyLinear is the reference implementation findKey must agree
+// with: the smallest i with keys[i] >= k.
+func findKeyLinear(keys []base.Key, k base.Key) int {
+	for i, kk := range keys {
+		if kk >= k {
+			return i
+		}
+	}
+	return len(keys)
+}
+
+// TestFindKeyDifferential checks the binary search (and its
+// small-node linear fallback) against the linear reference on
+// randomized sorted nodes, probing every stored key, every gap
+// between keys, and the boundary cases — below the first key, the
+// exact first and last keys, beyond the high key, and the extremes of
+// the key space.
+func TestFindKeyDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(200) // crosses linearMax in both directions
+		keys := make([]base.Key, 0, n)
+		seen := map[base.Key]bool{}
+		for len(keys) < n {
+			k := base.Key(rng.Uint64() >> uint(rng.Intn(40))) // mix dense and sparse
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+		probe := func(k base.Key) {
+			got, want := findKey(keys, k), findKeyLinear(keys, k)
+			if got != want {
+				t.Fatalf("trial %d: findKey(%d keys, %d) = %d, linear reference = %d", trial, len(keys), k, got, want)
+			}
+		}
+		probe(0)
+		probe(math.MaxUint64)
+		for _, k := range keys {
+			probe(k) // exact hit
+			if k > 0 {
+				probe(k - 1)
+			}
+			if k < math.MaxUint64 {
+				probe(k + 1) // just past: includes beyond-last-key (high-key side)
+			}
+		}
+		for i := 0; i < 32; i++ {
+			probe(base.Key(rng.Uint64())) // random misses
+		}
+	}
+}
+
+// TestFindKeyThreshold pins the agreement exactly at the linear/binary
+// crossover sizes so a future threshold change cannot hide a boundary
+// bug.
+func TestFindKeyThreshold(t *testing.T) {
+	for _, n := range []int{0, 1, linearMax - 1, linearMax, linearMax + 1, 2 * linearMax} {
+		keys := make([]base.Key, n)
+		for i := range keys {
+			keys[i] = base.Key(2*i + 10) // even keys: every odd probe is a miss
+		}
+		for k := base.Key(8); k < base.Key(2*n+14); k++ {
+			got, want := findKey(keys, k), findKeyLinear(keys, k)
+			if got != want {
+				t.Fatalf("n=%d k=%d: findKey=%d linear=%d", n, k, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkFindKey(b *testing.B) {
+	for _, n := range []int{4, 16, 64, 128} {
+		keys := make([]base.Key, n)
+		for i := range keys {
+			keys[i] = base.Key(i * 7)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += findKey(keys, base.Key(uint64(i*13)%uint64(n*7+7)))
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ package reclaim
 
 import (
 	"math"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 
@@ -37,7 +38,6 @@ type Reclaimer struct {
 
 	epoch atomic.Uint64 // current global epoch, starts at 1
 	slot  [slots]paddedSlot
-	tick  atomic.Uint64 // slot assignment cursor
 
 	mu      sync.Mutex
 	limbo   []retired
@@ -69,12 +69,25 @@ type Guard struct {
 
 // Enter marks the start of a logical operation and returns its Guard.
 // Every Enter must be paired with exactly one Exit.
+//
+// Slot choice matters on the hot path: Enter brackets every read as
+// well as every write, and an earlier version assigned slots from a
+// shared atomic cursor — a read-modify-write on one cache line that
+// every concurrent operation fought over. The cursor is gone: each
+// Enter starts at a slot drawn from the runtime's per-thread random
+// state (rand.Uint64 takes no locks and touches no shared memory) and
+// probes linearly from there, so the only shared write left is the CAS
+// that claims a free slot, almost always uncontended with 128 slots.
 func (r *Reclaimer) Enter() Guard {
 	e := r.epoch.Load()
+	i := int(rand.Uint64() % slots)
 	for {
-		i := int(r.tick.Add(1) % slots)
 		if r.slot[i].epoch.CompareAndSwap(0, e) {
 			return Guard{slot: i + 1}
+		}
+		i++
+		if i == slots {
+			i = 0
 		}
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is active. Allocation
+// assertions skip under it: -race instruments every allocation and
+// sync.Pool deliberately drops puts to expose races, so allocs/op
+// counts stop meaning anything.
+const raceEnabled = false

@@ -263,7 +263,7 @@ func (s *Server) handleConn(nc net.Conn) {
 		tc.SetNoDelay(true)
 	}
 	br := bufio.NewReaderSize(nc, 64<<10)
-	bw := bufio.NewWriterSize(nc, 64<<10)
+	fw := wire.NewFrameWriter(nc)
 
 	// Hello exchange: validate the client before serving anything,
 	// answering with the version we will speak — min(client, ours) —
@@ -279,14 +279,14 @@ func (s *Server) handleConn(nc net.Conn) {
 		return
 	}
 
-	c := &connState{s: s, nc: nc, br: br, bw: bw, ingestShard: -1, version: negotiated}
+	c := &connState{s: s, nc: nc, br: br, fw: fw, ingestShard: -1, version: negotiated}
 	for {
 		c.reqs, c.ops, c.opRq = c.reqs[:0], c.ops[:0], c.opRq[:0]
 		gerr := s.gather(c)
 		if len(c.reqs) > 0 {
 			start := time.Now()
 			s.execute(c)
-			if err := bw.Flush(); err != nil {
+			if err := fw.Flush(); err != nil {
 				if c.ingestShard >= 0 {
 					s.cfg.Cluster.AbortIngest()
 				}
@@ -299,8 +299,10 @@ func (s *Server) handleConn(nc net.Conn) {
 		if c.ingestShard >= 0 {
 			// The poll carried an accepted migration-ingest handshake
 			// (response flushed above): the connection now belongs to
-			// the migration stream until the handoff ends it.
-			err := s.cfg.Cluster.ServeIngest(nc, br, bw, s.r, c.ingestShard)
+			// the migration stream until the handoff ends it. The stream
+			// loops speak bufio, built here — the poll loop's FrameWriter
+			// is fully flushed and never used again on this connection.
+			err := s.cfg.Cluster.ServeIngest(nc, br, bufio.NewWriterSize(nc, 64<<10), s.r, c.ingestShard)
 			if err != nil && !isCleanClose(err) {
 				s.cfg.Logf("migration ingest %s: %v", nc.RemoteAddr(), err)
 			}
@@ -310,7 +312,7 @@ func (s *Server) handleConn(nc net.Conn) {
 			// The poll carried an accepted OpFollow (response flushed
 			// above): the connection now belongs to the replication
 			// feed until the follower disconnects or the server drains.
-			err := repl.ServeFeed(nc, br, bw, s.r,
+			err := repl.ServeFeed(nc, br, bufio.NewWriterSize(nc, 64<<10), s.r,
 				c.followPos, repl.FeedConfig{Window: s.cfg.FollowWindow, Logf: s.cfg.Logf,
 					Version: c.version, RootEvery: s.cfg.RootEvery},
 				s.stopCh, &s.feeds)
@@ -355,7 +357,7 @@ func (s *Server) refuseBuffered(c *connState) {
 		}
 		s.writeFrame(c, id, wire.StatusShutdown, nil)
 	}
-	c.bw.Flush()
+	c.fw.Flush()
 }
 
 // connState is the per-connection scratch reused across polls; a
@@ -365,14 +367,18 @@ type connState struct {
 	s       *Server
 	nc      net.Conn
 	br      *bufio.Reader
-	bw      *bufio.Writer
-	version uint16 // negotiated protocol version for this connection
+	fw      *wire.FrameWriter // response accumulator, one write per poll
+	version uint16            // negotiated protocol version for this connection
 	reqs    []request
-	ops     []shard.Op // batchable slots of the current poll
-	opRq    []int      // ops[j] answers reqs[opRq[j]]
-	enc     wire.Buf   // response payload scratch
-	pool    []byte     // payload arena for the current poll
-	scratch []byte     // frame read scratch, grown to the largest frame seen
+	ops     []shard.Op         // batchable slots of the current poll
+	opRq    []int              // ops[j] answers reqs[opRq[j]]
+	batchSc shard.BatchScratch // ApplyBatchInto working memory, reused per poll
+	enc     wire.Buf           // response payload scratch
+	pool    []byte             // payload arena for the current poll
+	scratch []byte             // frame read scratch, grown to the largest frame seen
+	// frameStart is the accumulator size when the current beginFrame
+	// opened, for the BytesOut metric.
+	frameStart int
 	// followPos, set by an accepted OpFollow, hands the connection to
 	// the replication feed once the poll's responses are flushed.
 	followPos []repl.Position
@@ -519,7 +525,7 @@ func (s *Server) execute(c *connState) {
 	s.Metrics.Requests.Add(uint64(len(c.reqs)))
 	var results []shard.Result
 	if len(c.ops) > 0 {
-		results = s.applyOps(c.ops)
+		results = s.applyOps(c, c.ops)
 		s.Metrics.BatchOps.Add(uint64(len(c.ops)))
 	}
 	next := 0 // cursor over c.opRq/results, aligned with request order
@@ -536,14 +542,16 @@ func (s *Server) execute(c *connState) {
 
 // applyOps dispatches a point-op batch through whichever gate applies:
 // read-only follower, cluster ownership, or straight to the router.
-func (s *Server) applyOps(ops []shard.Op) []shard.Result {
+// The results live in c's batch scratch — valid until the next apply
+// on this connection, which is after the poll's responses are encoded.
+func (s *Server) applyOps(c *connState, ops []shard.Op) []shard.Result {
 	if s.readOnly.Load() {
 		return s.applyReadOnly(ops)
 	}
 	if s.cfg.Cluster != nil {
-		return s.applyCluster(ops)
+		return s.applyCluster(c, ops)
 	}
-	return s.r.ApplyBatch(ops)
+	return s.r.ApplyBatchInto(ops, &c.batchSc)
 }
 
 // wrongShardErr marks a result refused because this server does not
@@ -560,7 +568,7 @@ func (e wrongShardErr) Error() string { return "server: wrong shard" }
 // write side once after marking a range fenced, so when it proceeds no
 // in-flight batch can still append to that range's WAL. Reads are
 // gated too: a range owned elsewhere may hold stale data.
-func (s *Server) applyCluster(ops []shard.Op) []shard.Result {
+func (s *Server) applyCluster(c *connState, ops []shard.Op) []shard.Result {
 	n := s.cfg.Cluster
 	n.FenceRLock()
 	defer n.FenceRUnlock()
@@ -576,7 +584,7 @@ func (s *Server) applyCluster(ops []shard.Op) []shard.Result {
 		}
 	}
 	if len(idx) == len(ops) {
-		return s.r.ApplyBatch(ops)
+		return s.r.ApplyBatchInto(ops, &c.batchSc)
 	}
 	if len(accepted) > 0 {
 		for jj, res := range s.r.ApplyBatch(accepted) {
@@ -757,31 +765,36 @@ func (s *Server) serveScan(c *connState, id uint64, lo, hi base.Key, limit int) 
 			hi, clamped = rangeHi, true
 		}
 	}
-	c.enc.Reset()
-	c.enc.U8(0)  // more, patched below
-	c.enc.U32(0) // count, patched below
+	// The page is encoded directly into the frame accumulator — a full
+	// page is 64 KiB of pairs, worth not staging through c.enc — with
+	// the more/count prefix patched in place once the walk ends.
+	e := s.beginFrame(c, id, wire.StatusOK)
+	base0 := len(e.B)
+	e.U8(0)  // more, patched below
+	e.U32(0) // count, patched below
 	count, more := 0, false
 	err := s.r.Range(lo, hi, func(k base.Key, v base.Value) bool {
 		if count == limit {
 			more = true
 			return false
 		}
-		c.enc.U64(uint64(k))
-		c.enc.U64(uint64(v))
+		e.U64(uint64(k))
+		e.U64(uint64(v))
 		count++
 		return true
 	})
 	if err != nil {
+		c.fw.Abort()
 		s.writeErr(c, id, err)
 		return
 	}
-	c.enc.B[0] = boolByte(more || clamped)
-	c.enc.B[1] = byte(count)
-	c.enc.B[2] = byte(count >> 8)
-	c.enc.B[3] = byte(count >> 16)
-	c.enc.B[4] = byte(count >> 24)
+	e.B[base0] = boolByte(more || clamped)
+	e.B[base0+1] = byte(count)
+	e.B[base0+2] = byte(count >> 8)
+	e.B[base0+3] = byte(count >> 16)
+	e.B[base0+4] = byte(count >> 24)
 	s.Metrics.Scans.Inc()
-	s.writeFrame(c, id, wire.StatusOK, c.enc.B)
+	s.endFrame(c)
 }
 
 // serveBatch decodes an explicit OpBatch frame, applies it as its own
@@ -808,21 +821,23 @@ func (s *Server) serveBatch(c *connState, rq *request) {
 		}
 		ops[i] = shard.Op{Kind: sk, Key: key, Value: val, Old: old}
 	}
-	results := s.applyOps(ops)
+	results := s.applyOps(c, ops)
 	s.Metrics.BatchOps.Add(uint64(n))
-	c.enc.Reset()
+	// Encode straight into the frame accumulator: no intermediate
+	// payload buffer, no copy of up to 10·n bytes.
+	e := s.beginFrame(c, rq.id, wire.StatusOK)
 	for i := range results {
 		// Batch slots are fixed-width, so a refused slot carries the
 		// status alone; the client refreshes its map via OpClusterMap.
 		if _, ok := results[i].Err.(wrongShardErr); ok {
-			c.enc.U8(wire.StatusWrongShard)
+			e.U8(wire.StatusWrongShard)
 		} else {
-			c.enc.U8(wire.ErrStatus(results[i].Err))
+			e.U8(wire.ErrStatus(results[i].Err))
 		}
-		c.enc.U64(uint64(results[i].Value))
-		c.enc.U8(boolByte(results[i].OK))
+		e.U64(uint64(results[i].Value))
+		e.U8(boolByte(results[i].OK))
 	}
-	s.writeFrame(c, rq.id, wire.StatusOK, c.enc.B)
+	s.endFrame(c)
 }
 
 // serveFollow validates a replication handshake and arms the feed
@@ -959,7 +974,13 @@ func (s *Server) serveProve(c *connState, rq *request, d *wire.Dec) {
 			[]byte(fmt.Sprintf("proof of %d bytes exceeds the frame limit; raise VerifyBuckets", len(payload))))
 		return
 	}
-	s.writeFrame(c, rq.id, wire.StatusOK, payload)
+	// The proof buffer is freshly built and never touched again, so the
+	// writer can retain it as-is: the poll's flush sends it with writev
+	// instead of copying a multi-KiB proof into the accumulator.
+	s.Metrics.BytesOut.Add(uint64(len(payload) + 13))
+	if err := c.fw.WriteFrameNoCopy(rq.id, wire.StatusOK, payload); err != nil {
+		_ = err // surfaces at Flush, handled by the poll loop
+	}
 }
 
 // ClusterStats snapshots the cluster node's counters (zero Stats when
@@ -1040,13 +1061,28 @@ func (s *Server) badRequest(c *connState, id uint64, what string) {
 	s.writeFrame(c, id, wire.StatusBadRequest, []byte(what))
 }
 
-// writeFrame writes one response frame into the connection's buffered
-// writer (flushed once per poll).
+// beginFrame opens a response frame encoded in place in the frame
+// accumulator — for the big payloads (scan pages, batch results) where
+// an intermediate encode buffer would mean copying the payload twice.
+func (s *Server) beginFrame(c *connState, id uint64, code uint8) *wire.Buf {
+	c.frameStart = c.fw.Buffered()
+	return c.fw.Begin(id, code)
+}
+
+// endFrame closes a frame opened with beginFrame.
+func (s *Server) endFrame(c *connState) {
+	if err := c.fw.End(); err == nil {
+		s.Metrics.BytesOut.Add(uint64(c.fw.Buffered() - c.frameStart))
+	}
+}
+
+// writeFrame appends one response frame to the connection's frame
+// accumulator (written to the socket once per poll).
 func (s *Server) writeFrame(c *connState, id uint64, code uint8, payload []byte) {
 	s.Metrics.BytesOut.Add(uint64(len(payload) + 13))
-	if err := wire.WriteFrame(c.bw, id, code, payload); err != nil {
-		// Buffered writes only fail once the flush fails; the poll
-		// loop handles that. Nothing to do here.
+	if err := c.fw.WriteFrame(id, code, payload); err != nil {
+		// Accumulated writes only fail at Flush; the poll loop
+		// handles that. Nothing to do here.
 		_ = err
 	}
 }

@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The hot-path contract of this package: once buffers are warm, a
+// frame round trip allocates nothing. These assertions are what keeps
+// the contract from regressing silently — testing.AllocsPerRun runs a
+// GC first and counts mallocs, so a stray escape shows up as a hard
+// failure, not a slow drift on a profile.
+
+func TestZeroAllocAppendFrame(t *testing.T) {
+	payload := []byte("0123456789abcdef")
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(1000, func() {
+		var err error
+		buf, err = AppendFrame(buf[:0], 7, OpSearch, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendFrame: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestZeroAllocFrameWriter(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	payload := []byte("0123456789abcdef")
+	// Warm the accumulator once so growth is out of the measured loop.
+	if err := fw.WriteFrame(1, StatusOK, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := fw.WriteFrame(2, StatusOK, payload); err != nil {
+			t.Fatal(err)
+		}
+		e := fw.Begin(3, StatusOK)
+		e.U64(42)
+		e.U8(1)
+		if err := fw.End(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FrameWriter write+flush: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocReadFrame proves the read side: with a warm scratch
+// buffer and a buffered reader, decoding a frame allocates nothing —
+// including the header, which is parsed in place from the bufio
+// buffer rather than read into an escaping local.
+func TestZeroAllocReadFrame(t *testing.T) {
+	frame, err := AppendFrame(nil, 9, OpUpsert, []byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Reader
+	br := bufio.NewReader(&stream)
+	scratch := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		stream.Reset(frame)
+		br.Reset(&stream)
+		id, code, payload, err := ReadFrame(br, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != 9 || code != OpUpsert || len(payload) != 16 {
+			t.Fatalf("frame mismatch: id=%d code=%d len=%d", id, code, len(payload))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadFrame: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocWireRoundTrip drives a full encode→decode round trip
+// through in-memory buffers, the shape both the server poll loop and
+// the client writer/reader execute per operation.
+func TestZeroAllocWireRoundTrip(t *testing.T) {
+	var wireBuf bytes.Buffer
+	fw := NewFrameWriter(&wireBuf)
+	var stream bytes.Reader
+	br := bufio.NewReader(&stream)
+	scratch := make([]byte, 0, 64)
+	req := []byte("0123456789abcdef")
+
+	// Warm everything once.
+	if err := fw.WriteFrame(0, OpUpsert, req); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wireBuf.Reset()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := fw.WriteFrame(1, OpUpsert, req); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		stream.Reset(wireBuf.Bytes())
+		br.Reset(&stream)
+		if _, _, _, err := ReadFrame(br, scratch); err != nil {
+			t.Fatal(err)
+		}
+		wireBuf.Reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("wire round trip: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestFrameWriterNoCopySegments checks the writev path assembles
+// header spans and retained payloads in order.
+func TestFrameWriterNoCopySegments(t *testing.T) {
+	var out bytes.Buffer
+	fw := NewFrameWriter(&out)
+	big := bytes.Repeat([]byte{0xAB}, 100)
+	if err := fw.WriteFrame(1, StatusOK, []byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFrameNoCopy(2, StatusOK, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteFrame(3, StatusOK, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&out)
+	for i, wantLen := range []int{2, 100, 2} {
+		id, code, payload, err := ReadFrame(br, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != uint64(i+1) || code != StatusOK || len(payload) != wantLen {
+			t.Fatalf("frame %d: id=%d code=%d len=%d want len %d", i+1, id, code, len(payload), wantLen)
+		}
+	}
+}
+
+func BenchmarkAppendFrame(b *testing.B) {
+	payload := []byte("0123456789abcdef")
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, _ = AppendFrame(buf[:0], uint64(i), OpSearch, payload)
+	}
+}
+
+func BenchmarkFrameWriterFlush(b *testing.B) {
+	fw := NewFrameWriter(io.Discard)
+	payload := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fw.WriteFrame(uint64(i), StatusOK, payload)
+		fw.Flush()
+	}
+}
+
+func BenchmarkReadFrame(b *testing.B) {
+	frame, err := AppendFrame(nil, 9, OpUpsert, []byte("0123456789abcdef"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stream bytes.Reader
+	br := bufio.NewReader(&stream)
+	scratch := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stream.Reset(frame)
+		br.Reset(&stream)
+		if _, _, _, err := ReadFrame(br, scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteFrameLegacy measures the io.Writer-based WriteFrame
+// kept for cold paths, for comparison against FrameWriter.
+func BenchmarkWriteFrameLegacy(b *testing.B) {
+	payload := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrame(io.Discard, uint64(i), OpSearch, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -399,9 +399,28 @@ func WriteFrame(w io.Writer, id uint64, code uint8, payload []byte) error {
 // ErrFrameTooLarge with the stream positioned unusably — the
 // connection must be dropped.
 func ReadFrame(br *bufio.Reader, buf []byte) (id uint64, code uint8, payload []byte, err error) {
-	var h [headerLen]byte
-	if _, err = io.ReadFull(br, h[:4]); err != nil {
-		return 0, 0, nil, err
+	// The header is parsed in place via Peek/Discard rather than
+	// ReadFull into a local array: a local passed through io.ReadFull's
+	// interface argument escapes, costing one heap allocation per
+	// frame — on the hottest read path of both the server and the
+	// client.
+	h, err := br.Peek(headerLen)
+	if err != nil {
+		if len(h) == 0 {
+			return 0, 0, nil, err // clean close between frames
+		}
+		if len(h) >= 4 {
+			// Enough for the length prefix: report an invalid length
+			// over a torn header.
+			n := binary.LittleEndian.Uint32(h[0:4])
+			if n < headerLen-4 {
+				return 0, 0, nil, fmt.Errorf("wire: frame length %d below header", n)
+			}
+			if n > MaxFrame+headerLen-4 {
+				return 0, 0, nil, ErrFrameTooLarge
+			}
+		}
+		return 0, 0, nil, unexpectEOF(err)
 	}
 	n := binary.LittleEndian.Uint32(h[0:4])
 	if n < headerLen-4 {
@@ -410,11 +429,9 @@ func ReadFrame(br *bufio.Reader, buf []byte) (id uint64, code uint8, payload []b
 	if n > MaxFrame+headerLen-4 {
 		return 0, 0, nil, ErrFrameTooLarge
 	}
-	if _, err = io.ReadFull(br, h[4:]); err != nil {
-		return 0, 0, nil, unexpectEOF(err)
-	}
 	id = binary.LittleEndian.Uint64(h[4:12])
 	code = h[12]
+	br.Discard(headerLen)
 	pl := int(n) - (headerLen - 4)
 	if pl == 0 {
 		return id, code, nil, nil

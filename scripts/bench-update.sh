@@ -1,7 +1,17 @@
 #!/bin/sh
 # Promote the last scripts/bench.sh run (BENCH_latest.json) as the
-# committed baseline. Review the numbers first: a baseline captured
-# during a slow run makes the regression gate blind.
+# committed baseline. This is the one sanctioned path for moving the
+# regression gate: it refuses to promote from a dirty tree (the
+# baseline must describe committed code), prints the full per-cell
+# delta table for review, and re-runs the comparison afterwards so a
+# malformed promotion can never land silently.
+#
+#   scripts/bench.sh            # produce BENCH_latest.json
+#   scripts/bench-update.sh     # review deltas, promote, re-verify
+#
+# Review the numbers before committing: a baseline captured during a
+# slow run makes the regression gate blind; one captured during an
+# unusually fast run makes it cry wolf.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -9,5 +19,30 @@ if [ ! -f BENCH_latest.json ]; then
     echo "bench-update: no BENCH_latest.json — run scripts/bench.sh first" >&2
     exit 1
 fi
+
+# The baseline documents the performance of a commit, not of a working
+# tree. Promoting with uncommitted code changes would pin numbers
+# nobody can reproduce. (BENCH_latest.json itself is untracked, and a
+# stale BENCH_baseline.json modification is exactly what we replace.)
+dirty="$(git status --porcelain 2>/dev/null | grep -v 'BENCH_latest\.json$' | grep -v 'BENCH_baseline\.json$' || true)"
+if [ -n "$dirty" ]; then
+    echo "bench-update: working tree has uncommitted changes — commit or stash first:" >&2
+    echo "$dirty" >&2
+    exit 1
+fi
+
+echo "bench-update: deltas of the run being promoted vs the old baseline:"
+echo
+# The old baseline may legitimately fail the gate against the new run
+# (that is often why the baseline is being moved), so do not let the
+# comparison's exit status abort the promotion.
+go run ./cmd/benchcompare -baseline BENCH_baseline.json -latest BENCH_latest.json -deltas || true
+echo
+
 cp BENCH_latest.json BENCH_baseline.json
-echo "bench-update: BENCH_baseline.json updated (commit it)"
+
+# Re-verify: the promoted baseline compared against the run it came
+# from must pass trivially. If it does not, the JSON is malformed or
+# the copy went wrong — fail loudly now, not in CI.
+go run ./cmd/benchcompare -baseline BENCH_baseline.json -latest BENCH_latest.json >/dev/null
+echo "bench-update: BENCH_baseline.json updated and re-verified (commit it)"
