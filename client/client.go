@@ -594,6 +594,13 @@ func (c *Client) doPoint(ctx context.Context, op uint8, x, y, z uint64, idempote
 	if idempotent {
 		attempts += c.opt.RetryReads
 	}
+	// reuse tracks whether cl can go back to the pool when this call
+	// returns. It latches false the first time an attempt leaves cl.req
+	// possibly still referenced by a dead connection's goroutines (see
+	// roundtripPoint); retries on a fresh connection only *read* cl.req,
+	// which is safe, but pooling — and the rewrite by cl's next owner —
+	// is not. A tainted cl is left to the garbage collector.
+	reuse := true
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		cn, err := c.conn()
@@ -601,26 +608,26 @@ func (c *Client) doPoint(ctx context.Context, op uint8, x, y, z uint64, idempote
 			lastErr = err
 			continue
 		}
-		val, ok, abandoned, err := cn.roundtripPoint(ctx, op, cl, n)
-		if abandoned {
-			// The call's frame may still sit unwritten in the dead
-			// attempt's queue, referencing cl.req: pooling cl now could
-			// let a reuse rewrite those bytes into a different valid
-			// request. Leave cl to the garbage collector.
-			return 0, false, err
-		}
+		val, ok, safe, err := cn.roundtripPoint(ctx, op, cl, n)
+		reuse = reuse && safe
 		if err == nil {
-			callPool.Put(cl)
+			if reuse {
+				callPool.Put(cl)
+			}
 			return val, ok, nil
 		}
 		var ne *netError
 		if !errors.As(err, &ne) {
-			callPool.Put(cl)
+			if reuse {
+				callPool.Put(cl)
+			}
 			return 0, false, err // server status or ctx error: no retry
 		}
 		lastErr = ne.err
 	}
-	callPool.Put(cl)
+	if reuse {
+		callPool.Put(cl)
+	}
 	return 0, false, fmt.Errorf("client: %s failed after %d attempt(s): %w", opName(op), attempts, &netError{lastErr})
 }
 
@@ -758,13 +765,17 @@ type wreq struct {
 // to the pool. Larger responses arrive in payload, freshly allocated
 // by the reader.
 //
-// Lifetime rule for req: the writer goroutine reads it exactly once,
-// before the response can possibly arrive (the server answers only
-// what it received), so decoding-then-Put after done fires is safe. A
-// call abandoned on context cancellation is the one exception — its
-// frame may still sit unwritten in the queue, so it must NOT be
-// pooled (a reuse could rewrite the bytes into a different valid
-// request); it is left to the garbage collector instead.
+// Lifetime rule for req: on the success path the writer goroutine
+// reads it exactly once, before the response can possibly arrive (the
+// server answers only what it received), so decoding-then-Put after
+// done fires is safe. Two completions break that ordering and must NOT
+// pool the call (it is left to the garbage collector instead):
+//   - a call abandoned on context cancellation, whose frame may still
+//     sit unwritten in the queue;
+//   - a completion delivered by fail(), which fires done without
+//     waiting for the writer — the writer may still hold a swapped-out
+//     burst referencing req, and would race with the next pool owner's
+//     encodePoint.
 type call struct {
 	done    chan struct{}
 	payload []byte // large response payload (owned by this call)
@@ -932,15 +943,20 @@ func (cl *call) finish() ([]byte, error) {
 
 // roundtripPoint sends one point request already encoded in cl.req
 // (length n) and decodes the response in place. It never pools cl:
-// success and failure alike leave that to the caller, except that
-// abandoned=true marks a context cancellation that left the frame
-// possibly still queued — the caller must then drop cl without
-// pooling it (see the call doc comment).
-func (cn *conn) roundtripPoint(ctx context.Context, op uint8, cl *call, n int) (val uint64, ok, abandoned bool, err error) {
+// success and failure alike leave that to the caller. reuse reports
+// whether cl is safe to pool afterwards; it is false when the frame
+// may still be referenced by this connection (see the call doc
+// comment): a context cancellation that left the frame possibly still
+// queued, or a fail()-delivered completion — fail fires done after
+// closing the socket but without synchronizing with the writer
+// goroutine, which may still hold a swapped-out burst that reads
+// cl.req while it drains onto the dead socket.
+func (cn *conn) roundtripPoint(ctx context.Context, op uint8, cl *call, n int) (val uint64, ok, reuse bool, err error) {
 	id := cn.ids.Add(1)
 	cl.payload, cl.status, cl.err, cl.respLen = nil, 0, nil, 0
 	if err := cn.enqueue(id, op, cl.req[:n], cl); err != nil {
-		return 0, false, false, &netError{err}
+		// Refused before entering the queue: nothing references cl.
+		return 0, false, true, &netError{err}
 	}
 	if ctx.Done() == nil {
 		<-cl.done
@@ -949,7 +965,7 @@ func (cn *conn) roundtripPoint(ctx context.Context, op uint8, cl *call, n int) (
 		case <-cl.done:
 		case <-ctx.Done():
 			if cn.takePending(id) != nil {
-				return 0, false, true, ctx.Err()
+				return 0, false, false, ctx.Err()
 			}
 			<-cl.done
 		}
@@ -958,10 +974,10 @@ func (cn *conn) roundtripPoint(ctx context.Context, op uint8, cl *call, n int) (
 		return 0, false, false, cl.err
 	}
 	if cl.status != wire.StatusOK {
-		return 0, false, false, wire.StatusError(cl.status, string(cl.respSlice()))
+		return 0, false, true, wire.StatusError(cl.status, string(cl.respSlice()))
 	}
 	val, ok, err = decodePoint(op, cl.respSlice())
-	return val, ok, false, err
+	return val, ok, true, err
 }
 
 // wburstRetain bounds the writer burst buffer kept across bursts: a

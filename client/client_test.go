@@ -154,6 +154,65 @@ func TestConcurrentCancellation(t *testing.T) {
 	}
 }
 
+// TestConnectionChurnUnderPointOps hammers the pooled point-op path
+// while the server is repeatedly killed and restarted on the same
+// port. It exists for the race detector: a call completed by a
+// connection's fail() may still be referenced by the dead writer
+// goroutine (its swapped-out burst holds the request bytes), so the
+// client must not return that call to the pool — a new owner's
+// encodePoint would race with the dead writer's read.
+func TestConnectionChurnUnderPointOps(t *testing.T) {
+	s, r := startServer(t, "127.0.0.1:0", 2)
+	addr := s.Addr().String()
+	ctx := context.Background()
+	c, err := client.Dial(addr, client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Transport errors are expected while the server is
+				// down; what matters is that no call storage is reused
+				// while a dead connection still references it.
+				c.Search(ctx, client.Key(w))
+				c.Upsert(ctx, client.Key(1000+w*1000+i%100), client.Value(i))
+				c.Ping(ctx)
+			}
+		}(w)
+	}
+
+	cur := s
+	defer func() { cur.Close() }()
+	for i := 0; i < 5; i++ {
+		time.Sleep(20 * time.Millisecond)
+		cur.Close()
+		next := server.New(r, server.Config{Addr: addr, Logf: func(string, ...any) {}})
+		if err := next.Start(); err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+		cur = next
+	}
+	close(stop)
+	wg.Wait()
+
+	// The pool must still work end to end once the churn stops.
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping after churn: %v", err)
+	}
+}
+
 func TestClientClosed(t *testing.T) {
 	s, _ := startServer(t, "127.0.0.1:0", 1)
 	c, err := client.Dial(s.Addr().String(), client.Options{})

@@ -372,10 +372,15 @@ type connState struct {
 	reqs    []request
 	ops     []shard.Op         // batchable slots of the current poll
 	opRq    []int              // ops[j] answers reqs[opRq[j]]
-	batchSc shard.BatchScratch // ApplyBatchInto working memory, reused per poll
-	enc     wire.Buf           // response payload scratch
-	pool    []byte             // payload arena for the current poll
-	scratch []byte             // frame read scratch, grown to the largest frame seen
+	batchSc shard.BatchScratch // ApplyBatchInto working memory for the poll's fused point ops
+	// unitSc is serveBatch's own ApplyBatchInto scratch: an OpBatch
+	// frame is served mid-dispatch, while execute is still answering
+	// point ops from batchSc's results, so the two applies must not
+	// share working memory.
+	unitSc  shard.BatchScratch
+	enc     wire.Buf // response payload scratch
+	pool    []byte   // payload arena for the current poll
+	scratch []byte   // frame read scratch, grown to the largest frame seen
 	// frameStart is the accumulator size when the current beginFrame
 	// opened, for the BytesOut metric.
 	frameStart int
@@ -525,7 +530,7 @@ func (s *Server) execute(c *connState) {
 	s.Metrics.Requests.Add(uint64(len(c.reqs)))
 	var results []shard.Result
 	if len(c.ops) > 0 {
-		results = s.applyOps(c, c.ops)
+		results = s.applyOps(c.ops, &c.batchSc)
 		s.Metrics.BatchOps.Add(uint64(len(c.ops)))
 	}
 	next := 0 // cursor over c.opRq/results, aligned with request order
@@ -542,16 +547,19 @@ func (s *Server) execute(c *connState) {
 
 // applyOps dispatches a point-op batch through whichever gate applies:
 // read-only follower, cluster ownership, or straight to the router.
-// The results live in c's batch scratch — valid until the next apply
-// on this connection, which is after the poll's responses are encoded.
-func (s *Server) applyOps(c *connState, ops []shard.Op) []shard.Result {
+// The results live in sc — valid until the next apply through the same
+// scratch. The poll's fused point ops and serveBatch's explicit OpBatch
+// frames use distinct scratches (c.batchSc vs c.unitSc) because an
+// OpBatch is applied mid-dispatch, while point results from the same
+// poll are still being encoded.
+func (s *Server) applyOps(ops []shard.Op, sc *shard.BatchScratch) []shard.Result {
 	if s.readOnly.Load() {
 		return s.applyReadOnly(ops)
 	}
 	if s.cfg.Cluster != nil {
-		return s.applyCluster(c, ops)
+		return s.applyCluster(ops, sc)
 	}
-	return s.r.ApplyBatchInto(ops, &c.batchSc)
+	return s.r.ApplyBatchInto(ops, sc)
 }
 
 // wrongShardErr marks a result refused because this server does not
@@ -568,7 +576,7 @@ func (e wrongShardErr) Error() string { return "server: wrong shard" }
 // write side once after marking a range fenced, so when it proceeds no
 // in-flight batch can still append to that range's WAL. Reads are
 // gated too: a range owned elsewhere may hold stale data.
-func (s *Server) applyCluster(c *connState, ops []shard.Op) []shard.Result {
+func (s *Server) applyCluster(ops []shard.Op, sc *shard.BatchScratch) []shard.Result {
 	n := s.cfg.Cluster
 	n.FenceRLock()
 	defer n.FenceRUnlock()
@@ -584,7 +592,7 @@ func (s *Server) applyCluster(c *connState, ops []shard.Op) []shard.Result {
 		}
 	}
 	if len(idx) == len(ops) {
-		return s.r.ApplyBatchInto(ops, &c.batchSc)
+		return s.r.ApplyBatchInto(ops, sc)
 	}
 	if len(accepted) > 0 {
 		for jj, res := range s.r.ApplyBatch(accepted) {
@@ -821,7 +829,7 @@ func (s *Server) serveBatch(c *connState, rq *request) {
 		}
 		ops[i] = shard.Op{Kind: sk, Key: key, Value: val, Old: old}
 	}
-	results := s.applyOps(c, ops)
+	results := s.applyOps(ops, &c.unitSc)
 	s.Metrics.BatchOps.Add(uint64(n))
 	// Encode straight into the frame accumulator: no intermediate
 	// payload buffer, no copy of up to 10·n bytes.

@@ -207,6 +207,96 @@ func TestBatchMixedKinds(t *testing.T) {
 	}
 }
 
+// TestPollMixesBatchAndPointOps is a regression test for a scratch-
+// aliasing bug: a poll carrying an explicit OpBatch frame alongside
+// point ops used to run the batch's apply through the same per-
+// connection scratch that still backed the point-op results being
+// dispatched, so point ops dispatched after the OpBatch frame were
+// answered from clobbered slots. It speaks raw wire so both frames
+// arrive in one burst and are gathered into one poll, with the OpBatch
+// frame first — its apply runs mid-dispatch, before the trailing point
+// op's response is encoded.
+func TestPollMixesBatchAndPointOps(t *testing.T) {
+	s, _, c := start(t, 4, Config{}, shard.Options{})
+	ctx := context.Background()
+	const k1, k2 = 1, 2
+	if err := c.Insert(ctx, k1, 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(ctx, k2, 222); err != nil {
+		t.Fatal(err)
+	}
+
+	nc, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.WriteHello(nc); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	if _, err := wire.ReadHello(br); err != nil {
+		t.Fatal(err)
+	}
+
+	// A few rounds, in case a burst ever straddles two polls (which
+	// would make that round vacuously pass).
+	for round := 0; round < 8; round++ {
+		// Frame 1: OpBatch with a single search of k2. Frame 2: point
+		// search of k1. One Write, so the poll gathers both.
+		var bp wire.Buf
+		bp.U32(1)
+		bp.U8(wire.OpSearch)
+		bp.U64(k2)
+		bp.U64(0)
+		bp.U64(0)
+		burst, err := wire.AppendFrame(nil, uint64(2*round+1), wire.OpBatch, bp.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pp wire.Buf
+		pp.U64(k1)
+		burst, err = wire.AppendFrame(burst, uint64(2*round+2), wire.OpSearch, pp.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nc.Write(burst); err != nil {
+			t.Fatal(err)
+		}
+
+		for i := 0; i < 2; i++ {
+			id, status, pl, err := wire.ReadFrame(br, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status != wire.StatusOK {
+				t.Fatalf("round %d id %d: status %d", round, id, status)
+			}
+			switch id {
+			case uint64(2*round + 1): // batch response: 10 bytes/slot
+				if len(pl) != 10 {
+					t.Fatalf("round %d: batch response %d bytes", round, len(pl))
+				}
+				d := wire.Dec{B: pl[1:9]}
+				if v := d.U64(); v != 222 {
+					t.Fatalf("round %d: batch search of k2 = %d, want 222", round, v)
+				}
+			case uint64(2*round + 2): // point search response: value only
+				if len(pl) != 8 {
+					t.Fatalf("round %d: point response %d bytes", round, len(pl))
+				}
+				d := wire.Dec{B: pl}
+				if v := d.U64(); v != 111 {
+					t.Fatalf("round %d: point search of k1 = %d, want 111 (answered from the batch's clobbered scratch?)", round, v)
+				}
+			default:
+				t.Fatalf("round %d: unexpected response id %d", round, id)
+			}
+		}
+	}
+}
+
 func TestConcurrentPipelining(t *testing.T) {
 	s, _, c := start(t, 8, Config{}, shard.Options{})
 	ctx := context.Background()

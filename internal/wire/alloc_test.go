@@ -154,6 +154,36 @@ func TestFrameWriterNoCopySegments(t *testing.T) {
 	}
 }
 
+// TestZeroAllocFrameWriterNoCopyFlush proves the writev path reuses
+// its segment slice across flushes. net.Buffers.WriteTo advances the
+// slice header it is called on as it consumes segments; a regression
+// that lets it run on f.segs itself leaves the field with zero
+// capacity and shows up here as one segment-slice allocation per
+// retained-payload flush.
+func TestZeroAllocFrameWriterNoCopyFlush(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	payload := bytes.Repeat([]byte{0xCD}, 64)
+	flushOnce := func() {
+		if err := fw.WriteFrame(1, StatusOK, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.WriteFrameNoCopy(2, StatusOK, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushOnce() // warm buf, cuts, owned, segs
+	allocs := testing.AllocsPerRun(1000, flushOnce)
+	if allocs != 0 {
+		t.Fatalf("retained-payload flush: %.1f allocs/op, want 0", allocs)
+	}
+	if cap(fw.segs) < 2 {
+		t.Fatalf("segment slice capacity %d lost across Flush", cap(fw.segs))
+	}
+}
+
 func BenchmarkAppendFrame(b *testing.B) {
 	payload := []byte("0123456789abcdef")
 	buf := make([]byte, 0, 1024)

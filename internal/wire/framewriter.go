@@ -213,9 +213,22 @@ func (f *FrameWriter) Flush() error {
 	if len(f.buf) > prev {
 		segs = append(segs, f.buf[prev:])
 	}
+	// WriteTo advances its receiver's slice header as it consumes
+	// segments, leaving f.segs pointing at the exhausted tail with zero
+	// capacity — so the pre-WriteTo header is kept in segs and restored
+	// (emptied) afterwards, or every retained-payload flush would
+	// reallocate the segment slice. Restoring goes through the local
+	// header rather than running WriteTo on a local copy: the copy's
+	// address would escape through the io.Writer plumbing, costing the
+	// allocation this path exists to avoid. The elements are cleared so
+	// flushed payloads are not pinned until the next flush overwrites
+	// them.
 	f.segs = segs
 	_, err := f.segs.WriteTo(f.w)
-	f.segs = f.segs[:0]
+	for i := range segs {
+		segs[i] = nil
+	}
+	f.segs = segs[:0]
 	f.afterFlush()
 	if err != nil {
 		return f.setErr(err)
